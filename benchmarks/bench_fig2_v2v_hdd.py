@@ -1,0 +1,45 @@
+"""Figure 2: EA / LD / SD vertex-to-vertex queries on the HDD model.
+
+Paper: EA and SD < 19.2 ms, LD < 7.7 ms on a 7200 rpm disk, dominated by
+two random row fetches; SD ~26 % slower than EA. Cold-cache totals with
+simulated HDD latency are attached as extra_info; the warm-CPU time is what
+pytest-benchmark measures.
+"""
+
+import pytest
+
+from repro.bench.workload import v2v_workload
+
+from conftest import attach_cold_stats, cycle_calls, get_bundle, get_ptldb, query_count, selected_datasets
+
+
+def _calls(ptldb, queries, kind):
+    if kind == "EA":
+        return [
+            (lambda q=q: ptldb.earliest_arrival(q.source, q.goal, q.depart_at))
+            for q in queries
+        ]
+    if kind == "LD":
+        return [
+            (lambda q=q: ptldb.latest_departure(q.source, q.goal, q.arrive_by))
+            for q in queries
+        ]
+    return [
+        (
+            lambda q=q: ptldb.shortest_duration(
+                q.source, q.goal, q.depart_at, q.arrive_by
+            )
+        )
+        for q in queries
+    ]
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("kind", ["EA", "LD", "SD"])
+def test_v2v_hdd(benchmark, dataset, kind):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "hdd")
+    queries = v2v_workload(bundle.timetable, n=query_count(), seed=42)
+    calls = _calls(ptldb, queries, kind)
+    attach_cold_stats(benchmark, ptldb, f"{dataset}/{kind}/hdd", calls)
+    benchmark.pedantic(cycle_calls(calls), rounds=20, iterations=3)

@@ -1,0 +1,70 @@
+"""Figure 3: optimized vs naive kNN queries.
+
+Paper: grouping the kNN tables by departure/arrival hour makes the
+optimized queries 11-53x faster than Code 2's naive per-(hub, td) table at
+D = 0.01 on the full-size feeds. At our ~1/100 |V| scale the naive table is
+proportionally smaller, so the gap compresses, but optimized must still win
+and the gap must widen with density (EXPERIMENTS.md discusses this).
+
+Density note: D = 0.1 on a scaled city yields a target count comparable to
+the paper's D = 0.01 regime relative to network size.
+"""
+
+import pytest
+
+from repro.bench.workload import batch_workload
+
+from conftest import attach_cold_stats, cycle_calls, ensure_targets, get_bundle, get_ptldb, query_count, selected_datasets
+
+DENSITY = 0.1
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("variant", ["optimized", "naive"])
+@pytest.mark.parametrize("k", [4, 16])
+def test_ea_knn_variants(benchmark, dataset, variant, k):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "hdd")
+    kmax = 4 if k <= 4 else 16
+    tag = ensure_targets(
+        ptldb, bundle.timetable, DENSITY, kmax,
+        ("knn_ea", "knn_ld", "naive_ea", "naive_ld"),
+    )
+    queries = batch_workload(bundle.timetable, n=query_count(), seed=42)
+    if variant == "optimized":
+        calls = [
+            (lambda q=q: ptldb.ea_knn(tag, q.source, q.depart_at, k))
+            for q in queries
+        ]
+    else:
+        calls = [
+            (lambda q=q: ptldb.ea_knn_naive(tag, q.source, q.depart_at, k))
+            for q in queries
+        ]
+    attach_cold_stats(benchmark, ptldb, f"{dataset}/EA-kNN-{variant}/k={k}", calls)
+    benchmark.pedantic(cycle_calls(calls), rounds=10, iterations=2)
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("variant", ["optimized", "naive"])
+def test_ld_knn_variants(benchmark, dataset, variant):
+    k = 4
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "hdd")
+    tag = ensure_targets(
+        ptldb, bundle.timetable, DENSITY, 4,
+        ("knn_ea", "knn_ld", "naive_ea", "naive_ld"),
+    )
+    queries = batch_workload(bundle.timetable, n=query_count(), seed=42)
+    if variant == "optimized":
+        calls = [
+            (lambda q=q: ptldb.ld_knn(tag, q.source, q.arrive_by, k))
+            for q in queries
+        ]
+    else:
+        calls = [
+            (lambda q=q: ptldb.ld_knn_naive(tag, q.source, q.arrive_by, k))
+            for q in queries
+        ]
+    attach_cold_stats(benchmark, ptldb, f"{dataset}/LD-kNN-{variant}", calls)
+    benchmark.pedantic(cycle_calls(calls), rounds=10, iterations=2)

@@ -1,0 +1,39 @@
+"""Figure 4: absolute EA-/LD-kNN times for varying k (kmax in {4, 16}).
+
+Paper: EA-kNN < 64 ms for all k (Madrid, the largest |HL|/|V| instance,
+is the outlier); LD-kNN < 32 ms. k <= 4 is served from the kmax = 4 table,
+k in {8, 16} from the kmax = 16 table, exactly as in the paper.
+"""
+
+import pytest
+
+from repro.bench.workload import batch_workload
+
+from conftest import attach_cold_stats, cycle_calls, ensure_targets, get_bundle, get_ptldb, query_count, selected_datasets
+
+DENSITY = 0.1
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("k", [1, 4, 16])
+@pytest.mark.parametrize("kind", ["EA", "LD"])
+def test_knn_vary_k(benchmark, dataset, k, kind):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "hdd")
+    kmax = 4 if k <= 4 else 16
+    tag = ensure_targets(
+        ptldb, bundle.timetable, DENSITY, kmax, ("knn_ea", "knn_ld")
+    )
+    queries = batch_workload(bundle.timetable, n=query_count(), seed=42)
+    if kind == "EA":
+        calls = [
+            (lambda q=q: ptldb.ea_knn(tag, q.source, q.depart_at, k))
+            for q in queries
+        ]
+    else:
+        calls = [
+            (lambda q=q: ptldb.ld_knn(tag, q.source, q.arrive_by, k))
+            for q in queries
+        ]
+    attach_cold_stats(benchmark, ptldb, f"{dataset}/{kind}-kNN/k={k}", calls)
+    benchmark.pedantic(cycle_calls(calls), rounds=10, iterations=2)

@@ -1,0 +1,39 @@
+"""Figure 5: kNN queries for k = 4 and varying target density D.
+
+Paper: D in {0.001, 0.005, 0.01, 0.05, 0.1}; performance degrades with D
+but stays interactive (< 128 ms), EA-kNN more robust to dense targets than
+LD-kNN. Densities below 2 targets are floored (scaled datasets).
+"""
+
+import pytest
+
+from repro.bench.workload import batch_workload
+
+from conftest import attach_cold_stats, cycle_calls, ensure_targets, get_bundle, get_ptldb, query_count, selected_datasets
+
+DENSITIES = [0.01, 0.05, 0.1, 0.2]
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("kind", ["EA", "LD"])
+def test_knn_vary_density(benchmark, dataset, density, kind):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "hdd")
+    tag = ensure_targets(
+        ptldb, bundle.timetable, density, 4, ("knn_ea", "knn_ld")
+    )
+    queries = batch_workload(bundle.timetable, n=query_count(), seed=42)
+    if kind == "EA":
+        calls = [
+            (lambda q=q: ptldb.ea_knn(tag, q.source, q.depart_at, 4))
+            for q in queries
+        ]
+    else:
+        calls = [
+            (lambda q=q: ptldb.ld_knn(tag, q.source, q.arrive_by, 4))
+            for q in queries
+        ]
+    benchmark.extra_info["targets"] = len(ptldb.handle(tag).targets)
+    attach_cold_stats(benchmark, ptldb, f"{dataset}/{kind}-kNN/D={density}", calls)
+    benchmark.pedantic(cycle_calls(calls), rounds=8, iterations=2)

@@ -1,0 +1,39 @@
+"""Figure 6: EA / LD one-to-many queries for varying density D.
+
+Paper: EA-OTM < 512 ms and LD-OTM < 256 ms for all datasets and densities
+(Madrid/Toronto the outliers at D = 0.1); at high D the query approaches a
+one-to-all and cannot get faster on secondary storage.
+"""
+
+import pytest
+
+from repro.bench.workload import batch_workload
+
+from conftest import attach_cold_stats, cycle_calls, ensure_targets, get_bundle, get_ptldb, query_count, selected_datasets
+
+DENSITIES = [0.01, 0.1, 0.3]
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("kind", ["EA", "LD"])
+def test_one_to_many(benchmark, dataset, density, kind):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "hdd")
+    tag = ensure_targets(
+        ptldb, bundle.timetable, density, 4, ("otm_ea", "otm_ld")
+    )
+    queries = batch_workload(bundle.timetable, n=max(20, query_count() // 2), seed=42)
+    if kind == "EA":
+        calls = [
+            (lambda q=q: ptldb.ea_one_to_many(tag, q.source, q.depart_at))
+            for q in queries
+        ]
+    else:
+        calls = [
+            (lambda q=q: ptldb.ld_one_to_many(tag, q.source, q.arrive_by))
+            for q in queries
+        ]
+    benchmark.extra_info["targets"] = len(ptldb.handle(tag).targets)
+    attach_cold_stats(benchmark, ptldb, f"{dataset}/{kind}-OTM/D={density}", calls)
+    benchmark.pedantic(cycle_calls(calls), rounds=6, iterations=2)

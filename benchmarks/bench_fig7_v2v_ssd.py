@@ -1,0 +1,50 @@
+"""Figure 7: vertex-to-vertex queries on the SSD model.
+
+Paper: the SSD makes v2v queries 3-20x faster than the HDD (EA < 2.5 ms,
+LD < 0.6 ms, SD < 3.2 ms) because the two random row fetches stop paying
+seek latency. The speedup shows up in the cold_avg_total_ms extra_info
+(compare with bench_fig2's values); warm CPU time is device-independent.
+"""
+
+import pytest
+
+from repro.bench.workload import v2v_workload
+
+from conftest import attach_cold_stats, cycle_calls, get_bundle, get_ptldb, query_count, selected_datasets
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("kind", ["EA", "LD", "SD"])
+def test_v2v_ssd(benchmark, dataset, kind):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "ssd")
+    queries = v2v_workload(bundle.timetable, n=query_count(), seed=42)
+    if kind == "EA":
+        calls = [
+            (lambda q=q: ptldb.earliest_arrival(q.source, q.goal, q.depart_at))
+            for q in queries
+        ]
+    elif kind == "LD":
+        calls = [
+            (lambda q=q: ptldb.latest_departure(q.source, q.goal, q.arrive_by))
+            for q in queries
+        ]
+    else:
+        calls = [
+            (
+                lambda q=q: ptldb.shortest_duration(
+                    q.source, q.goal, q.depart_at, q.arrive_by
+                )
+            )
+            for q in queries
+        ]
+    cold = attach_cold_stats(benchmark, ptldb, f"{dataset}/{kind}/ssd", calls)
+    # the SSD must be dramatically cheaper in simulated I/O than the HDD
+    from repro.bench.runner import run_batch
+
+    hdd = run_batch(get_ptldb(dataset, "hdd"), f"{dataset}/{kind}/hdd-ref", calls)
+    if hdd.avg_io_ms > 0:
+        benchmark.extra_info["io_speedup_vs_hdd"] = round(
+            hdd.avg_io_ms / max(cold.avg_io_ms, 1e-9), 1
+        )
+    benchmark.pedantic(cycle_calls(calls), rounds=20, iterations=3)

@@ -1,0 +1,38 @@
+"""Figure 8: kNN queries on the SSD model.
+
+Paper: "the usage of the SSD does not provide any further benefits" for
+kNN queries — PTLDB already minimizes secondary-storage utilization, so the
+queries are CPU-bound. The check: the SSD's cold-batch total must be within
+noise of the HDD's CPU component (I/O is a tiny fraction of either).
+"""
+
+import pytest
+
+from repro.bench.runner import run_batch
+from repro.bench.workload import batch_workload
+
+from conftest import attach_cold_stats, cycle_calls, ensure_targets, get_bundle, get_ptldb, query_count, selected_datasets
+
+DENSITY = 0.1
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("k", [4, 16])
+def test_ea_knn_ssd(benchmark, dataset, k):
+    bundle = get_bundle(dataset)
+    ptldb = get_ptldb(dataset, "ssd")
+    kmax = 4 if k <= 4 else 16
+    tag = ensure_targets(
+        ptldb, bundle.timetable, DENSITY, kmax, ("knn_ea", "knn_ld")
+    )
+    queries = batch_workload(bundle.timetable, n=query_count(), seed=42)
+    calls = [
+        (lambda q=q: ptldb.ea_knn(tag, q.source, q.depart_at, k))
+        for q in queries
+    ]
+    cold = attach_cold_stats(benchmark, ptldb, f"{dataset}/EA-kNN/ssd/k={k}", calls)
+    # Figure 8's point: I/O is a minority share of the kNN query even cold.
+    benchmark.extra_info["io_share"] = round(
+        cold.avg_io_ms / max(cold.avg_total_ms, 1e-9), 3
+    )
+    benchmark.pedantic(cycle_calls(calls), rounds=10, iterations=2)

@@ -1,0 +1,67 @@
+"""Future-work extension benchmark: transfer-bounded EA queries.
+
+Not in the paper's evaluation (it lists transfer counts as future work);
+measures the cost of the extra trips dimension: label blow-up, build time,
+and per-budget query latency of the SQL variant.
+"""
+
+import pytest
+
+from repro.bench.workload import v2v_workload
+from repro.transfers import TransferPTLDB, build_transfer_labels
+
+from conftest import cycle_calls, get_bundle, query_count, selected_datasets
+
+MAX_TRIPS = 3
+
+
+@pytest.fixture(scope="module")
+def instances():
+    cache = {}
+
+    def get(dataset):
+        if dataset not in cache:
+            bundle = get_bundle(dataset)
+            labels, report = build_transfer_labels(
+                bundle.timetable, max_trips=MAX_TRIPS, add_dummies=True
+            )
+            ptldb = TransferPTLDB.from_timetable(
+                bundle.timetable, device="hdd", labels=labels
+            )
+            cache[dataset] = (bundle, labels, report, ptldb)
+        return cache[dataset]
+
+    return get
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+def test_transfer_label_build(benchmark, dataset):
+    bundle = get_bundle(dataset)
+
+    def build():
+        labels, _ = build_transfer_labels(
+            bundle.timetable, max_trips=MAX_TRIPS, add_dummies=True
+        )
+        return labels
+
+    labels = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["tuples_per_V"] = round(labels.tuples_per_vertex, 1)
+
+
+@pytest.mark.parametrize("dataset", selected_datasets())
+@pytest.mark.parametrize("budget", [1, 2, 3])
+def test_bounded_ea_query(benchmark, instances, dataset, budget):
+    bundle, labels, report, ptldb = instances(dataset)
+    queries = v2v_workload(bundle.timetable, n=query_count(), seed=42)
+    calls = [
+        (
+            lambda q=q: ptldb.earliest_arrival(
+                q.source, q.goal, q.depart_at, budget
+            )
+        )
+        for q in queries
+    ]
+    benchmark.extra_info["label_tuples_per_V"] = round(
+        labels.tuples_per_vertex, 1
+    )
+    benchmark.pedantic(cycle_calls(calls), rounds=10, iterations=2)

@@ -1,0 +1,69 @@
+"""Shared benchmark configuration.
+
+Dataset selection: the default subset keeps a full ``pytest benchmarks/
+--benchmark-only`` run in the minutes range. Set ``REPRO_BENCH_DATASETS``
+to a comma-separated list of Table 7 names (or ``full`` for all eleven) to
+widen it; set ``REPRO_BENCH_QUERIES`` to change the per-batch query count
+(the paper uses 1000).
+
+Timing semantics: pytest-benchmark measures the warm-cache CPU time of one
+query; the cold-cache + simulated-device-latency numbers that reproduce the
+paper's absolute figures are attached as ``extra_info`` on each benchmark
+and regenerated in table form by ``python -m repro.bench.run_all``
+(EXPERIMENTS.md records both).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.timetable.datasets import DATASET_NAMES
+
+
+def selected_datasets() -> list[str]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS", "")
+    if raw.strip().lower() == "full":
+        return list(DATASET_NAMES)
+    if raw.strip():
+        return [name.strip() for name in raw.split(",")]
+    return ["Austin", "Madrid", "Salt Lake City"]
+
+
+def query_count() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "100"))
+
+
+@pytest.fixture(scope="session")
+def datasets() -> list[str]:
+    return selected_datasets()
+
+
+def cycle_calls(calls):
+    """Turn a list of zero-arg callables into a repeating kernel."""
+    iterator = itertools.cycle(calls)
+
+    def kernel():
+        return next(iterator)()
+
+    return kernel
+
+
+def attach_cold_stats(benchmark, ptldb, name, calls):
+    """Run one cold batch through the harness and attach its stats."""
+    from repro.bench.runner import run_batch
+
+    result = run_batch(ptldb, name, calls)
+    benchmark.extra_info["cold_avg_total_ms"] = round(result.avg_total_ms, 3)
+    benchmark.extra_info["cold_avg_sim_io_ms"] = round(result.avg_io_ms, 3)
+    benchmark.extra_info["empty_results"] = result.empty_results
+    return result
+
+
+# re-exported for the bench modules
+get_bundle = exp.get_bundle
+get_ptldb = exp.get_ptldb
+ensure_targets = exp._ensure_targets

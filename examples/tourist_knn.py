@@ -1,0 +1,75 @@
+"""Tourist scenario: nearest points of interest by public transport.
+
+The paper motivates EA-kNN with "a tourist deciding to visit the nearest
+Point of Interest using public transport" and LD-kNN with "a city visitor
+determining his remaining time for finishing his breakfast before reaching
+one of his preferred POI-destinations by 11:00".
+
+This example builds a Madrid-shaped network, marks a handful of stops as
+museums, and answers both questions, cross-checking the SQL answers against
+the in-memory TTL reference and showing the reconstructed journey for the
+winning museum.
+
+Run with::
+
+    python examples/tourist_knn.py
+"""
+
+from __future__ import annotations
+
+from repro.labeling import TTLQueryEngine, journey_is_feasible, reconstruct_journey
+from repro.ptldb import PTLDB
+from repro.timetable import load_dataset
+
+
+def hhmm(seconds: int | None) -> str:
+    if seconds is None:
+        return "--:--"
+    return f"{seconds // 3600:02d}:{seconds % 3600 // 60:02d}"
+
+
+def main() -> None:
+    timetable = load_dataset("Madrid")
+    ptldb = PTLDB.from_timetable(timetable, device="ssd")
+    reference = TTLQueryEngine(ptldb.labels)
+
+    hotel = 23  # the tourist's hotel stop
+    museums = {4, 11, 19, 31, 42, 47}
+    ptldb.build_target_set(
+        "museums", museums, kmax=4, families=("knn_ea", "knn_ld")
+    )
+
+    # --- morning: which museums can I reach first, leaving at 09:30? -----
+    depart = 9 * 3600 + 30 * 60
+    print(f"Leaving hotel (stop {hotel}) at {hhmm(depart)}; nearest museums:")
+    ranked = ptldb.ea_knn("museums", hotel, depart, 3)
+    assert ranked == reference.ea_knn(hotel, museums, depart, 3)
+    for stop, arrival in ranked:
+        print(f"  museum at stop {stop:3d}: arrive {hhmm(arrival)}")
+
+    if ranked:
+        best_stop, best_arrival = ranked[0]
+        journey = reconstruct_journey(timetable, hotel, best_stop, depart)
+        assert journey is not None
+        assert journey_is_feasible(journey, hotel, best_stop, depart)
+        assert journey[-1].arr == best_arrival
+        print(f"\nItinerary to stop {best_stop}:")
+        for leg in journey:
+            print(
+                f"  trip {leg.trip:4d}: stop {leg.u:3d} {hhmm(leg.dep)} "
+                f"-> stop {leg.v:3d} {hhmm(leg.arr)}"
+            )
+
+    # --- breakfast: how long can I linger and still reach a museum by 11? -
+    arrive_by = 11 * 3600
+    print(f"\nMust be at some museum by {hhmm(arrive_by)}; latest departures:")
+    for stop, departure in ptldb.ld_knn("museums", hotel, arrive_by, 3):
+        slack = departure - depart
+        print(
+            f"  stop {stop:3d}: leave by {hhmm(departure)} "
+            f"({max(0, slack) // 60} min of breakfast left)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""repro — reproduction of "Scalable Public Transportation Queries on the
+Database" (PTLDB, EDBT 2016).
+
+Top-level convenience re-exports; see README.md for the package map.
+"""
+
+__version__ = "1.0.0"

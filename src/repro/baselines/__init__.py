@@ -1,0 +1,21 @@
+"""Main-memory baseline algorithms used as correctness oracles."""
+
+from repro.baselines.csa import (
+    earliest_arrival,
+    earliest_arrival_all,
+    latest_departure,
+    latest_departure_all,
+    profile,
+    shortest_duration,
+)
+from repro.baselines.dijkstra import TimeExpandedGraph
+
+__all__ = [
+    "earliest_arrival",
+    "earliest_arrival_all",
+    "latest_departure",
+    "latest_departure_all",
+    "profile",
+    "shortest_duration",
+    "TimeExpandedGraph",
+]

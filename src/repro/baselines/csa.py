@@ -1,0 +1,177 @@
+"""Connection Scan Algorithm (CSA) oracles.
+
+These main-memory algorithms answer the paper's three vertex-to-vertex query
+types directly on the timetable and serve two purposes:
+
+* ground truth for every PTLDB / TTL answer in the test suite;
+* the building block of TTL preprocessing (:func:`profile` computes the
+  Pareto journey profiles that become hub labels).
+
+Transfers are instantaneous: a connection ``c2`` can follow ``c1`` when
+``c1.arr <= c2.dep`` — the same feasibility rule as the paper's label join
+condition ``l1.ta <= l2.td``.
+"""
+
+from __future__ import annotations
+
+from repro.timetable.model import Timetable
+
+INF = float("inf")
+
+
+def earliest_arrival_all(timetable: Timetable, source: int, depart_at: int) -> list:
+    """One-to-all earliest arrival starting from *source* at *depart_at*.
+
+    Returns per-stop arrival times (``inf`` when unreachable). Being at the
+    source at ``depart_at`` counts as arrival time ``depart_at``.
+    """
+    ea = [INF] * timetable.num_stops
+    ea[source] = depart_at
+    trip_boarded = [False] * (max((c.trip for c in timetable.connections), default=-1) + 1)
+    for c in timetable.connections:  # sorted by (dep, arr)
+        if c.dep < depart_at:
+            continue
+        if trip_boarded[c.trip] or ea[c.u] <= c.dep:
+            trip_boarded[c.trip] = True
+            if c.arr < ea[c.v]:
+                ea[c.v] = c.arr
+    return ea
+
+
+def earliest_arrival(
+    timetable: Timetable, source: int, goal: int, depart_at: int
+) -> int | None:
+    """EA(s, g, t) as defined in the paper; ``None`` when no journey exists."""
+    value = earliest_arrival_all(timetable, source, depart_at)[goal]
+    return None if value == INF else int(value)
+
+
+def latest_departure_all(timetable: Timetable, goal: int, arrive_by: int) -> list:
+    """Per-stop latest departure reaching *goal* no later than *arrive_by*.
+
+    Implemented as earliest arrival on the time-reversed timetable; returns
+    ``-inf`` for stops that cannot reach the goal in time.
+    """
+    reverse = timetable.reverse()
+    ea = earliest_arrival_all(reverse, goal, -arrive_by)
+    return [-value if value != INF else -INF for value in ea]
+
+
+def latest_departure(
+    timetable: Timetable, source: int, goal: int, arrive_by: int
+) -> int | None:
+    """LD(s, g, t') as defined in the paper."""
+    value = latest_departure_all(timetable, goal, arrive_by)[source]
+    return None if value == -INF else int(value)
+
+
+# ---------------------------------------------------------------------------
+# Profile CSA
+# ---------------------------------------------------------------------------
+class Profile:
+    """Pareto journey profile from one stop to a fixed target.
+
+    Pairs ``(dep, arr)`` with *dep* strictly decreasing and *arr* strictly
+    decreasing (later departure always arrives later or equal among Pareto
+    optima). Stored in insertion order = decreasing departure.
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self) -> None:
+        self.pairs: list[tuple[int, int]] = []
+
+    def dominated(self, dep: int, arr: int) -> bool:
+        """Would (dep, arr) be dominated? Only callable while insertions
+        happen in decreasing *dep* order (as profile CSA guarantees)."""
+        if not self.pairs:
+            return False
+        # Every stored pair has dep >= the candidate's; the candidate is
+        # dominated iff some stored arrival is <= arr, and arrivals are
+        # decreasing, so it suffices to look at the last pair.
+        return self.pairs[-1][1] <= arr
+
+    def insert(self, dep: int, arr: int) -> bool:
+        """Insert if not dominated. Returns True when kept."""
+        if self.dominated(dep, arr):
+            return False
+        # Remove pairs the newcomer dominates (same dep seen again with a
+        # better arrival can occur through different trips).
+        while self.pairs and self.pairs[-1][0] == dep:
+            self.pairs.pop()
+        self.pairs.append((dep, arr))
+        return True
+
+    def evaluate(self, not_before: int):
+        """Earliest arrival among journeys departing at/after *not_before*.
+
+        Departures decrease along ``pairs``, so candidates form a prefix and
+        (arrivals decreasing too) the best candidate is the prefix's last
+        element. Binary search for the rightmost pair with dep >= bound.
+        """
+        pairs = self.pairs
+        lo, hi = 0, len(pairs)  # invariant: pairs[:lo] qualify, pairs[hi:] don't
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if pairs[mid][0] >= not_before:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return INF
+        return pairs[lo - 1][1]
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+def profile(timetable: Timetable, target: int) -> list[Profile]:
+    """All-to-one profile CSA: Pareto ``(dep, arr)`` journeys to *target*.
+
+    Scans connections in decreasing departure order; O(|E| log P).
+    """
+    profiles = [Profile() for _ in range(timetable.num_stops)]
+    max_trip = max((c.trip for c in timetable.connections), default=-1)
+    trip_arrival = [INF] * (max_trip + 1)
+    for c in reversed(timetable.connections):  # decreasing (dep, arr)
+        best = INF
+        if c.v == target:
+            best = c.arr
+        via_transfer = profiles[c.v].evaluate(c.arr)
+        if via_transfer < best:
+            best = via_transfer
+        if trip_arrival[c.trip] < best:
+            best = trip_arrival[c.trip]
+        if best == INF:
+            continue
+        if best < trip_arrival[c.trip]:
+            trip_arrival[c.trip] = best
+        profiles[c.u].insert(c.dep, int(best))
+    return profiles
+
+
+def shortest_duration(
+    timetable: Timetable,
+    source: int,
+    goal: int,
+    depart_at: int,
+    arrive_by: int,
+) -> int | None:
+    """SD(s, g, t, t'): minimum journey duration inside the window.
+
+    The optimum is attained at a Pareto profile pair, so evaluating the
+    source profile suffices.
+    """
+    if source == goal:
+        return 0 if depart_at <= arrive_by else None
+    pairs = profile(timetable, goal)[source].pairs
+    best = None
+    for dep, arr in pairs:
+        if dep >= depart_at and arr <= arrive_by:
+            duration = arr - dep
+            if best is None or duration < best:
+                best = duration
+    return best

@@ -1,0 +1,85 @@
+"""Time-expanded-graph Dijkstra — an oracle independent of CSA.
+
+Builds the classic time-expanded digraph (one node per departure/arrival
+event, waiting arcs chaining events at a stop, connection arcs between
+events) and answers earliest-arrival queries with a priority queue. Slower
+than CSA but shares no code with it, which is exactly what a cross-checking
+oracle should do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+
+from repro.timetable.model import Timetable
+
+INF = float("inf")
+
+
+class TimeExpandedGraph:
+    """Time-expanded digraph of a timetable.
+
+    Nodes are integers; ``event_of[(stop, time)]`` maps the (stop, time)
+    event to its node. Arcs carry no explicit weights — a node's distance is
+    simply the event time, so "Dijkstra" pops nodes in event-time order.
+    """
+
+    def __init__(self, timetable: Timetable):
+        self.timetable = timetable
+        events: set[tuple[int, int]] = set()
+        for c in timetable.connections:
+            events.add((c.u, c.dep))
+            events.add((c.v, c.arr))
+        self.nodes = sorted(events)  # (stop, time)
+        self.event_of = {event: i for i, event in enumerate(self.nodes)}
+        self.adjacency: list[list[int]] = [[] for _ in self.nodes]
+
+        # Waiting arcs: consecutive events at the same stop.
+        self.stop_events: list[list[int]] = [[] for _ in range(timetable.num_stops)]
+        for stop, time in self.nodes:
+            self.stop_events[stop].append(time)
+        for stop, times in enumerate(self.stop_events):
+            for t1, t2 in zip(times, times[1:]):
+                self.adjacency[self.event_of[(stop, t1)]].append(
+                    self.event_of[(stop, t2)]
+                )
+
+        # Connection arcs.
+        for c in timetable.connections:
+            self.adjacency[self.event_of[(c.u, c.dep)]].append(
+                self.event_of[(c.v, c.arr)]
+            )
+
+    def earliest_arrival(self, source: int, goal: int, depart_at: int) -> int | None:
+        """EA(s, g, t) by Dijkstra over the expanded graph."""
+        if source == goal:
+            return depart_at
+        times = self.stop_events[source]
+        idx = bisect_left(times, depart_at)
+        if idx == len(times):
+            return None
+        start = self.event_of[(source, times[idx])]
+        visited = [False] * len(self.nodes)
+        heap: list[tuple[int, int]] = [(times[idx], start)]
+        best: int | None = None
+        while heap:
+            time, node = heapq.heappop(heap)
+            if visited[node]:
+                continue
+            visited[node] = True
+            stop, event_time = self.nodes[node]
+            if stop == goal:
+                best = event_time
+                break
+            for succ in self.adjacency[node]:
+                if not visited[succ]:
+                    heapq.heappush(heap, (self.nodes[succ][1], succ))
+        return best
+
+
+def earliest_arrival(
+    timetable: Timetable, source: int, goal: int, depart_at: int
+) -> int | None:
+    """Convenience one-shot query (builds the expanded graph each call)."""
+    return TimeExpandedGraph(timetable).earliest_arrival(source, goal, depart_at)

@@ -1,0 +1,24 @@
+"""Benchmark harness: workloads, timing, experiment drivers, reports."""
+
+from repro.bench.report import format_markdown, format_table, speedup
+from repro.bench.runner import BenchResult, run_batch
+from repro.bench.workload import (
+    BatchQuery,
+    V2VQuery,
+    batch_workload,
+    random_targets,
+    v2v_workload,
+)
+
+__all__ = [
+    "BatchQuery",
+    "V2VQuery",
+    "batch_workload",
+    "random_targets",
+    "v2v_workload",
+    "BenchResult",
+    "run_batch",
+    "format_markdown",
+    "format_table",
+    "speedup",
+]

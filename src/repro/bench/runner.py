@@ -1,0 +1,86 @@
+"""Timing harness with simulated-I/O accounting.
+
+Reported per-query time = measured CPU wall time of executing the SQL in
+minidb **plus** the simulated device latency charged by the
+:class:`~repro.minidb.disk.DeviceModel` for every buffer-pool miss. The two
+components are also reported separately, because the paper's HDD-vs-SSD
+findings (Figures 2/7/8) are exactly statements about their ratio: v2v
+queries are I/O-bound (few random page reads dominate), kNN/OTM are
+CPU-bound (the join does the work, I/O is minimal).
+
+Before each batch the buffer pool is cleared — the paper restarts the
+PostgreSQL server and drops the OS cache before each experiment.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.ptldb.framework import PTLDB
+
+
+@dataclass
+class BenchResult:
+    """Aggregated timings of one query batch."""
+
+    name: str
+    queries: int
+    cpu_ms: list[float] = field(default_factory=list)
+    io_ms: list[float] = field(default_factory=list)
+    page_reads: int = 0
+    empty_results: int = 0
+
+    @property
+    def avg_cpu_ms(self) -> float:
+        return statistics.fmean(self.cpu_ms) if self.cpu_ms else 0.0
+
+    @property
+    def avg_io_ms(self) -> float:
+        return statistics.fmean(self.io_ms) if self.io_ms else 0.0
+
+    @property
+    def avg_total_ms(self) -> float:
+        return self.avg_cpu_ms + self.avg_io_ms
+
+    @property
+    def median_total_ms(self) -> float:
+        totals = [c + i for c, i in zip(self.cpu_ms, self.io_ms)]
+        return statistics.median(totals) if totals else 0.0
+
+    def row(self) -> dict:
+        return {
+            "name": self.name,
+            "queries": self.queries,
+            "avg_total_ms": round(self.avg_total_ms, 3),
+            "avg_cpu_ms": round(self.avg_cpu_ms, 3),
+            "avg_io_ms": round(self.avg_io_ms, 3),
+            "page_reads": self.page_reads,
+            "empty_results": self.empty_results,
+        }
+
+
+def run_batch(ptldb: PTLDB, name: str, calls, cold_start: bool = True) -> BenchResult:
+    """Execute ``calls`` (iterable of zero-arg callables) against *ptldb*.
+
+    Each callable should issue exactly one PTLDB query and return its
+    result; ``None`` / empty results are counted (the paper's quartile
+    timestamp sampling exists to keep those rare).
+    """
+    if cold_start:
+        ptldb.restart()
+    result = BenchResult(name=name, queries=0)
+    for call in calls:
+        started = time.perf_counter()
+        value = call()
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        cost = ptldb.db.last_cost
+        io_ms = cost.simulated_io_ms if cost else 0.0
+        result.cpu_ms.append(elapsed_ms)
+        result.io_ms.append(io_ms)
+        result.page_reads += cost.page_reads if cost else 0
+        if value is None or value == [] or value == {}:
+            result.empty_results += 1
+        result.queries += 1
+    return result

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli datasets
+    python -m repro.cli generate  --dataset Austin --gtfs ./feed
+    python -m repro.cli preprocess --dataset Austin --labels austin.ttl
+    python -m repro.cli preprocess --gtfs ./feed --labels feed.ttl
+    python -m repro.cli query ea  --labels austin.ttl --dataset Austin \\
+        --source 5 --goal 17 --time 32400
+    python -m repro.cli query knn --labels austin.ttl --dataset Austin \\
+        --source 5 --time 32400 --k 3 --targets 2,4,18
+    python -m repro.cli bench --experiment table7 --datasets Austin,Madrid
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import format_table
+from repro.errors import ReproError
+from repro.labeling.io import load_labels, save_labels
+from repro.labeling.ttl import preprocess
+from repro.ptldb.framework import PTLDB
+from repro.timetable.datasets import DATASET_NAMES, load_dataset, paper_row
+from repro.timetable.gtfs import load_feed, write_feed
+
+
+def _load_timetable(args):
+    if getattr(args, "gtfs", None) and getattr(args, "dataset", None):
+        raise ReproError("pass either --dataset or --gtfs, not both")
+    if getattr(args, "gtfs", None):
+        return load_feed(args.gtfs)
+    if getattr(args, "dataset", None):
+        return load_dataset(args.dataset, scale=getattr(args, "scale", "small"))
+    raise ReproError("one of --dataset or --gtfs is required")
+
+
+def cmd_datasets(_args) -> int:
+    rows = []
+    for name in DATASET_NAMES:
+        paper = paper_row(name)
+        tt = load_dataset(name)
+        rows.append(
+            [
+                name,
+                tt.num_stops,
+                tt.num_connections,
+                round(tt.average_degree, 1),
+                paper.stops,
+                paper.avg_degree,
+            ]
+        )
+    print(
+        format_table(
+            ["dataset", "V", "E", "deg", "paper V", "paper deg"],
+            rows,
+            title="Table 7 datasets (scaled / paper)",
+        )
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    timetable = _load_timetable(args)
+    write_feed(timetable, args.gtfs_out, city=args.dataset or "synthetic")
+    print(f"wrote GTFS feed ({timetable.stats()}) to {args.gtfs_out}")
+    return 0
+
+
+def cmd_preprocess(args) -> int:
+    timetable = _load_timetable(args)
+    labels = preprocess(timetable, ordering=args.ordering)
+    save_labels(labels, args.labels)
+    print(f"labels: {labels.stats()} -> {args.labels}")
+    return 0
+
+
+def _build_ptldb(args) -> PTLDB:
+    timetable = _load_timetable(args)
+    labels = load_labels(args.labels) if args.labels else None
+    return PTLDB.from_timetable(timetable, device=args.device, labels=labels)
+
+
+def cmd_query(args) -> int:
+    ptldb = _build_ptldb(args)
+    kind = args.kind
+    if kind in ("ea", "ld", "sd"):
+        if args.goal is None:
+            raise ReproError(f"{kind} queries need --goal")
+        if kind == "ea":
+            value = ptldb.earliest_arrival(args.source, args.goal, args.time)
+        elif kind == "ld":
+            value = ptldb.latest_departure(args.source, args.goal, args.time)
+        else:
+            if args.time2 is None:
+                raise ReproError("sd queries need --time2")
+            value = ptldb.shortest_duration(
+                args.source, args.goal, args.time, args.time2
+            )
+        print("no journey" if value is None else value)
+        return 0
+    # batched queries need a target set
+    if not args.targets:
+        raise ReproError(f"{kind} queries need --targets")
+    targets = {int(t) for t in args.targets.split(",")}
+    families = {
+        "knn": ("knn_ea", "knn_ld"),
+        "otm": ("otm_ea", "otm_ld"),
+    }[kind]
+    ptldb.build_target_set("cli", targets, kmax=max(args.k, 1), families=families)
+    if kind == "knn":
+        if args.ld:
+            result = ptldb.ld_knn("cli", args.source, args.time, args.k)
+        else:
+            result = ptldb.ea_knn("cli", args.source, args.time, args.k)
+        for stop, value in result:
+            print(f"{stop}\t{value}")
+    else:
+        if args.ld:
+            result = ptldb.ld_one_to_many("cli", args.source, args.time)
+        else:
+            result = ptldb.ea_one_to_many("cli", args.source, args.time)
+        for stop in sorted(result):
+            print(f"{stop}\t{result[stop]}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import experiments as exp
+
+    datasets = args.datasets.split(",") if args.datasets else None
+    runners = {
+        "table7": lambda: exp.experiment_table7(datasets),
+        "v2v": lambda: exp.experiment_v2v(datasets, args.device, args.queries),
+        "knn": lambda: exp.experiment_knn(
+            datasets, args.device, 0.1, (1, 4, 16), args.queries, naive=True
+        ),
+        "otm": lambda: exp.experiment_otm(
+            datasets, args.device, (0.01, 0.1), args.queries
+        ),
+        "storage": lambda: exp.experiment_storage(datasets),
+    }
+    if args.experiment not in runners:
+        raise ReproError(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {sorted(runners)}"
+        )
+    rows = runners[args.experiment]()
+    if rows:
+        headers = list(rows[0].keys())
+        print(
+            format_table(
+                headers, [[r[h] for h in headers] for r in rows],
+                title=f"experiment: {args.experiment}",
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the Table 7 dataset profiles")
+
+    p = sub.add_parser("generate", help="write a dataset as a GTFS feed")
+    p.add_argument("--dataset", choices=DATASET_NAMES)
+    p.add_argument("--gtfs", help="input GTFS dir (instead of --dataset)")
+    p.add_argument("--gtfs-out", required=True)
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+
+    p = sub.add_parser("preprocess", help="run TTL preprocessing, save labels")
+    p.add_argument("--dataset", choices=DATASET_NAMES)
+    p.add_argument("--gtfs")
+    p.add_argument("--labels", required=True, help="output label file")
+    p.add_argument("--ordering", default="event_degree")
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+
+    p = sub.add_parser("query", help="answer a PTLDB query")
+    p.add_argument("kind", choices=["ea", "ld", "sd", "knn", "otm"])
+    p.add_argument("--dataset", choices=DATASET_NAMES)
+    p.add_argument("--gtfs")
+    p.add_argument("--labels", help="precomputed label file (else preprocess)")
+    p.add_argument("--device", default="ram", choices=["ram", "hdd", "ssd"])
+    p.add_argument("--source", type=int, required=True)
+    p.add_argument("--goal", type=int)
+    p.add_argument("--time", type=int, required=True)
+    p.add_argument("--time2", type=int, help="window end for sd")
+    p.add_argument("--k", type=int, default=4)
+    p.add_argument("--targets", help="comma-separated target stops")
+    p.add_argument("--ld", action="store_true", help="LD variant for knn/otm")
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+
+    p = sub.add_parser("bench", help="run one experiment, print its table")
+    p.add_argument("--experiment", required=True)
+    p.add_argument("--datasets")
+    p.add_argument("--device", default="hdd", choices=["ram", "hdd", "ssd"])
+    p.add_argument("--queries", type=int, default=50)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "generate": cmd_generate,
+        "preprocess": cmd_preprocess,
+        "query": cmd_query,
+        "bench": cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Exception hierarchy shared by every repro subsystem."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TimetableError(ReproError):
+    """Invalid timetable data (negative durations, unknown stops, ...)."""
+
+
+class GTFSError(TimetableError):
+    """Malformed GTFS feed content."""
+
+
+class LabelingError(ReproError):
+    """TTL label construction or validation failed."""
+
+
+class DatabaseError(ReproError):
+    """Base class for minidb failures."""
+
+
+class StorageError(DatabaseError):
+    """Page/heap/disk level failure (corruption, out-of-space, bad page id)."""
+
+
+class CatalogError(DatabaseError):
+    """Unknown or duplicate table/column, schema mismatch."""
+
+
+class SQLError(DatabaseError):
+    """Base class for SQL front-end failures."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SQLNameError(SQLError):
+    """An identifier (table, column, alias, function) does not resolve."""
+
+
+class SQLTypeError(SQLError):
+    """An expression is applied to values of the wrong type."""
+
+
+class BenchmarkError(ReproError):
+    """Benchmark harness misconfiguration."""

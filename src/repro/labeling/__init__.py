@@ -1,0 +1,26 @@
+"""Timetable Labeling (TTL): construction, in-memory queries, persistence."""
+
+from repro.labeling.io import load_labels, save_labels
+from repro.labeling.labels import LabelTuple, TTLLabels
+from repro.labeling.ordering import ORDERINGS, make_order
+from repro.labeling.query import (
+    TTLQueryEngine,
+    journey_is_feasible,
+    reconstruct_journey,
+)
+from repro.labeling.ttl import BuildReport, build_labels, preprocess
+
+__all__ = [
+    "LabelTuple",
+    "TTLLabels",
+    "ORDERINGS",
+    "make_order",
+    "TTLQueryEngine",
+    "journey_is_feasible",
+    "reconstruct_journey",
+    "BuildReport",
+    "build_labels",
+    "preprocess",
+    "save_labels",
+    "load_labels",
+]

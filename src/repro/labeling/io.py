@@ -1,0 +1,76 @@
+"""Binary (de)serialization of TTL labels.
+
+The TTL authors distribute preprocessed label files; PTLDB loads them into
+the database. This module gives the reproduction the same decoupling: build
+labels once, save them, reload into any number of PTLDB databases.
+
+Format (little-endian): magic ``TTL1``, u32 num_stops, the vertex order
+(u32 each), then for each vertex two tuple lists (lout, lin), each a u32
+count followed by ``<q q q q q>`` records (hub, td, ta, pivot, trip) with
+-1 encoding NULL pivot/trip.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import LabelingError
+from repro.labeling.labels import LabelTuple, TTLLabels
+
+_MAGIC = b"TTL1"
+_U32 = struct.Struct("<I")
+_TUPLE = struct.Struct("<qqqqq")
+
+
+def save_labels(labels: TTLLabels, path: str) -> None:
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(_U32.pack(labels.num_stops))
+        for vertex in labels.order:
+            handle.write(_U32.pack(vertex))
+        for side in (labels.lout, labels.lin):
+            for tuples in side:
+                handle.write(_U32.pack(len(tuples)))
+                for t in tuples:
+                    handle.write(
+                        _TUPLE.pack(
+                            t.hub,
+                            t.td,
+                            t.ta,
+                            -1 if t.pivot is None else t.pivot,
+                            -1 if t.trip is None else t.trip,
+                        )
+                    )
+
+
+def load_labels(path: str) -> TTLLabels:
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise LabelingError(f"{path} is not a TTL label file")
+        (num_stops,) = _U32.unpack(handle.read(4))
+        order = [
+            _U32.unpack(handle.read(4))[0] for _ in range(num_stops)
+        ]
+        labels = TTLLabels(num_stops, order)
+        for side in (labels.lout, labels.lin):
+            for vertex in range(num_stops):
+                (count,) = _U32.unpack(handle.read(4))
+                tuples = []
+                for _ in range(count):
+                    hub, td, ta, pivot, trip = _TUPLE.unpack(
+                        handle.read(_TUPLE.size)
+                    )
+                    tuples.append(
+                        LabelTuple(
+                            hub=hub,
+                            td=td,
+                            ta=ta,
+                            pivot=None if pivot == -1 else pivot,
+                            trip=None if trip == -1 else trip,
+                        )
+                    )
+                side[vertex] = tuples
+        # Restore the dummy flag so a reloaded labeling refuses re-adding.
+        labels._has_dummies = labels.dummy_count() > 0
+        return labels

@@ -1,0 +1,321 @@
+"""A paged B+Tree index over fixed-width integer keys.
+
+PTLDB's tables are keyed by small integer tuples — ``(v)`` for *lout*/*lin*,
+``(hub, td)`` for the naive kNN table, ``(hub, dephour)`` for the optimized
+tables — so the index stores composite keys of ``key_len`` int64 components.
+Leaf entries map a key to a heap rid ``(page_id, slot)``; leaves are chained
+left-to-right for range scans. All node accesses go through the buffer pool,
+so index descent costs real (simulated) page reads exactly like PostgreSQL's
+primary-key lookups do in the paper.
+
+Node layout (within the generic 16-byte page header):
+    * leaf: packed cells ``key || rid``; ``next_page`` chains to the right
+      sibling.
+    * internal: packed cells ``key || child`` where *child* covers keys
+      ``>= key``; ``next_page`` holds the leftmost child (keys below the
+      first separator).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.minidb.buffer import BufferPool
+from repro.minidb.page import (
+    HEADER_SIZE,
+    KIND_BTREE_INTERNAL,
+    KIND_BTREE_LEAF,
+    PAGE_SIZE,
+    Page,
+)
+
+_RID = struct.Struct("<qi")
+_CHILD = struct.Struct("<q")
+_COUNT_OFFSET = 2  # reuse the generic header's u16 slot-count field
+
+
+def _set_count(page: Page, count: int) -> None:
+    struct.pack_into("<H", page.buf, _COUNT_OFFSET, count)
+
+
+def _get_count(page: Page) -> int:
+    return struct.unpack_from("<H", page.buf, _COUNT_OFFSET)[0]
+
+
+class BTree:
+    """A unique-key B+Tree. Keys are tuples of ``key_len`` ints."""
+
+    def __init__(self, pool: BufferPool, key_len: int, root_page: int | None = None):
+        if not 1 <= key_len <= 4:
+            raise StorageError("B+Tree supports 1..4 key components")
+        self.pool = pool
+        self.key_len = key_len
+        self._key = struct.Struct("<" + "q" * key_len)
+        self._leaf_cell = self._key.size + _RID.size
+        self._int_cell = self._key.size + _CHILD.size
+        body = PAGE_SIZE - HEADER_SIZE
+        self._leaf_cap = body // self._leaf_cell
+        self._int_cap = body // self._int_cell
+        if root_page is None:
+            root_page, page = pool.new_page(KIND_BTREE_LEAF)
+            _set_count(page, 0)
+            pool.mark_dirty(root_page)
+        self.root_page = root_page
+
+    # -- public API ----------------------------------------------------
+    def insert(self, key: tuple, rid: tuple[int, int]) -> None:
+        """Insert *key* -> *rid*; replaces the rid if the key exists."""
+        key = self._check_key(key)
+        split = self._insert(self.root_page, key, rid)
+        if split is not None:
+            sep_key, right_page = split
+            new_root_id, new_root = self.pool.new_page(KIND_BTREE_INTERNAL)
+            new_root.next_page = self.root_page
+            self._write_internal_cells(new_root, [(sep_key, right_page)])
+            self.pool.mark_dirty(new_root_id)
+            self.root_page = new_root_id
+
+    def search(self, key: tuple) -> tuple[int, int] | None:
+        """Exact lookup; returns the rid or ``None``.
+
+        Binary-searches directly in the packed page buffer — node pages are
+        never fully decoded on the hot path.
+        """
+        key = self._check_key(key)
+        key_struct = self._key
+        page_id = self.root_page
+        while True:
+            page = self.pool.get(page_id)
+            buf = page.buf
+            count = _get_count(page)
+            if page.kind == KIND_BTREE_LEAF:
+                cell = self._leaf_cell
+                lo, hi = 0, count
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if key_struct.unpack_from(buf, HEADER_SIZE + mid * cell) < key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < count:
+                    offset = HEADER_SIZE + lo * cell
+                    if key_struct.unpack_from(buf, offset) == key:
+                        return _RID.unpack_from(buf, offset + key_struct.size)
+                return None
+            # internal node: rightmost separator <= key
+            cell = self._int_cell
+            lo, hi = 0, count
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if key_struct.unpack_from(buf, HEADER_SIZE + mid * cell) <= key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo == 0:
+                page_id = page.next_page
+            else:
+                offset = HEADER_SIZE + (lo - 1) * cell + key_struct.size
+                (page_id,) = _CHILD.unpack_from(buf, offset)
+
+    def remove(self, key: tuple) -> bool:
+        """Delete *key* from its leaf (no rebalancing — underfull leaves are
+        tolerated, like PostgreSQL's lazily-cleaned B-Trees). Returns whether
+        the key was present."""
+        key = self._check_key(key)
+        page_id = self.root_page
+        while True:
+            page = self.pool.get(page_id)
+            if page.kind == KIND_BTREE_LEAF:
+                cells = self._read_leaf_cells(page)
+                lo, hi = 0, len(cells)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if cells[mid][0] < key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < len(cells) and cells[lo][0] == key:
+                    del cells[lo]
+                    self._write_leaf_cells(page, cells)
+                    self.pool.mark_dirty(page_id)
+                    return True
+                return False
+            page_id = self._descend(page, key)
+
+    def scan(self, low: tuple | None = None, high: tuple | None = None):
+        """Yield ``(key, rid)`` for keys in ``[low, high]``, in key order."""
+        if low is not None:
+            low = self._check_key(low)
+        if high is not None:
+            high = self._check_key(high)
+        page_id = self._leftmost_leaf(low)
+        while page_id != -1:
+            page = self.pool.get(page_id)
+            next_page = page.next_page
+            for key, rid in self._read_leaf_cells(page):
+                if low is not None and key < low:
+                    continue
+                if high is not None and key > high:
+                    return
+                yield key, rid
+            page_id = next_page
+
+    def height(self) -> int:
+        """Tree height (1 = a single leaf)."""
+        depth = 1
+        page_id = self.root_page
+        while self.pool.get(page_id).kind == KIND_BTREE_INTERNAL:
+            page = self.pool.get(page_id)
+            page_id = page.next_page  # leftmost child
+            depth += 1
+        return depth
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def __bool__(self) -> bool:
+        # An empty index is still an index; never let ``if table.index``
+        # silently treat it as absent.
+        return True
+
+    # -- node encoding ---------------------------------------------------
+    def _check_key(self, key: tuple) -> tuple:
+        if len(key) != self.key_len:
+            raise StorageError(
+                f"key arity {len(key)} does not match index arity {self.key_len}"
+            )
+        return tuple(int(part) for part in key)
+
+    def _read_leaf_cells(self, page: Page) -> list[tuple[tuple, tuple[int, int]]]:
+        count = _get_count(page)
+        cells = []
+        pos = HEADER_SIZE
+        for _ in range(count):
+            key = self._key.unpack_from(page.buf, pos)
+            rid = _RID.unpack_from(page.buf, pos + self._key.size)
+            cells.append((key, rid))
+            pos += self._leaf_cell
+        return cells
+
+    def _write_leaf_cells(self, page: Page, cells) -> None:
+        pos = HEADER_SIZE
+        for key, rid in cells:
+            self._key.pack_into(page.buf, pos, *key)
+            _RID.pack_into(page.buf, pos + self._key.size, *rid)
+            pos += self._leaf_cell
+        _set_count(page, len(cells))
+
+    def _read_internal_cells(self, page: Page) -> list[tuple[tuple, int]]:
+        count = _get_count(page)
+        cells = []
+        pos = HEADER_SIZE
+        for _ in range(count):
+            key = self._key.unpack_from(page.buf, pos)
+            (child,) = _CHILD.unpack_from(page.buf, pos + self._key.size)
+            cells.append((key, child))
+            pos += self._int_cell
+        return cells
+
+    def _write_internal_cells(self, page: Page, cells) -> None:
+        pos = HEADER_SIZE
+        for key, child in cells:
+            self._key.pack_into(page.buf, pos, *key)
+            _CHILD.pack_into(page.buf, pos + self._key.size, child)
+            pos += self._int_cell
+        _set_count(page, len(cells))
+
+    # -- traversal -------------------------------------------------------
+    def _descend(self, page: Page, key: tuple) -> int:
+        cells = self._read_internal_cells(page)
+        child = page.next_page  # leftmost
+        lo, hi = 0, len(cells)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cells[mid][0] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo > 0:
+            child = cells[lo - 1][1]
+        return child
+
+    def _leftmost_leaf(self, low: tuple | None) -> int:
+        page_id = self.root_page
+        while True:
+            page = self.pool.get(page_id)
+            if page.kind == KIND_BTREE_LEAF:
+                return page_id
+            if low is None:
+                page_id = page.next_page
+            else:
+                page_id = self._descend(page, low)
+
+    # -- insertion -------------------------------------------------------
+    def _insert(self, page_id: int, key: tuple, rid) -> tuple[tuple, int] | None:
+        """Insert into the subtree at *page_id*.
+
+        Returns ``(separator_key, new_right_page)`` if the node split,
+        else ``None``.
+        """
+        page = self.pool.get(page_id)
+        if page.kind == KIND_BTREE_LEAF:
+            cells = self._read_leaf_cells(page)
+            lo, hi = 0, len(cells)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cells[mid][0] < key:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo < len(cells) and cells[lo][0] == key:
+                cells[lo] = (key, rid)
+            else:
+                cells.insert(lo, (key, rid))
+            if len(cells) <= self._leaf_cap:
+                self._write_leaf_cells(page, cells)
+                self.pool.mark_dirty(page_id)
+                return None
+            # Split the leaf.
+            mid = len(cells) // 2
+            right_id, right = self.pool.new_page(KIND_BTREE_LEAF)
+            # Re-fetch: new_page may have evicted our frame.
+            page = self.pool.get(page_id)
+            right.next_page = page.next_page
+            page.next_page = right_id
+            self._write_leaf_cells(right, cells[mid:])
+            self._write_leaf_cells(page, cells[:mid])
+            self.pool.mark_dirty(page_id)
+            self.pool.mark_dirty(right_id)
+            return cells[mid][0], right_id
+
+        child_id = self._descend(page, key)
+        split = self._insert(child_id, key, rid)
+        if split is None:
+            return None
+        sep_key, right_child = split
+        page = self.pool.get(page_id)
+        cells = self._read_internal_cells(page)
+        lo, hi = 0, len(cells)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cells[mid][0] < sep_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        cells.insert(lo, (sep_key, right_child))
+        if len(cells) <= self._int_cap:
+            self._write_internal_cells(page, cells)
+            self.pool.mark_dirty(page_id)
+            return None
+        # Split the internal node; the middle separator moves up.
+        mid = len(cells) // 2
+        up_key, up_child = cells[mid]
+        right_id, right = self.pool.new_page(KIND_BTREE_INTERNAL)
+        page = self.pool.get(page_id)
+        right.next_page = up_child
+        self._write_internal_cells(right, cells[mid + 1 :])
+        self._write_internal_cells(page, cells[:mid])
+        self.pool.mark_dirty(page_id)
+        self.pool.mark_dirty(right_id)
+        return up_key, right_id

@@ -1,0 +1,107 @@
+"""LRU buffer pool over the disk manager.
+
+Mirrors PostgreSQL's shared buffers at the granularity the paper cares
+about: a query that touches a page already in the pool pays nothing; a miss
+goes to the :class:`~repro.minidb.disk.DiskManager`, which charges the device
+model. Benchmarks call :meth:`BufferPool.clear` to emulate the paper's
+"restart the PostgreSQL server and drop the OS cache before each experiment".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.minidb.disk import DiskManager
+from repro.minidb.page import Page
+
+
+@dataclass
+class PoolStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def snapshot(self) -> "PoolStats":
+        return PoolStats(self.hits, self.misses, self.evictions)
+
+    def delta(self, since: "PoolStats") -> "PoolStats":
+        return PoolStats(
+            self.hits - since.hits,
+            self.misses - since.misses,
+            self.evictions - since.evictions,
+        )
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache with write-back of dirty pages."""
+
+    def __init__(self, disk: DiskManager, capacity: int = 1024):
+        if capacity < 1:
+            raise StorageError("buffer pool needs capacity >= 1")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = PoolStats()
+        # page_id -> (Page, dirty flag); OrderedDict keeps LRU order.
+        self._frames: OrderedDict[int, list] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, page_id: int) -> Page:
+        """Return the page, reading it through on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_id)
+            return frame[0]
+        self.stats.misses += 1
+        page = Page(self.disk.read_page(page_id))
+        self._admit(page_id, page, dirty=False)
+        return page
+
+    def new_page(self, kind: int) -> tuple[int, Page]:
+        """Allocate a fresh page of *kind* and pin it into the pool dirty."""
+        page_id = self.disk.allocate()
+        page = Page()
+        page.format(kind)
+        self._admit(page_id, page, dirty=True)
+        return page_id, page
+
+    def mark_dirty(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"page {page_id} not resident; cannot mark dirty")
+        frame[1] = True
+
+    def flush(self) -> None:
+        """Write back every dirty page (keeps them cached)."""
+        for page_id, frame in self._frames.items():
+            if frame[1]:
+                self.disk.write_page(page_id, frame[0].buf)
+                frame[1] = False
+
+    def clear(self) -> None:
+        """Flush and drop the whole cache (the paper's cold-cache restart)."""
+        self.flush()
+        self._frames.clear()
+        # Forget the sequential-read run as a real restart would.
+        self.disk._last_read_page = -2
+
+    def resident(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    def _admit(self, page_id: int, page: Page, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id, (victim, victim_dirty) = self._frames.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.disk.write_page(victim_id, victim.buf)
+        self._frames[page_id] = [page, dirty]

@@ -1,0 +1,243 @@
+"""Table catalog: schemas, heap files and primary-key indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError, SQLTypeError
+from repro.minidb.btree import BTree
+from repro.minidb.buffer import BufferPool
+from repro.minidb.heap import HeapFile
+from repro.minidb.values import Column, check_value, decode_record, encode_record
+
+
+@dataclass
+class TableSchema:
+    """Logical description of a table."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in {self.name}: {names}")
+        for pk_col in self.primary_key:
+            if pk_col not in names:
+                raise CatalogError(
+                    f"primary key column {pk_col!r} not in table {self.name}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def types(self) -> tuple[int, ...]:
+        return tuple(c.type_tag for c in self.columns)
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise CatalogError(f"no column {name!r} in table {self.name}")
+
+    @property
+    def pk_indexes(self) -> tuple[int, ...]:
+        return tuple(self.column_index(c) for c in self.primary_key)
+
+
+class Table:
+    """A stored table: heap file plus (optional) primary-key B+Tree."""
+
+    def __init__(self, schema: TableSchema, pool: BufferPool):
+        self.schema = schema
+        self.pool = pool
+        self.heap = HeapFile(pool)
+        self.row_count = 0
+        self.index: BTree | None = None
+        if schema.primary_key:
+            self.index = BTree(pool, key_len=len(schema.primary_key))
+
+    @classmethod
+    def attach(
+        cls,
+        schema: TableSchema,
+        pool: BufferPool,
+        heap_first_page: int,
+        index_root_page: int | None,
+        row_count: int,
+    ) -> "Table":
+        """Reattach a table persisted in an existing database file."""
+        table = cls.__new__(cls)
+        table.schema = schema
+        table.pool = pool
+        table.heap = HeapFile(pool, first_page=heap_first_page)
+        table.row_count = row_count
+        table.index = None
+        if schema.primary_key:
+            if index_root_page is None:
+                raise CatalogError(
+                    f"{schema.name}: missing index root for keyed table"
+                )
+            table.index = BTree(
+                pool, key_len=len(schema.primary_key), root_page=index_root_page
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    def insert(self, values: tuple | list) -> tuple[int, int]:
+        """Validate, store and index one row; returns its rid."""
+        schema = self.schema
+        if len(values) != len(schema.columns):
+            raise CatalogError(
+                f"{schema.name}: expected {len(schema.columns)} values, "
+                f"got {len(values)}"
+            )
+        row = tuple(
+            check_value(col.type_tag, value)
+            for col, value in zip(schema.columns, values)
+        )
+        if self.index is not None:
+            key = self._pk_of(row)
+            if self.index.search(key) is not None:
+                raise CatalogError(
+                    f"{schema.name}: duplicate primary key {key}"
+                )
+        rid = self.heap.insert(encode_record(schema.types, row))
+        if self.index is not None:
+            self.index.insert(self._pk_of(row), rid)
+        self.row_count += 1
+        return rid
+
+    def lookup(self, key: tuple) -> tuple | None:
+        """Primary-key point lookup. Returns the decoded row or ``None``."""
+        if self.index is None:
+            raise CatalogError(f"{self.schema.name} has no primary key index")
+        rid = self.index.search(tuple(key))
+        if rid is None:
+            return None
+        return decode_record(self.schema.types, self.heap.read(rid))
+
+    def scan(self):
+        """Yield every row (decoded tuples) in heap order."""
+        for _, raw in self.heap.scan():
+            yield decode_record(self.schema.types, raw)
+
+    def delete_row(self, rid: tuple[int, int], row: tuple) -> None:
+        """Remove one row: heap tombstone plus index-entry removal."""
+        self.heap.delete(rid)
+        if self.index is not None:
+            self.index.remove(self._pk_of(row))
+        self.row_count -= 1
+
+    def update_row(self, rid: tuple[int, int], old: tuple, new: tuple) -> None:
+        """Replace one row (delete + reinsert; rids are not stable across
+        updates, as in any tombstoning heap)."""
+        self.delete_row(rid, old)
+        self.insert(new)
+
+    def vacuum(self) -> int:
+        """Rewrite the heap without tombstones and rebuild the index.
+
+        Returns the number of live rows. Old pages are abandoned (no
+        free-space map); the table's footprint is what the fresh heap uses.
+        """
+        live = [decode_record(self.schema.types, raw) for _, raw in self.heap.scan()]
+        self.heap = HeapFile(self.pool)
+        if self.index is not None:
+            self.index = BTree(self.pool, key_len=len(self.schema.primary_key))
+        self.row_count = 0
+        for row in live:
+            rid = self.heap.insert(encode_record(self.schema.types, row))
+            if self.index is not None:
+                self.index.insert(self._pk_of(row), rid)
+            self.row_count += 1
+        return self.row_count
+
+    def describe(self) -> dict:
+        """Catalog metadata for persistence."""
+        return {
+            "name": self.schema.name,
+            "columns": [[c.name, c.type_tag] for c in self.schema.columns],
+            "primary_key": list(self.schema.primary_key),
+            "heap_first_page": self.heap.first_page,
+            "index_root_page": (
+                self.index.root_page if self.index is not None else None
+            ),
+            "row_count": self.row_count,
+        }
+
+    def _pk_of(self, row: tuple) -> tuple:
+        key = tuple(row[i] for i in self.schema.pk_indexes)
+        for part in key:
+            if not isinstance(part, int):
+                raise SQLTypeError(
+                    f"{self.schema.name}: primary key parts must be integers, "
+                    f"got {part!r}"
+                )
+        return key
+
+
+class Catalog:
+    """Name -> Table registry for one database."""
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
+        key = schema.name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema, self.pool)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no table {name!r}")
+        # Pages are not reclaimed (no vacuum); the table simply vanishes
+        # from the catalog, like a dropped-but-unvacuumed relation.
+        del self._tables[key]
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(t.schema.name for t in self._tables.values())
+
+    # -- persistence -----------------------------------------------------
+    def describe(self) -> list[dict]:
+        return [
+            self._tables[key].describe() for key in sorted(self._tables)
+        ]
+
+    def restore(self, descriptions: list[dict]) -> None:
+        """Reattach tables from :meth:`describe` output."""
+        for info in descriptions:
+            schema = TableSchema(
+                info["name"],
+                [Column(name, tag) for name, tag in info["columns"]],
+                tuple(info["primary_key"]),
+            )
+            table = Table.attach(
+                schema,
+                self.pool,
+                heap_first_page=info["heap_first_page"],
+                index_root_page=info["index_root_page"],
+                row_count=info["row_count"],
+            )
+            self._tables[schema.name.lower()] = table

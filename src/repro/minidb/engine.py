@@ -1,0 +1,188 @@
+"""The minidb Database facade.
+
+A :class:`Database` owns a disk manager (with a device latency model), a
+buffer pool, a catalog and a prepared-statement cache, and executes SQL via
+:meth:`execute`. This is the component that stands in for PostgreSQL in the
+PTLDB reproduction — see DESIGN.md for the substitution argument.
+
+Example::
+
+    db = Database(device="ssd")
+    db.execute("CREATE TABLE t (v BIGINT, hubs BIGINT[], PRIMARY KEY (v))")
+    db.execute("INSERT INTO t VALUES ($1, $2)", (1, [10, 20]))
+    db.execute("SELECT UNNEST(hubs) AS hub FROM t WHERE v=$1", (1,)).rows
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+from repro.errors import DatabaseError, StorageError
+from repro.minidb.buffer import BufferPool
+from repro.minidb.catalog import Catalog
+from repro.minidb.disk import DeviceModel, DiskManager, hdd_model, ram_model, ssd_model
+from repro.minidb.page import HEADER_SIZE, KIND_META, PAGE_SIZE
+from repro.minidb.sql.executor import Executor, Result
+from repro.minidb.sql.parser import parse
+
+_DEVICES = {"hdd": hdd_model, "ssd": ssd_model, "ram": ram_model}
+_META_LEN = struct.Struct("<I")
+_META_CAP = PAGE_SIZE - HEADER_SIZE - _META_LEN.size
+
+
+@dataclass
+class QueryCost:
+    """I/O accounting for a single statement."""
+
+    page_reads: int
+    pool_hits: int
+    simulated_io_ms: float
+
+
+class Database:
+    """An embedded relational database with simulated storage latency."""
+
+    def __init__(
+        self,
+        device: str | DeviceModel = "ram",
+        pool_pages: int = 4096,
+        path: str | None = None,
+    ):
+        if isinstance(device, str):
+            try:
+                device = _DEVICES[device]()
+            except KeyError:
+                raise DatabaseError(
+                    f"unknown device {device!r}; pick one of {sorted(_DEVICES)}"
+                ) from None
+        self.disk = DiskManager(path=path, device=device)
+        self.pool = BufferPool(self.disk, capacity=pool_pages)
+        self.catalog = Catalog(self.pool)
+        self._plan_cache: dict[str, object] = {}
+        self.last_cost: QueryCost | None = None
+        self._path = path
+        if self.disk.num_pages == 0:
+            # Fresh database: page 0 is the catalog checkpoint (META) page.
+            meta_id, _ = self.pool.new_page(KIND_META)
+            if meta_id != 0:
+                raise StorageError("meta page must be page 0")
+            self._write_meta(json.dumps([]).encode("utf-8"))
+        else:
+            # Existing file: restore the catalog from the checkpoint.
+            payload = self._read_meta()
+            self.catalog.restore(json.loads(payload.decode("utf-8")))
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: tuple | list = ()) -> Result:
+        """Parse (with caching) and run one SQL statement."""
+        stmt = self._plan_cache.get(sql)
+        if stmt is None:
+            stmt = parse(sql)
+            self._plan_cache[sql] = stmt
+        disk_before = self.disk.stats.snapshot()
+        pool_before = self.pool.stats.snapshot()
+        result = Executor(self.catalog, tuple(params)).execute(stmt)
+        disk_delta = self.disk.stats.delta(disk_before)
+        pool_delta = self.pool.stats.delta(pool_before)
+        self.last_cost = QueryCost(
+            page_reads=disk_delta.reads,
+            pool_hits=pool_delta.hits,
+            simulated_io_ms=disk_delta.simulated_read_ms,
+        )
+        return result
+
+    def executemany(self, sql: str, param_rows) -> int:
+        """Run one DML statement for each parameter tuple."""
+        count = 0
+        for params in param_rows:
+            self.execute(sql, params)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Drop all cached pages — the paper's cold-cache server restart."""
+        self.pool.clear()
+
+    def table_stats(self) -> dict[str, dict]:
+        """Per-table row counts and page footprints (heap + index)."""
+        out = {}
+        for name in self.catalog.table_names():
+            table = self.catalog.get(name)
+            heap_pages = len(table.heap.page_ids())
+            out[name] = {
+                "rows": table.row_count,
+                "heap_pages": heap_pages,
+                "index_height": (
+                    table.index.height() if table.index is not None else 0
+                ),
+            }
+        return out
+
+    def total_pages(self) -> int:
+        """Total pages allocated in the database file."""
+        return self.disk.num_pages
+
+    def size_bytes(self) -> int:
+        from repro.minidb.page import PAGE_SIZE
+
+        return self.disk.num_pages * PAGE_SIZE
+
+    # -- persistence -----------------------------------------------------
+    def checkpoint(self) -> None:
+        """Write the catalog snapshot to the META chain and flush all pages.
+
+        After a checkpoint, reopening the same database file restores every
+        table (schemas, heaps, indexes, row counts)."""
+        payload = json.dumps(self.catalog.describe()).encode("utf-8")
+        self._write_meta(payload)
+        self.pool.flush()
+
+    def _write_meta(self, payload: bytes) -> None:
+        page_id = 0
+        offset = 0
+        while True:
+            page = self.pool.get(page_id)
+            if page.kind != KIND_META:
+                raise StorageError(f"page {page_id} is not a META page")
+            chunk = payload[offset : offset + _META_CAP]
+            _META_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
+            page.buf[HEADER_SIZE + 4 : HEADER_SIZE + 4 + len(chunk)] = chunk
+            offset += len(chunk)
+            self.pool.mark_dirty(page_id)
+            if offset >= len(payload):
+                page.next_page = -1
+                self.pool.mark_dirty(page_id)
+                break
+            if page.next_page == -1:
+                next_id, _ = self.pool.new_page(KIND_META)
+                page = self.pool.get(page_id)
+                page.next_page = next_id
+                self.pool.mark_dirty(page_id)
+            page_id = self.pool.get(page_id).next_page
+
+    def _read_meta(self) -> bytes:
+        parts = []
+        page_id = 0
+        while page_id != -1:
+            page = self.pool.get(page_id)
+            if page.kind != KIND_META:
+                raise StorageError(f"page {page_id} is not a META page")
+            (length,) = _META_LEN.unpack_from(page.buf, HEADER_SIZE)
+            parts.append(bytes(page.buf[HEADER_SIZE + 4 : HEADER_SIZE + 4 + length]))
+            page_id = page.next_page
+        return b"".join(parts)
+
+    def close(self) -> None:
+        if self._path is not None:
+            self.checkpoint()
+        self.pool.flush()
+        self.disk.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

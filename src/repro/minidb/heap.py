@@ -1,0 +1,167 @@
+"""Heap files: unordered record storage with overflow (TOAST-like) chains.
+
+A heap file is a linked chain of HEAP pages. Records small enough to live in
+a page are stored inline; larger records (hub-label rows carry three arrays
+with hundreds or thousands of elements, routinely exceeding one 8 KiB page)
+are moved to a chain of OVERFLOW pages and the heap cell keeps only a stub
+pointing at the chain — the same idea as PostgreSQL's TOAST.
+
+Record ids (``rid``) are ``(page_id, slot)`` pairs and remain stable for the
+life of the record.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.minidb.buffer import BufferPool
+from repro.minidb.page import (
+    HEADER_SIZE,
+    KIND_HEAP,
+    KIND_OVERFLOW,
+    MAX_CELL,
+    PAGE_SIZE,
+)
+
+_INLINE = 0
+_OVERFLOW = 1
+_STUB = struct.Struct("<BIq")  # flag, total length, first overflow page
+_CHUNK_LEN = struct.Struct("<H")
+
+# Payload capacity of one overflow page.
+_OVERFLOW_CAP = PAGE_SIZE - HEADER_SIZE - _CHUNK_LEN.size
+# Keep inline records comfortably below a full page so several fit.
+_INLINE_LIMIT = MAX_CELL - 1
+
+
+class HeapFile:
+    """An append-oriented heap of byte records over a buffer pool."""
+
+    def __init__(self, pool: BufferPool, first_page: int | None = None):
+        self.pool = pool
+        if first_page is None:
+            first_page, _ = pool.new_page(KIND_HEAP)
+            pool.mark_dirty(first_page)
+        self.first_page = first_page
+        self._last_page = self._find_last_page()
+
+    def _find_last_page(self) -> int:
+        page_id = self.first_page
+        while True:
+            page = self.pool.get(page_id)
+            if page.next_page == -1:
+                return page_id
+            page_id = page.next_page
+
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> tuple[int, int]:
+        """Store *record*, returning its rid."""
+        if len(record) + 1 <= _INLINE_LIMIT:
+            cell = bytes([_INLINE]) + record
+        else:
+            first_chunk_page = self._write_overflow(record)
+            cell = _STUB.pack(_OVERFLOW, len(record), first_chunk_page)
+        return self._insert_cell(cell)
+
+    def read(self, rid: tuple[int, int]) -> bytes:
+        """Fetch the record stored at *rid*."""
+        page_id, slot = rid
+        page = self.pool.get(page_id)
+        if page.kind != KIND_HEAP:
+            raise StorageError(f"rid {rid} does not point at a heap page")
+        cell = page.read(slot)
+        if cell[0] == _INLINE:
+            return cell[1:]
+        _, total, chain = _STUB.unpack(cell)
+        return self._read_overflow(chain, total)
+
+    def delete(self, rid: tuple[int, int]) -> None:
+        """Tombstone the record (overflow pages are left to vacuum)."""
+        page_id, slot = rid
+        page = self.pool.get(page_id)
+        page.delete(slot)
+        self.pool.mark_dirty(page_id)
+
+    def scan(self):
+        """Yield ``(rid, record_bytes)`` over every live record, in rid order.
+
+        The scan walks pages in chain order, which is also allocation order,
+        so the device model sees mostly-sequential reads — as a real heap
+        scan would.
+        """
+        page_id = self.first_page
+        while page_id != -1:
+            page = self.pool.get(page_id)
+            next_page = page.next_page
+            for slot in range(page.slot_count):
+                if page.is_deleted(slot):
+                    continue
+                cell = page.read(slot)
+                if cell[0] == _INLINE:
+                    yield (page_id, slot), cell[1:]
+                else:
+                    _, total, chain = _STUB.unpack(cell)
+                    yield (page_id, slot), self._read_overflow(chain, total)
+                # Re-fetch in case the overflow read evicted our page.
+                page = self.pool.get(page_id)
+            page_id = next_page
+
+    def page_ids(self) -> list[int]:
+        """All heap page ids of this file (excluding overflow pages)."""
+        out = []
+        page_id = self.first_page
+        while page_id != -1:
+            out.append(page_id)
+            page_id = self.pool.get(page_id).next_page
+        return out
+
+    # ------------------------------------------------------------------
+    def _insert_cell(self, cell: bytes) -> tuple[int, int]:
+        page = self.pool.get(self._last_page)
+        if page.free_space < len(cell):
+            new_id, new_page = self.pool.new_page(KIND_HEAP)
+            page.next_page = new_id
+            self.pool.mark_dirty(self._last_page)
+            self._last_page = new_id
+            page = new_page
+        slot = page.insert(cell)
+        self.pool.mark_dirty(self._last_page)
+        return (self._last_page, slot)
+
+    def _write_overflow(self, record: bytes) -> int:
+        first = -1
+        prev_id = -1
+        for start in range(0, len(record), _OVERFLOW_CAP):
+            chunk = record[start : start + _OVERFLOW_CAP]
+            page_id, page = self.pool.new_page(KIND_OVERFLOW)
+            _CHUNK_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
+            page.buf[HEADER_SIZE + 2 : HEADER_SIZE + 2 + len(chunk)] = chunk
+            self.pool.mark_dirty(page_id)
+            if first == -1:
+                first = page_id
+            else:
+                prev = self.pool.get(prev_id)
+                prev.next_page = page_id
+                self.pool.mark_dirty(prev_id)
+            prev_id = page_id
+        return first
+
+    def _read_overflow(self, first_page: int, total: int) -> bytes:
+        parts = []
+        remaining = total
+        page_id = first_page
+        while remaining > 0:
+            if page_id == -1:
+                raise StorageError("overflow chain truncated")
+            page = self.pool.get(page_id)
+            if page.kind != KIND_OVERFLOW:
+                raise StorageError(f"page {page_id} is not an overflow page")
+            (length,) = _CHUNK_LEN.unpack_from(page.buf, HEADER_SIZE)
+            parts.append(bytes(page.buf[HEADER_SIZE + 2 : HEADER_SIZE + 2 + length]))
+            remaining -= length
+            page_id = page.next_page
+        data = b"".join(parts)
+        if len(data) != total:
+            raise StorageError("overflow chain length mismatch")
+        return data

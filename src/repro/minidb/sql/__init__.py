@@ -1,0 +1,5 @@
+"""SQL front-end for minidb: lexer, parser, executor."""
+
+from repro.minidb.sql.parser import parse
+
+__all__ = ["parse"]

@@ -1,0 +1,221 @@
+"""AST node definitions for the minidb SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+class Expr:
+    """Marker base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    index: int  # 1-based, as in $1
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    table: str | None
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``alias.*`` in a select list."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # '+', '-', '*', '/', '%', '=', '<>', '<', '<=', '>', '>=',
+    #          'AND', 'OR', '||'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # '-', 'NOT'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # lower-case
+    args: tuple[Expr, ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+    agg_order_by: tuple["OrderItem", ...] = ()  # ARRAY_AGG(x ORDER BY ...)
+
+
+@dataclass(frozen=True)
+class WindowFunc(Expr):
+    name: str  # only 'row_number' supported
+    partition_by: tuple[Expr, ...]
+    order_by: tuple["OrderItem", ...]
+
+
+@dataclass(frozen=True)
+class ArraySlice(Expr):
+    base: Expr
+    low: Expr | None
+    high: Expr | None
+
+
+@dataclass(frozen=True)
+class ArrayIndex(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class ArrayLiteral(Expr):
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    whens: tuple[tuple[Expr, Expr], ...]  # (condition, result)
+    default: Expr | None
+
+
+# ---------------------------------------------------------------------------
+# Query structure
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SubqueryRef:
+    query: "Query"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    """Explicit JOIN ... ON; comma joins are plain FROM-list entries."""
+
+    left: object  # TableRef | SubqueryRef | Join
+    right: object
+    condition: Expr | None  # None for CROSS JOIN
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    items: tuple[SelectItem, ...]
+    from_items: tuple[object, ...] = ()  # TableRef | SubqueryRef | Join
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    """One or more SELECT cores combined with UNION [ALL]."""
+
+    cores: tuple[SelectCore, ...]
+    set_ops: tuple[str, ...] = ()  # between cores: 'UNION' | 'UNION ALL'
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Expr | None = None
+    offset: Expr | None = None
+    ctes: tuple[tuple[str, "Query"], ...] = ()
+
+    @property
+    def is_simple(self) -> bool:
+        return len(self.cores) == 1
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]  # empty = all, in schema order
+    rows: tuple[tuple[Expr, ...], ...] = ()  # VALUES form
+    select: Query | None = None  # INSERT ... SELECT form
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]  # (column, new value)
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Vacuum:
+    table: str
+
+
+@dataclass(frozen=True)
+class Explain:
+    """EXPLAIN <statement>: run it, return the executor's plan trace."""
+
+    statement: object

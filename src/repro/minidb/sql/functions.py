@@ -1,0 +1,198 @@
+"""Scalar and aggregate function registries for the SQL executor.
+
+SQL NULL is Python ``None``; every scalar function is strict (returns NULL
+on NULL input) except ``COALESCE``; aggregates skip NULLs, as in PostgreSQL.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SQLNameError, SQLTypeError
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+def _floor(x):
+    if x is None:
+        return None
+    if isinstance(x, int):
+        return x
+    return math.floor(x)
+
+
+def _ceil(x):
+    if x is None:
+        return None
+    if isinstance(x, int):
+        return x
+    return math.ceil(x)
+
+
+def _abs(x):
+    return None if x is None else abs(x)
+
+
+def _coalesce(*args):
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _least(*args):
+    present = [a for a in args if a is not None]
+    return min(present) if present else None
+
+
+def _greatest(*args):
+    present = [a for a in args if a is not None]
+    return max(present) if present else None
+
+
+def _cardinality(arr):
+    if arr is None:
+        return None
+    if not isinstance(arr, (list, tuple)):
+        raise SQLTypeError(f"CARDINALITY expects an array, got {arr!r}")
+    return len(arr)
+
+
+def _array_length(arr, dim=1):
+    if arr is None:
+        return None
+    if dim != 1:
+        raise SQLTypeError("minidb arrays are one-dimensional")
+    if not isinstance(arr, (list, tuple)):
+        raise SQLTypeError(f"ARRAY_LENGTH expects an array, got {arr!r}")
+    return len(arr) or None  # PostgreSQL returns NULL for empty arrays
+
+
+def _mod(a, b):
+    if a is None or b is None:
+        return None
+    return a - b * (a // b if (a < 0) == (b < 0) else -((-a) // b) if b > 0 else -(a // -b))
+
+
+def _mod_simple(a, b):
+    if a is None or b is None:
+        return None
+    return math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) else int(math.fmod(a, b))
+
+
+def _power(a, b):
+    if a is None or b is None:
+        return None
+    return a ** b
+
+
+def _sqrt(x):
+    return None if x is None else math.sqrt(x)
+
+
+def _round(x, digits=0):
+    if x is None:
+        return None
+    return round(x, digits) if digits else float(round(x))
+
+
+def _lower(s):
+    return None if s is None else s.lower()
+
+
+def _upper(s):
+    return None if s is None else s.upper()
+
+
+def _length(s):
+    return None if s is None else len(s)
+
+
+SCALAR_FUNCTIONS = {
+    "floor": _floor,
+    "ceil": _ceil,
+    "ceiling": _ceil,
+    "abs": _abs,
+    "coalesce": _coalesce,
+    "least": _least,
+    "greatest": _greatest,
+    "cardinality": _cardinality,
+    "array_length": _array_length,
+    "mod": _mod_simple,
+    "power": _power,
+    "sqrt": _sqrt,
+    "round": _round,
+    "lower": _lower,
+    "upper": _upper,
+    "length": _length,
+}
+
+
+def get_scalar(name: str):
+    try:
+        return SCALAR_FUNCTIONS[name]
+    except KeyError:
+        raise SQLNameError(f"unknown function {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+def agg_min(values):
+    present = [v for v in values if v is not None]
+    return min(present) if present else None
+
+
+def agg_max(values):
+    present = [v for v in values if v is not None]
+    return max(present) if present else None
+
+
+def agg_sum(values):
+    present = [v for v in values if v is not None]
+    return sum(present) if present else None
+
+
+def agg_avg(values):
+    present = [v for v in values if v is not None]
+    return sum(present) / len(present) if present else None
+
+
+def agg_count(values):
+    return sum(1 for v in values if v is not None)
+
+
+def agg_array(values):
+    present = [v for v in values if v is not None]
+    return present if present else None  # array_agg of nothing is NULL
+
+
+def agg_bool_and(values):
+    present = [v for v in values if v is not None]
+    return all(present) if present else None
+
+
+def agg_bool_or(values):
+    present = [v for v in values if v is not None]
+    return any(present) if present else None
+
+
+AGGREGATE_FUNCTIONS = {
+    "min": agg_min,
+    "max": agg_max,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "count": agg_count,
+    "array_agg": agg_array,
+    "bool_and": agg_bool_and,
+    "bool_or": agg_bool_or,
+}
+
+
+def is_aggregate(name: str) -> bool:
+    return name in AGGREGATE_FUNCTIONS
+
+
+# Set-returning functions (expanded by the executor, not evaluated here).
+SET_RETURNING = {"unnest"}

@@ -1,0 +1,148 @@
+"""SQL tokenizer.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Keywords are case-insensitive; identifiers are lower-cased (PostgreSQL's
+fold-to-lowercase behaviour). Supports ``--`` and ``/* ... */`` comments and
+``$n`` positional parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "OFFSET",
+    "AS", "AND", "OR", "NOT", "NULL", "IS", "IN", "BETWEEN", "LIKE",
+    "UNION", "ALL", "DISTINCT", "WITH", "HAVING", "ASC", "DESC",
+    "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "PRIMARY",
+    "KEY", "IF", "EXISTS", "DELETE", "TRUE", "FALSE", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "OVER", "PARTITION", "ARRAY", "JOIN", "ON",
+    "UPDATE", "SET", "VACUUM", "EXPLAIN",
+    "INNER", "LEFT", "CROSS", "OUTER", "NULLS", "FIRST", "LAST",
+}
+
+# token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+PARAM = "PARAM"
+OP = "OP"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = {"<=", ">=", "<>", "!=", "||"}
+_ONE_CHAR_OPS = set("+-*/%()[]{},;.:<>=")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SQLSyntaxError(f"unterminated comment at offset {i}")
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(f"unterminated string at offset {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(sql[j])
+                j += 1
+            tokens.append(Token(STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < n and sql[j].isdigit():
+                j += 1
+            if j == i + 1:
+                raise SQLSyntaxError(f"bad parameter at offset {i}")
+            tokens.append(Token(PARAM, int(sql[i + 1 : j]), i))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            text = sql[i:j]
+            if seen_dot or seen_exp:
+                tokens.append(Token(NUMBER, float(text), i))
+            else:
+                tokens.append(Token(NUMBER, int(text), i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, i))
+            else:
+                tokens.append(Token(IDENT, word.lower(), i))
+            i = j
+            continue
+        if ch == '"':  # quoted identifier (case preserved)
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise SQLSyntaxError(f"unterminated quoted identifier at offset {i}")
+            tokens.append(Token(IDENT, sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token(OP, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token(OP, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(EOF, None, n))
+    return tokens

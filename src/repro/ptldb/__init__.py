@@ -1,0 +1,22 @@
+"""PTLDB — the paper's primary contribution, on the minidb engine."""
+
+from repro.ptldb.aux import AuxTables
+from repro.ptldb.calendar import (
+    MultiPeriodPTLDB,
+    ServicePeriod,
+    weekday_weekend_periods,
+)
+from repro.ptldb.framework import PTLDB, TargetSetHandle
+from repro.ptldb.schema import LIN_DDL, LOUT_DDL, load_labels
+
+__all__ = [
+    "PTLDB",
+    "TargetSetHandle",
+    "AuxTables",
+    "LOUT_DDL",
+    "LIN_DDL",
+    "load_labels",
+    "MultiPeriodPTLDB",
+    "ServicePeriod",
+    "weekday_weekend_periods",
+]

@@ -1,0 +1,75 @@
+"""PTLDB base schema: the *lout* and *lin* label tables.
+
+Exactly the paper's layout (§3.1, Tables 2-3): one row per vertex, the
+label tuples flattened into three parallel arrays ``hubs``, ``tds``, ``tas``
+ordered by ``(hub, td)``, primary key ``v``. Dummy tuples must already be
+present in the labels (PTLDB's unified v2v join depends on them).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError
+from repro.labeling.labels import TTLLabels
+from repro.minidb.engine import Database
+
+LOUT_DDL = """CREATE TABLE lout (
+  v BIGINT, hubs {array}, tds {array}, tas {array}, PRIMARY KEY (v))"""
+
+LIN_DDL = """CREATE TABLE lin (
+  v BIGINT, hubs {array}, tds {array}, tas {array}, PRIMARY KEY (v))"""
+
+INSERT_LABEL_ROW = "INSERT INTO {table} VALUES ($1, $2, $3, $4)"
+
+
+def load_labels(db: Database, labels: TTLLabels, compressed: bool = False) -> None:
+    """Create and fill *lout* / *lin* from a TTL labeling.
+
+    With ``compressed=True`` the label arrays are stored delta+varint
+    packed (``BIGINT_PACKED[]``) — the hub-label-compression idea of the
+    COLD lineage; queries are unchanged, the footprint shrinks several-fold
+    because the arrays are sorted.
+    """
+    if labels.total_tuples > 0 and labels.dummy_count() == 0:
+        raise DatabaseError(
+            "labels have no dummy tuples; call add_dummy_tuples() first "
+            "(the PTLDB v2v query is incorrect without them)"
+        )
+    array_type = "BIGINT_PACKED[]" if compressed else "BIGINT[]"
+    db.execute("DROP TABLE IF EXISTS lout")
+    db.execute("DROP TABLE IF EXISTS lin")
+    db.execute(LOUT_DDL.format(array=array_type))
+    db.execute(LIN_DDL.format(array=array_type))
+    for table, side in (("lout", labels.lout), ("lin", labels.lin)):
+        sql = INSERT_LABEL_ROW.format(table=table)
+        for v in range(labels.num_stops):
+            tuples = side[v]  # already sorted by (hub, td)
+            db.execute(
+                sql,
+                (
+                    v,
+                    [t.hub for t in tuples],
+                    [t.td for t in tuples],
+                    [t.ta for t in tuples],
+                ),
+            )
+    db.pool.flush()
+
+
+def label_time_range(labels: TTLLabels) -> tuple[int, int]:
+    """(min, max) timestamp across every stored label tuple.
+
+    An empty labeling (a timetable with no connections) degenerates to
+    ``(0, 0)`` — every query then correctly returns no journeys.
+    """
+    low = None
+    high = None
+    for side in (labels.lout, labels.lin):
+        for tuples in side:
+            for t in tuples:
+                if low is None or t.td < low:
+                    low = t.td
+                if high is None or t.ta > high:
+                    high = t.ta
+    if low is None:
+        return 0, 0
+    return low, high

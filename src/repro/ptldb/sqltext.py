@@ -1,0 +1,291 @@
+"""The PTLDB SQL statements (paper Codes 1-4), parameterized.
+
+The query texts follow the paper verbatim where possible. Differences:
+
+* placeholders: ``$1, $2, ...`` instead of spliced constants;
+* the hour of a departure/arrival is clamped into the table's hour domain
+  with ``GREATEST(LEAST(...))`` so queries near the edges of the service day
+  stay correct (the paper implicitly assumes all hours have rows);
+* the grouping interval is a parameter (the paper's §3.2.1 ablation).
+
+Every function returns SQL text for a given set of table names, so multiple
+target sets / densities / kmax values can coexist (the paper builds one
+table per configuration too).
+"""
+
+from __future__ import annotations
+
+
+# ---------------------------------------------------------------------------
+# Code 1 — vertex-to-vertex queries
+# ---------------------------------------------------------------------------
+# Parameters: $1 = s, $2 = g, $3 = t (EA) / t' (LD) / both (SD: $3=t, $4=t').
+
+V2V_EA = """
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta
+   FROM lout WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta
+   FROM lin WHERE v=$2)
+SELECT MIN(inp.ta)
+FROM outp,
+     inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND outp.td>=$3
+"""
+
+V2V_LD = """
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta
+   FROM lout WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta
+   FROM lin WHERE v=$2)
+SELECT MAX(outp.td)
+FROM outp,
+     inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND inp.ta<=$3
+"""
+
+V2V_SD = """
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta
+   FROM lout WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta
+   FROM lin WHERE v=$2)
+SELECT MIN(inp.ta-outp.td)
+FROM outp,
+     inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND outp.td>=$3
+  AND inp.ta<=$4
+"""
+
+
+# ---------------------------------------------------------------------------
+# Code 2 — naive EA-kNN / LD-kNN
+# ---------------------------------------------------------------------------
+def ea_knn_naive(table: str) -> str:
+    """Parameters: $1 = q, $2 = t, $3 = k."""
+    return f"""
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v AS v,
+             UNNEST(hubs) AS hub,
+             UNNEST(tds) AS td,
+             UNNEST(tas) AS ta
+      FROM lout
+      WHERE v=$1) n1a
+   WHERE td >= $2)
+SELECT v2, MIN(n2.ta)
+FROM n1,
+  (SELECT hub, td,
+          UNNEST(vs[1:$3]) AS v2,
+          UNNEST(tas[1:$3]) AS ta
+   FROM {table}) n2
+WHERE n1.hub=n2.hub
+  AND n2.td>=n1.ta
+GROUP BY v2
+ORDER BY MIN(n2.ta), v2
+LIMIT $3
+"""
+
+
+def ld_knn_naive(table: str) -> str:
+    """LD mirror of Code 2. Parameters: $1 = q, $2 = t', $3 = k.
+
+    The naive LD table groups target tuples per (hub, ta) and keeps the
+    top-k latest-departure entries; the query maximizes the label departure
+    from q subject to the transfer condition and ta <= t'.
+    """
+    return f"""
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v AS v,
+             UNNEST(hubs) AS hub,
+             UNNEST(tds) AS td,
+             UNNEST(tas) AS ta
+      FROM lout
+      WHERE v=$1) n1a)
+SELECT v2, MAX(n1.td)
+FROM n1,
+  (SELECT hub, ta,
+          UNNEST(vs[1:$3]) AS v2,
+          UNNEST(tds[1:$3]) AS td
+   FROM {table}
+   WHERE ta <= $2) n2
+WHERE n1.hub=n2.hub
+  AND n2.td>=n1.ta
+GROUP BY v2
+ORDER BY MAX(n1.td) DESC, v2
+LIMIT $3
+"""
+
+
+# ---------------------------------------------------------------------------
+# Code 3 — optimized EA-kNN and EA-OTM
+# ---------------------------------------------------------------------------
+def _ea_body(table: str, knn: bool) -> str:
+    """Shared skeleton of the EA-kNN and EA-OTM queries.
+
+    Parameters: $1 = q, $2 = t, $3 = k (kNN only), then interval, min hour,
+    max hour (positions shift by one between the kNN and OTM variants).
+    """
+    if knn:
+        interval, low, high = "$4", "$5", "$6"
+        unnest_ta = "UNNEST(tas[1:$3]) AS ta"
+        unnest_v = "UNNEST(vs[1:$3]) AS v2"
+        limit_a = "LIMIT $3"
+    else:
+        interval, low, high = "$3", "$4", "$5"
+        unnest_ta = "UNNEST(tas) AS ta"
+        unnest_v = "UNNEST(vs) AS v2"
+        limit_a = ""
+    return f"""
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v,
+             UNNEST(hubs) AS hub,
+             UNNEST(tds) AS td,
+             UNNEST(tas) AS ta
+      FROM lout
+      WHERE v=$1) n1a
+   WHERE td >= $2),
+n1b AS
+  (SELECT n1bb.*,
+          n1.ta AS n1_ta,
+          n1.td AS n1_td
+   FROM {table} n1bb, n1
+   WHERE n1bb.hub=n1.hub
+     AND n1bb.dephour=GREATEST({low}, LEAST({high}, FLOOR(n1.ta/{interval}))))
+SELECT v2, MIN(ta)
+FROM (
+      (SELECT v2, MIN(n3.ta) AS ta
+       FROM
+          (SELECT
+             {unnest_ta},
+             {unnest_v}
+           FROM n1b) n3
+       GROUP BY v2
+       ORDER BY MIN(n3.ta), v2
+       {limit_a}
+       )
+    UNION
+      (SELECT n2.v2, MIN(n2.ta) AS ta
+       FROM
+          (SELECT n1_ta,
+                  UNNEST(tds_exp) AS td,
+                  UNNEST(vs_exp) AS v2,
+                  UNNEST(tas_exp) AS ta
+           FROM n1b) n2
+       WHERE n1_ta <= n2.td
+       GROUP BY n2.v2
+       ORDER BY MIN(n2.ta), v2
+       {limit_a}
+       )) s53
+GROUP BY v2
+ORDER BY MIN(ta), v2
+{limit_a}
+"""
+
+
+def ea_knn_optimized(table: str) -> str:
+    """Code 3, kNN variant. Params: q, t, k, interval, min hour, max hour."""
+    return _ea_body(table, knn=True)
+
+
+def ea_otm(table: str) -> str:
+    """Code 3, one-to-many variant. Params: q, t, interval, min/max hour."""
+    return _ea_body(table, knn=False)
+
+
+# ---------------------------------------------------------------------------
+# Code 4 — optimized LD-kNN and LD-OTM
+# ---------------------------------------------------------------------------
+def _ld_body(table: str, knn: bool) -> str:
+    if knn:
+        interval, low, high = "$4", "$5", "$6"
+        unnest_td = "UNNEST(tds[1:$3]) AS td"
+        unnest_v = "UNNEST(vs[1:$3]) AS v2"
+        limit_a = "LIMIT $3"
+    else:
+        interval, low, high = "$3", "$4", "$5"
+        unnest_td = "UNNEST(tds) AS td"
+        unnest_v = "UNNEST(vs) AS v2"
+        limit_a = ""
+    return f"""
+WITH n1 AS
+  (SELECT v, hub, td, ta
+   FROM
+     (SELECT v,
+             UNNEST(hubs) AS hub,
+             UNNEST(tds) AS td,
+             UNNEST(tas) AS ta
+      FROM lout
+      WHERE v=$1) n1a),
+n1b AS
+  (SELECT n1bb.*,
+          n1.ta AS n1_ta,
+          n1.td AS n1_td
+   FROM {table} n1bb, n1
+   WHERE n1bb.hub=n1.hub
+     AND n1bb.arrhour=GREATEST({low}, LEAST({high}, FLOOR($2/{interval}))))
+SELECT v2, MAX(td)
+FROM (
+      (SELECT v2, MAX(n3.n1_td) AS td
+       FROM
+          (SELECT n1_td, n1_ta,
+                  {unnest_td},
+                  {unnest_v}
+           FROM n1b) n3
+       WHERE n3.td>=n1_ta
+       GROUP BY v2
+       ORDER BY MAX(n3.n1_td) DESC, v2
+       {limit_a}
+       )
+    UNION
+      (SELECT n2.v2, MAX(n2.n1_td) AS td
+       FROM
+          (SELECT n1_td, n1_ta,
+                  UNNEST(tds_exp) AS td,
+                  UNNEST(vs_exp) AS v2,
+                  UNNEST(tas_exp) AS ta
+           FROM n1b) n2
+       WHERE n2.td>=n1_ta
+         AND n2.ta<=$2
+       GROUP BY n2.v2
+       ORDER BY MAX(n2.n1_td) DESC, v2
+       {limit_a}
+       )) s53
+GROUP BY v2
+ORDER BY MAX(td) DESC, v2
+{limit_a}
+"""
+
+
+def ld_knn_optimized(table: str) -> str:
+    """Code 4, kNN variant. Params: q, t', k, interval, min hour, max hour."""
+    return _ld_body(table, knn=True)
+
+
+def ld_otm(table: str) -> str:
+    """Code 4, one-to-many variant. Params: q, t', interval, min/max hour."""
+    return _ld_body(table, knn=False)

@@ -1,0 +1,28 @@
+"""Timetable substrate: model, GTFS I/O, synthetic cities, paper datasets."""
+
+from repro.timetable.datasets import (
+    DATASET_NAMES,
+    PAPER_TABLE7,
+    dataset_config,
+    load_dataset,
+)
+from repro.timetable.generator import (
+    CityConfig,
+    config_for_degree,
+    generate_city,
+    random_timetable,
+)
+from repro.timetable.model import Connection, Timetable
+
+__all__ = [
+    "Connection",
+    "Timetable",
+    "CityConfig",
+    "config_for_degree",
+    "generate_city",
+    "random_timetable",
+    "DATASET_NAMES",
+    "PAPER_TABLE7",
+    "dataset_config",
+    "load_dataset",
+]

@@ -1,0 +1,217 @@
+"""Synthetic city generator.
+
+Produces timetables with the structure of real metropolitan GTFS feeds:
+
+* a small set of *hub* stops (interchange stations) that every line passes
+  through, so transfers make the network well connected;
+* lines are stop sequences operated in both directions;
+* each line runs trips all service day at a fixed headway (with optional
+  jitter), with per-leg travel times that are constant across the day.
+
+The generator is fully deterministic given a seed, so tests and benchmarks
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import TimetableError
+from repro.timetable.model import Connection, Timetable
+
+DAY_START = 6 * 3600  # 06:00
+DAY_END = 24 * 3600  # 24:00
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of one synthetic city."""
+
+    name: str
+    num_stops: int
+    num_lines: int
+    line_length: int  # stops per line (including hubs)
+    headway_s: int  # time between consecutive trips of a line
+    hub_count: int = 3
+    min_leg_s: int = 60  # fastest single-leg travel time
+    max_leg_s: int = 420
+    span_start: int = DAY_START
+    span_end: int = DAY_END
+    headway_jitter_s: int = 0
+    # Real feeds run denser service in the morning than late evening (the
+    # paper leans on this: LD queries, sampled from the fourth quartile,
+    # see fewer trips). Headway grows linearly to headway_s * this factor
+    # by the end of the service span.
+    evening_thinning: float = 1.75
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_stops < 2:
+            raise TimetableError("need at least two stops")
+        if self.line_length < 2:
+            raise TimetableError("lines need at least two stops")
+        if self.line_length > self.num_stops:
+            raise TimetableError("line longer than the city")
+        if self.headway_s <= 0:
+            raise TimetableError("headway must be positive")
+        if self.span_end <= self.span_start:
+            raise TimetableError("empty service span")
+        if not 1 <= self.hub_count <= self.num_stops:
+            raise TimetableError("bad hub count")
+
+    def expected_connections(self) -> int:
+        """Rough |E| estimate (both directions, full-day service)."""
+        trips_per_direction = (self.span_end - self.span_start) // self.headway_s
+        return 2 * self.num_lines * trips_per_direction * (self.line_length - 1)
+
+
+def config_for_degree(
+    name: str,
+    num_stops: int,
+    target_degree: float,
+    hub_count: int = 3,
+    seed: int = 1,
+    line_length: int | None = None,
+) -> CityConfig:
+    """Derive a :class:`CityConfig` hitting a target average degree |E|/|V|.
+
+    Used by :mod:`repro.timetable.datasets` to mirror the degree column of
+    the paper's Table 7 at reduced scale.
+    """
+    if line_length is None:
+        line_length = max(4, min(14, num_stops // 6))
+    # Enough lines that, together with the shared hubs, every stop is served.
+    num_lines = max(2, (num_stops + line_length - 2) // max(1, line_length - 1))
+    span = DAY_END - DAY_START
+    target_connections = target_degree * num_stops
+    trips_per_direction = target_connections / (2 * num_lines * (line_length - 1))
+    # Evening thinning (default factor 1.75) stretches the effective headway
+    # by its day-average of (1 + 1.75) / 2; compensate to hit the target.
+    headway = max(120, int(span / max(1.0, trips_per_direction) / 1.375))
+    return CityConfig(
+        name=name,
+        num_stops=num_stops,
+        num_lines=num_lines,
+        line_length=line_length,
+        headway_s=headway,
+        hub_count=hub_count,
+        seed=seed,
+    )
+
+
+def generate_city(config: CityConfig) -> Timetable:
+    """Build the timetable for *config*."""
+    rng = random.Random(config.seed)
+    hubs = list(range(config.hub_count))  # low ids are hubs, by convention
+    non_hubs = list(range(config.hub_count, config.num_stops))
+    rng.shuffle(non_hubs)
+
+    # Deal non-hub stops to lines round-robin so that every stop is served,
+    # then splice one hub into each line.
+    per_line = config.line_length - 1  # one slot is reserved for the hub
+    lines: list[list[int]] = []
+    cursor = 0
+    for line_index in range(config.num_lines):
+        stops: list[int] = []
+        for _ in range(per_line):
+            if cursor >= len(non_hubs):
+                cursor = 0
+                rng.shuffle(non_hubs)
+            if not non_hubs:
+                break
+            candidate = non_hubs[cursor]
+            cursor += 1
+            if candidate not in stops:
+                stops.append(candidate)
+        if len(stops) < 1:
+            stops = [rng.randrange(config.num_stops)]
+        hub = hubs[line_index % len(hubs)]
+        stops.insert(rng.randrange(len(stops) + 1), hub)
+        # Occasionally pass through a second hub to tighten connectivity.
+        if len(hubs) > 1 and rng.random() < 0.5:
+            other = hubs[(line_index + 1) % len(hubs)]
+            if other not in stops:
+                stops.insert(rng.randrange(len(stops) + 1), other)
+        lines.append(stops)
+
+    # Guarantee coverage: splice any stop no line visits into some line
+    # (possible when num_lines * line_length < num_stops).
+    served = set(hubs)
+    for stops in lines:
+        served.update(stops)
+    for orphan in range(config.num_stops):
+        if orphan not in served:
+            line = lines[orphan % len(lines)]
+            line.insert(rng.randrange(1, len(line) + 1), orphan)
+            served.add(orphan)
+
+    connections: list[Connection] = []
+    trip_counter = 0
+    for stops in lines:
+        leg_times = [
+            rng.randint(config.min_leg_s, config.max_leg_s)
+            for _ in range(len(stops) - 1)
+        ]
+        for direction in (stops, list(reversed(stops))):
+            legs = leg_times if direction is stops else list(reversed(leg_times))
+            departure = config.span_start + rng.randrange(config.headway_s)
+            while departure < config.span_end:
+                when = departure
+                feasible = True
+                trip_connections = []
+                for (u, v), leg in zip(zip(direction, direction[1:]), legs):
+                    arrive = when + leg
+                    trip_connections.append(
+                        Connection(dep=when, arr=arrive, u=u, v=v, trip=trip_counter)
+                    )
+                    when = arrive + rng.randint(0, 30)  # dwell
+                if feasible:
+                    connections.extend(trip_connections)
+                    trip_counter += 1
+                jitter = (
+                    rng.randint(-config.headway_jitter_s, config.headway_jitter_s)
+                    if config.headway_jitter_s
+                    else 0
+                )
+                progress = (departure - config.span_start) / (
+                    config.span_end - config.span_start
+                )
+                local_headway = config.headway_s * (
+                    1.0 + (config.evening_thinning - 1.0) * progress
+                )
+                departure += max(60, int(local_headway) + jitter)
+
+    names = [
+        f"{config.name} hub {i}" if i < config.hub_count else f"{config.name} stop {i}"
+        for i in range(config.num_stops)
+    ]
+    return Timetable(
+        num_stops=config.num_stops, connections=connections, stop_names=names
+    )
+
+
+def random_timetable(
+    num_stops: int,
+    num_connections: int,
+    seed: int = 0,
+    span_start: int = DAY_START,
+    span_end: int = DAY_END,
+) -> Timetable:
+    """A fully random (trip-consistent) timetable for property-based tests.
+
+    Every connection is its own single-leg trip, so any (dep, arr, u, v)
+    combination is legal; this explores corners the structured city
+    generator cannot reach.
+    """
+    rng = random.Random(seed)
+    connections = []
+    for trip in range(num_connections):
+        u = rng.randrange(num_stops)
+        v = rng.randrange(num_stops - 1)
+        if v >= u:
+            v += 1
+        dep = rng.randrange(span_start, span_end)
+        arr = dep + rng.randint(60, 1800)
+        connections.append(Connection(dep=dep, arr=arr, u=u, v=v, trip=trip))
+    return Timetable(num_stops=num_stops, connections=connections)

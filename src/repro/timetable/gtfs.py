@@ -1,0 +1,166 @@
+"""Minimal GTFS feed reader/writer.
+
+The paper's datasets are GTFS feeds from the public registry ("each dataset
+records the timetable of the public transportation network of a major city
+or country on a weekday"). We cannot download those offline, so the
+synthetic generator produces :class:`~repro.timetable.model.Timetable`
+objects directly — but this module lets a user load a *real* feed into the
+same model (and round-trips our synthetic cities through GTFS files, which
+the tests exercise).
+
+Supported files: ``stops.txt``, ``routes.txt``, ``trips.txt``,
+``stop_times.txt``. Only the columns the timetable model needs are read;
+service calendars are out of scope (feeds are treated as one service day,
+exactly like the paper's preprocessed datasets).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.errors import GTFSError
+from repro.timetable.model import Connection, Timetable
+
+
+def parse_gtfs_time(text: str) -> int:
+    """``HH:MM:SS`` -> seconds after midnight. Hours may exceed 23."""
+    parts = text.strip().split(":")
+    if len(parts) != 3:
+        raise GTFSError(f"bad GTFS time {text!r}")
+    try:
+        hours, minutes, seconds = (int(p) for p in parts)
+    except ValueError:
+        raise GTFSError(f"bad GTFS time {text!r}") from None
+    if not (0 <= minutes < 60 and 0 <= seconds < 60 and hours >= 0):
+        raise GTFSError(f"bad GTFS time {text!r}")
+    return hours * 3600 + minutes * 60 + seconds
+
+
+def format_gtfs_time(seconds: int) -> str:
+    if seconds < 0:
+        raise GTFSError("GTFS times cannot be negative")
+    return f"{seconds // 3600:02d}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+
+
+def load_feed(directory: str) -> Timetable:
+    """Read a GTFS directory into a :class:`Timetable`."""
+    stops_path = os.path.join(directory, "stops.txt")
+    stop_times_path = os.path.join(directory, "stop_times.txt")
+    for required in (stops_path, stop_times_path):
+        if not os.path.exists(required):
+            raise GTFSError(f"missing required GTFS file {required}")
+
+    stop_ids: dict[str, int] = {}
+    stop_names: list[str] = []
+    with open(stops_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            stop_id = row.get("stop_id")
+            if not stop_id:
+                raise GTFSError("stops.txt row without stop_id")
+            if stop_id in stop_ids:
+                raise GTFSError(f"duplicate stop_id {stop_id!r}")
+            stop_ids[stop_id] = len(stop_names)
+            stop_names.append(row.get("stop_name", stop_id))
+    if not stop_ids:
+        raise GTFSError("stops.txt contains no stops")
+
+    # stop_times -> per-trip ordered stop events -> connections
+    events: dict[str, list[tuple[int, int, int, int]]] = {}
+    with open(stop_times_path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            trip_id = row.get("trip_id")
+            stop_id = row.get("stop_id")
+            if trip_id is None or stop_id is None:
+                raise GTFSError("stop_times.txt row missing trip_id/stop_id")
+            if stop_id not in stop_ids:
+                raise GTFSError(f"stop_times references unknown stop {stop_id!r}")
+            try:
+                seq = int(row["stop_sequence"])
+            except (KeyError, ValueError):
+                raise GTFSError("stop_times row without integer stop_sequence") from None
+            arrival = parse_gtfs_time(row.get("arrival_time") or row["departure_time"])
+            departure = parse_gtfs_time(row.get("departure_time") or row["arrival_time"])
+            events.setdefault(trip_id, []).append(
+                (seq, stop_ids[stop_id], arrival, departure)
+            )
+
+    connections: list[Connection] = []
+    trip_numbers: dict[str, int] = {}
+    for trip_id, trip_events in events.items():
+        trip_events.sort()
+        trip_num = trip_numbers.setdefault(trip_id, len(trip_numbers))
+        for (s1, stop1, _, dep1), (s2, stop2, arr2, _) in zip(
+            trip_events, trip_events[1:]
+        ):
+            if s1 == s2:
+                raise GTFSError(f"trip {trip_id!r} repeats stop_sequence {s1}")
+            if stop1 == stop2:
+                continue  # dwell rows at the same stop
+            connections.append(
+                Connection(dep=dep1, arr=arr2, u=stop1, v=stop2, trip=trip_num)
+            )
+
+    return Timetable(
+        num_stops=len(stop_names), connections=connections, stop_names=stop_names
+    )
+
+
+def write_feed(timetable: Timetable, directory: str, city: str = "synthetic") -> None:
+    """Write *timetable* out as a minimal GTFS feed directory."""
+    os.makedirs(directory, exist_ok=True)
+    names = timetable.stop_names or [
+        f"stop_{i}" for i in range(timetable.num_stops)
+    ]
+
+    with open(os.path.join(directory, "stops.txt"), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["stop_id", "stop_name"])
+        for i, name in enumerate(names):
+            writer.writerow([f"S{i}", name])
+
+    with open(os.path.join(directory, "routes.txt"), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["route_id", "route_short_name", "route_type"])
+        writer.writerow(["R0", city, 3])
+
+    trips = sorted({c.trip for c in timetable.connections})
+    with open(os.path.join(directory, "trips.txt"), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["route_id", "service_id", "trip_id"])
+        for trip in trips:
+            writer.writerow(["R0", "WEEKDAY", f"T{trip}"])
+
+    by_trip: dict[int, list[Connection]] = {}
+    for c in timetable.connections:
+        by_trip.setdefault(c.trip, []).append(c)
+    with open(os.path.join(directory, "stop_times.txt"), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["trip_id", "arrival_time", "departure_time", "stop_id", "stop_sequence"]
+        )
+        for trip in trips:
+            legs = sorted(by_trip[trip], key=lambda c: c.dep)
+            seq = 1
+            for i, leg in enumerate(legs):
+                arrival = legs[i - 1].arr if i else leg.dep
+                writer.writerow(
+                    [
+                        f"T{trip}",
+                        format_gtfs_time(arrival),
+                        format_gtfs_time(leg.dep),
+                        f"S{leg.u}",
+                        seq,
+                    ]
+                )
+                seq += 1
+            last = legs[-1]
+            writer.writerow(
+                [
+                    f"T{trip}",
+                    format_gtfs_time(last.arr),
+                    format_gtfs_time(last.arr),
+                    f"S{last.v}",
+                    seq,
+                ]
+            )

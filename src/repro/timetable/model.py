@@ -1,0 +1,150 @@
+"""Schedule-based public-transportation network model.
+
+Following the paper (§2.2), a timetable is a multigraph: vertices are stops
+and each arc is a tuple ``<u, v, td, ta, b>`` — trip *b* departs stop *u* at
+timestamp *td* and arrives at stop *v* at *ta*. Timestamps are integer
+seconds (seconds-after-midnight for the single service day the paper's
+datasets record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TimetableError
+
+
+@dataclass(frozen=True, order=True)
+class Connection:
+    """One elementary arc of the timetable multigraph.
+
+    Ordering is by ``(dep, arr, u, v, trip)`` which is the canonical scan
+    order of the Connection Scan Algorithm.
+    """
+
+    dep: int
+    arr: int
+    u: int
+    v: int
+    trip: int
+
+    def __post_init__(self) -> None:
+        if self.arr < self.dep:
+            raise TimetableError(
+                f"connection arrives before it departs: {self}"
+            )
+        if self.u == self.v:
+            raise TimetableError(f"self-loop connection: {self}")
+
+    @property
+    def duration(self) -> int:
+        return self.arr - self.dep
+
+
+@dataclass
+class Timetable:
+    """An immutable-after-validation timetable multigraph.
+
+    Attributes:
+        num_stops: |V|; stops are the integers ``0..num_stops-1``.
+        connections: all arcs, sorted by ``(dep, arr)``.
+        stop_names: optional human-readable stop names.
+    """
+
+    num_stops: int
+    connections: list[Connection]
+    stop_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_stops <= 0:
+            raise TimetableError("timetable needs at least one stop")
+        for c in self.connections:
+            if not (0 <= c.u < self.num_stops and 0 <= c.v < self.num_stops):
+                raise TimetableError(f"connection references unknown stop: {c}")
+        if self.stop_names and len(self.stop_names) != self.num_stops:
+            raise TimetableError("stop_names length must equal num_stops")
+        self.connections = sorted(self.connections)
+        self._validate_trips()
+
+    def _validate_trips(self) -> None:
+        """Within a trip, consecutive legs must chain in space and time."""
+        by_trip: dict[int, list[Connection]] = {}
+        for c in self.connections:
+            by_trip.setdefault(c.trip, []).append(c)
+        for trip, legs in by_trip.items():
+            legs.sort(key=lambda c: c.dep)
+            for prev, nxt in zip(legs, legs[1:]):
+                if nxt.dep < prev.arr:
+                    raise TimetableError(
+                        f"trip {trip} departs leg {nxt} before arriving {prev}"
+                    )
+                if nxt.u != prev.v:
+                    raise TimetableError(
+                        f"trip {trip} teleports between {prev.v} and {nxt.u}"
+                    )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_connections(self) -> int:
+        return len(self.connections)
+
+    @property
+    def average_degree(self) -> float:
+        """|E| / |V| — the paper's Table 7 "avg degree"."""
+        return self.num_connections / self.num_stops
+
+    @property
+    def num_trips(self) -> int:
+        return len({c.trip for c in self.connections})
+
+    def time_range(self) -> tuple[int, int]:
+        """(earliest departure, latest arrival) over the whole timetable."""
+        if not self.connections:
+            raise TimetableError("empty timetable has no time range")
+        return (
+            min(c.dep for c in self.connections),
+            max(c.arr for c in self.connections),
+        )
+
+    def outgoing(self) -> list[list[Connection]]:
+        """Per-stop outgoing connections, each list sorted by departure."""
+        out: list[list[Connection]] = [[] for _ in range(self.num_stops)]
+        for c in self.connections:
+            out[c.u].append(c)
+        return out
+
+    def incoming(self) -> list[list[Connection]]:
+        """Per-stop incoming connections, each list sorted by arrival."""
+        inc: list[list[Connection]] = [[] for _ in range(self.num_stops)]
+        for c in sorted(self.connections, key=lambda c: (c.arr, c.dep)):
+            inc[c.v].append(c)
+        return inc
+
+    def reverse(self) -> "Timetable":
+        """The time-reversed timetable.
+
+        A journey u -> v departing td / arriving ta exists in G exactly when
+        a journey v -> u departing -ta / arriving -td exists in reverse(G).
+        Used to derive latest-departure searches from earliest-arrival ones.
+        """
+        reversed_connections = [
+            Connection(dep=-c.arr, arr=-c.dep, u=c.v, v=c.u, trip=c.trip)
+            for c in self.connections
+        ]
+        return Timetable(
+            num_stops=self.num_stops,
+            connections=reversed_connections,
+            stop_names=list(self.stop_names),
+        )
+
+    def stats(self) -> dict:
+        """Table 7-style statistics for this timetable."""
+        low, high = self.time_range() if self.connections else (0, 0)
+        return {
+            "stops": self.num_stops,
+            "connections": self.num_connections,
+            "avg_degree": round(self.average_degree, 1),
+            "trips": self.num_trips,
+            "first_departure": low,
+            "last_arrival": high,
+        }

@@ -1,0 +1,32 @@
+"""Transfer-bounded queries — the paper's future-work extension.
+
+"In terms of future work, currently the PTLDB framework aims at optimizing
+travel times, without taking the number of transfers as an additional
+optimization criterion." (paper §5) — this subpackage adds exactly that:
+round-limited CSA oracles, transfer-aware TTL labels, an in-memory query
+engine with a (trips, arrival) Pareto front, and a pure-SQL variant.
+"""
+
+from repro.transfers.csa import (
+    earliest_arrival_bounded,
+    earliest_arrival_by_trips,
+    latest_departure_bounded,
+    trips_needed,
+)
+from repro.transfers.labels import TransferLabels, TransferLabelTuple
+from repro.transfers.query import TransferQueryEngine
+from repro.transfers.sql import TransferPTLDB
+from repro.transfers.ttl import TransferBuildReport, build_transfer_labels
+
+__all__ = [
+    "earliest_arrival_bounded",
+    "earliest_arrival_by_trips",
+    "latest_departure_bounded",
+    "trips_needed",
+    "TransferLabels",
+    "TransferLabelTuple",
+    "TransferQueryEngine",
+    "TransferPTLDB",
+    "TransferBuildReport",
+    "build_transfer_labels",
+]

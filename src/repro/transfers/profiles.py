@@ -1,0 +1,98 @@
+"""Multicriteria (trip-bounded) profile connection scan.
+
+Extends the profile CSA of :mod:`repro.baselines.csa` with a trips
+dimension: ``profiles[r][v]`` holds the Pareto ``(dep, arr)`` journeys from
+*v* to a fixed target using at most *r* trips, together with the journey's
+first and last trip ids — the witnesses the transfer-aware label join needs
+for its seamless-trip adjustment.
+"""
+
+from __future__ import annotations
+
+from repro.timetable.model import Timetable
+
+INF = float("inf")
+
+
+class BoundedProfile:
+    """Pareto (dep, arr) pairs for one (stop, trips budget), with witnesses.
+
+    Entries are ``(dep, arr, first_trip, last_trip)``; insertions arrive in
+    decreasing *dep* order, so arrivals strictly decrease along the list.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int, int, int]] = []
+
+    def insert(self, dep: int, arr: int, first_trip: int, last_trip: int) -> bool:
+        entries = self.entries
+        if entries and entries[-1][1] <= arr:
+            return False
+        while entries and entries[-1][0] == dep:
+            entries.pop()
+        entries.append((dep, arr, first_trip, last_trip))
+        return True
+
+    def evaluate(self, not_before: int) -> tuple[float, int]:
+        """(earliest arrival, its last trip) among entries departing at or
+        after *not_before*; ``(inf, -1)`` when none qualifies."""
+        entries = self.entries
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][0] >= not_before:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return INF, -1
+        entry = entries[lo - 1]
+        return entry[1], entry[3]
+
+
+def bounded_profiles(
+    timetable: Timetable, target: int, max_trips: int
+) -> list[list[BoundedProfile]]:
+    """``profiles[r][v]``: Pareto journeys v -> target using <= r trips.
+
+    One pass over the connections in decreasing departure order updates all
+    budgets simultaneously; O(K |E| log P).
+    """
+    n = timetable.num_stops
+    profiles = [
+        [BoundedProfile() for _ in range(n)] for _ in range(max_trips + 1)
+    ]
+    max_trip_id = max((c.trip for c in timetable.connections), default=-1)
+    # Per budget r: best arrival at target when continuing the current trip,
+    # and the last trip of that continuation.
+    trip_arrival = [
+        [INF] * (max_trip_id + 1) for _ in range(max_trips + 1)
+    ]
+    trip_last = [
+        [-1] * (max_trip_id + 1) for _ in range(max_trips + 1)
+    ]
+    for c in reversed(timetable.connections):
+        for r in range(1, max_trips + 1):
+            best = INF
+            last = -1
+            if c.v == target:
+                best = c.arr
+                last = c.trip
+            via_trip = trip_arrival[r][c.trip]
+            if via_trip < best:
+                best = via_trip
+                last = trip_last[r][c.trip]
+            if r >= 2:
+                via_transfer, transfer_last = profiles[r - 1][c.v].evaluate(c.arr)
+                if via_transfer < best:
+                    best = via_transfer
+                    last = transfer_last
+            if best == INF:
+                continue
+            if best < trip_arrival[r][c.trip]:
+                trip_arrival[r][c.trip] = best
+                trip_last[r][c.trip] = last
+            profiles[r][c.u].insert(c.dep, int(best), c.trip, last)
+    return profiles

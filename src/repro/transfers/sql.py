@@ -1,0 +1,158 @@
+"""PTLDB-T: transfer-bounded vertex-to-vertex queries in SQL.
+
+Extends the paper's Code 1 with the trips dimension: the ``lout_tr`` /
+``lin_tr`` tables carry three extra parallel arrays — ``trs`` (trips) and
+the boundary-trip witnesses ``bts`` (last trip of a Lout journey, first trip
+of a Lin journey) — and the join charges ``l1.trips + l2.trips`` minus one
+when prefix and suffix ride the same vehicle across the hub:
+
+    AND outp.tr + inp.tr
+        - CASE WHEN outp.bt = inp.bt THEN 1 ELSE 0 END <= $4
+
+Everything stays a few lines of SQL, preserving the paper's pure-SQL story
+for its own future-work feature.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DatabaseError
+from repro.minidb.engine import Database
+from repro.transfers.labels import TransferLabels
+
+LOUT_TR_DDL = """CREATE TABLE lout_tr (
+  v BIGINT, hubs BIGINT[], tds BIGINT[], tas BIGINT[],
+  trs BIGINT[], bts BIGINT[], PRIMARY KEY (v))"""
+
+LIN_TR_DDL = """CREATE TABLE lin_tr (
+  v BIGINT, hubs BIGINT[], tds BIGINT[], tas BIGINT[],
+  trs BIGINT[], bts BIGINT[], PRIMARY KEY (v))"""
+
+EA_BOUNDED = """
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta,
+          UNNEST(trs) AS tr,
+          UNNEST(bts) AS bt
+   FROM lout_tr WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta,
+          UNNEST(trs) AS tr,
+          UNNEST(bts) AS bt
+   FROM lin_tr WHERE v=$2)
+SELECT MIN(inp.ta)
+FROM outp,
+     inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND outp.td>=$3
+  AND outp.tr + inp.tr
+      - CASE WHEN outp.bt = inp.bt THEN 1 ELSE 0 END <= $4
+"""
+
+LD_BOUNDED = """
+WITH outp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta,
+          UNNEST(trs) AS tr,
+          UNNEST(bts) AS bt
+   FROM lout_tr WHERE v=$1),
+inp AS
+  (SELECT UNNEST(hubs) AS hub,
+          UNNEST(tds) AS td,
+          UNNEST(tas) AS ta,
+          UNNEST(trs) AS tr,
+          UNNEST(bts) AS bt
+   FROM lin_tr WHERE v=$2)
+SELECT MAX(outp.td)
+FROM outp,
+     inp
+WHERE outp.hub=inp.hub AND outp.ta<=inp.td
+  AND inp.ta<=$3
+  AND outp.tr + inp.tr
+      - CASE WHEN outp.bt = inp.bt THEN 1 ELSE 0 END <= $4
+"""
+
+
+class TransferPTLDB:
+    """Database facade for the transfer-bounded query extension."""
+
+    def __init__(self, db: Database, labels: TransferLabels):
+        self.db = db
+        self.labels = labels
+        self.num_stops = labels.num_stops
+        self.max_trips = labels.max_trips
+        self._load()
+
+    @classmethod
+    def from_timetable(
+        cls,
+        timetable,
+        max_trips: int = 4,
+        device: str = "ram",
+        labels: TransferLabels | None = None,
+    ) -> "TransferPTLDB":
+        from repro.transfers.ttl import build_transfer_labels
+
+        if labels is None:
+            labels, _ = build_transfer_labels(
+                timetable, max_trips=max_trips, add_dummies=True
+            )
+        db = Database(device=device)
+        return cls(db, labels)
+
+    def _load(self) -> None:
+        db = self.db
+        db.execute("DROP TABLE IF EXISTS lout_tr")
+        db.execute("DROP TABLE IF EXISTS lin_tr")
+        db.execute(LOUT_TR_DDL)
+        db.execute(LIN_TR_DDL)
+        for table, side, boundary in (
+            ("lout_tr", self.labels.lout, "last_trip"),
+            ("lin_tr", self.labels.lin, "first_trip"),
+        ):
+            sql = f"INSERT INTO {table} VALUES ($1, $2, $3, $4, $5, $6)"
+            for v in range(self.num_stops):
+                tuples = side[v]
+                db.execute(
+                    sql,
+                    (
+                        v,
+                        [t.hub for t in tuples],
+                        [t.td for t in tuples],
+                        [t.ta for t in tuples],
+                        [t.trips for t in tuples],
+                        [getattr(t, boundary) for t in tuples],
+                    ),
+                )
+        db.pool.flush()
+
+    def _check(self, stop: int, max_trips: int) -> None:
+        if not 0 <= stop < self.num_stops:
+            raise DatabaseError(f"stop {stop} out of range")
+        if not 1 <= max_trips <= self.max_trips:
+            raise DatabaseError(
+                f"max_trips must be in [1, {self.max_trips}], got {max_trips}"
+            )
+
+    def earliest_arrival(
+        self, source: int, goal: int, depart_at: int, max_trips: int
+    ) -> int | None:
+        """EA(s, g, t) using at most *max_trips* trips, via SQL."""
+        self._check(source, max_trips)
+        self._check(goal, max_trips)
+        return self.db.execute(
+            EA_BOUNDED, (source, goal, depart_at, max_trips)
+        ).scalar()
+
+    def latest_departure(
+        self, source: int, goal: int, arrive_by: int, max_trips: int
+    ) -> int | None:
+        """LD(s, g, t') using at most *max_trips* trips, via SQL."""
+        self._check(source, max_trips)
+        self._check(goal, max_trips)
+        return self.db.execute(
+            LD_BOUNDED, (source, goal, arrive_by, max_trips)
+        ).scalar()

@@ -1,0 +1,150 @@
+"""Transfer-aware TTL construction.
+
+Same hub-by-hub scheme as :mod:`repro.labeling.ttl`, but each hub's profile
+scan runs per trips budget (``bounded_profiles``): the tuple set for a
+(vertex, hub) pair is the three-criteria Pareto front over
+``(td max, ta min, trips min)``. A tuple for budget r is kept only when the
+budget-(r-1) profile cannot match its (td, ta) — i.e. the extra vehicle
+buys an earlier arrival or later departure.
+
+Pruning mirrors the base implementation but is trips-aware: a candidate is
+covered only if an existing two-hop combination dominates it in time *and*
+total trips.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.labeling.ordering import make_order
+from repro.timetable.model import Timetable
+from repro.transfers.labels import TransferLabels, TransferLabelTuple
+from repro.transfers.profiles import bounded_profiles
+
+
+@dataclass
+class TransferBuildReport:
+    seconds: float
+    candidate_tuples: int
+    pruned_tuples: int
+
+    @property
+    def kept_tuples(self) -> int:
+        return self.candidate_tuples - self.pruned_tuples
+
+
+def _covered_out(lout_v, lin_h_by_hub, dep, arr, trips) -> bool:
+    """Is a candidate v -> h journey dominated by existing labels?"""
+    for l1 in lout_v:
+        if l1.td < dep or l1.ta > arr:
+            continue
+        for l2 in lin_h_by_hub.get(l1.hub, ()):
+            if l2.td < l1.ta or l2.ta > arr:
+                continue
+            total = l1.trips + l2.trips
+            if l1.last_trip is not None and l1.last_trip == l2.first_trip:
+                total -= 1
+            if total <= trips:
+                return True
+    return False
+
+
+def _covered_in(lout_h_by_hub, lin_v, dep, arr, trips) -> bool:
+    for l2 in lin_v:
+        if l2.ta > arr:
+            continue
+        for l1 in lout_h_by_hub.get(l2.hub, ()):
+            if l1.td < dep or l1.ta > l2.td:
+                continue
+            total = l1.trips + l2.trips
+            if l1.last_trip is not None and l1.last_trip == l2.first_trip:
+                total -= 1
+            if total <= trips:
+                return True
+    return False
+
+
+def _by_hub(tuples) -> dict[int, list]:
+    out: dict[int, list] = {}
+    for t in tuples:
+        out.setdefault(t.hub, []).append(t)
+    return out
+
+
+def build_transfer_labels(
+    timetable: Timetable,
+    max_trips: int = 4,
+    order: list[int] | None = None,
+    ordering: str = "event_degree",
+    prune: bool = True,
+    add_dummies: bool = False,
+) -> tuple[TransferLabels, TransferBuildReport]:
+    """Run transfer-aware TTL preprocessing (see module docstring)."""
+    started = time.perf_counter()
+    if order is None:
+        order = make_order(timetable, ordering)
+    labels = TransferLabels(timetable.num_stops, order, max_trips)
+    rank = labels.rank
+    reverse = timetable.reverse()
+
+    candidates = pruned = 0
+    for h in order:
+        lin_h_by_hub = _by_hub(labels.lin[h])
+        forward = bounded_profiles(timetable, h, max_trips)
+        for v in range(timetable.num_stops):
+            if v == h or rank[v] <= rank[h]:
+                continue
+            for r in range(1, max_trips + 1):
+                cheaper = forward[r - 1][v]
+                for dep, arr, first, last in forward[r][v].entries:
+                    if cheaper.evaluate(dep)[0] <= arr:
+                        continue  # achievable with fewer trips
+                    candidates += 1
+                    if prune and _covered_out(
+                        labels.lout[v], lin_h_by_hub, dep, arr, r
+                    ):
+                        pruned += 1
+                        continue
+                    labels.lout[v].append(
+                        TransferLabelTuple(
+                            hub=h, td=dep, ta=arr, trips=r,
+                            first_trip=first, last_trip=last,
+                        )
+                    )
+
+        lout_h_by_hub = _by_hub(labels.lout[h])
+        backward = bounded_profiles(reverse, h, max_trips)
+        for v in range(timetable.num_stops):
+            if v == h or rank[v] <= rank[h]:
+                continue
+            for r in range(1, max_trips + 1):
+                cheaper = backward[r - 1][v]
+                for rev_dep, rev_arr, first, last in backward[r][v].entries:
+                    if cheaper.evaluate(rev_dep)[0] <= rev_arr:
+                        continue
+                    dep, arr = -rev_arr, -rev_dep
+                    candidates += 1
+                    if prune and _covered_in(
+                        lout_h_by_hub, labels.lin[v], dep, arr, r
+                    ):
+                        pruned += 1
+                        continue
+                    # In the reversed search the "first" trip is the
+                    # original journey's last and vice versa.
+                    labels.lin[v].append(
+                        TransferLabelTuple(
+                            hub=h, td=dep, ta=arr, trips=r,
+                            first_trip=last, last_trip=first,
+                        )
+                    )
+
+    labels.sort()
+    if add_dummies:
+        labels.add_dummy_tuples()
+    report = TransferBuildReport(
+        seconds=time.perf_counter() - started,
+        candidate_tuples=candidates,
+        pruned_tuples=pruned,
+    )
+    return labels, report

@@ -1,0 +1,143 @@
+"""Tests for the Connection Scan Algorithm oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import csa
+from repro.timetable.generator import random_timetable
+from repro.timetable.model import Connection, Timetable
+
+
+def conn(dep, arr, u, v, trip):
+    return Connection(dep=dep, arr=arr, u=u, v=v, trip=trip)
+
+
+@pytest.fixture()
+def diamond():
+    """0 -> 1 -> 3 and 0 -> 2 -> 3, the second path faster but later."""
+    return Timetable(
+        num_stops=4,
+        connections=[
+            conn(100, 200, 0, 1, 0),
+            conn(220, 400, 1, 3, 1),
+            conn(150, 250, 0, 2, 2),
+            conn(260, 350, 2, 3, 3),
+        ],
+    )
+
+
+class TestEarliestArrival:
+    def test_direct(self, diamond):
+        assert csa.earliest_arrival(diamond, 0, 1, 0) == 200
+
+    def test_transfer_chain(self, diamond):
+        assert csa.earliest_arrival(diamond, 0, 3, 0) == 350
+
+    def test_departure_cutoff(self, diamond):
+        # leaving at 120 misses connection 0->1 but not 0->2
+        assert csa.earliest_arrival(diamond, 0, 3, 120) == 350
+        # departing at 151 misses both first legs: unreachable
+        assert csa.earliest_arrival(diamond, 0, 3, 151) is None
+        assert csa.earliest_arrival(diamond, 0, 1, 101) is None
+
+    def test_tight_transfer_is_legal(self):
+        """arr == dep transfers count (the l1.ta <= l2.td rule)."""
+        tt = Timetable(
+            num_stops=3,
+            connections=[conn(0, 100, 0, 1, 0), conn(100, 200, 1, 2, 1)],
+        )
+        assert csa.earliest_arrival(tt, 0, 2, 0) == 200
+
+    def test_missed_transfer(self):
+        tt = Timetable(
+            num_stops=3,
+            connections=[conn(0, 101, 0, 1, 0), conn(100, 200, 1, 2, 1)],
+        )
+        assert csa.earliest_arrival(tt, 0, 2, 0) is None
+
+    def test_stay_on_trip_despite_late_boarding_rule(self):
+        """Once boarded, later connections of the trip remain usable even if
+        the intermediate stop would not allow a fresh boarding."""
+        tt = Timetable(
+            num_stops=3,
+            connections=[conn(0, 100, 0, 1, 5), conn(100, 180, 1, 2, 5)],
+        )
+        assert csa.earliest_arrival(tt, 0, 2, 0) == 180
+
+    def test_source_is_goal(self, diamond):
+        assert csa.earliest_arrival(diamond, 2, 2, 777) == 777
+
+
+class TestLatestDeparture:
+    def test_simple(self, diamond):
+        assert csa.latest_departure(diamond, 0, 3, 400) == 150
+        assert csa.latest_departure(diamond, 0, 3, 390) == 150
+        assert csa.latest_departure(diamond, 0, 3, 349) is None
+
+    def test_ld_round_trips_with_ea(self, diamond):
+        """EA(s, g, LD(s, g, t')) must still arrive by t'."""
+        ld = csa.latest_departure(diamond, 0, 3, 400)
+        assert csa.earliest_arrival(diamond, 0, 3, ld) <= 400
+
+
+class TestShortestDuration:
+    def test_window(self, diamond):
+        # whole day: the 0->2->3 journey takes 200, the 0->1->3 journey 300
+        assert csa.shortest_duration(diamond, 0, 3, 0, 500) == 200
+        # window excludes the fast journey's arrival
+        assert csa.shortest_duration(diamond, 0, 3, 0, 349) is None
+
+    def test_source_is_goal(self, diamond):
+        assert csa.shortest_duration(diamond, 1, 1, 10, 20) == 0
+        assert csa.shortest_duration(diamond, 1, 1, 20, 10) is None
+
+
+class TestProfile:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        stops=st.integers(min_value=2, max_value=10),
+        connections=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=9999),
+        target=st.integers(min_value=0, max_value=9),
+    )
+    def test_profile_matches_repeated_ea(self, stops, connections, seed, target):
+        tt = random_timetable(stops, connections, seed=seed)
+        target %= stops
+        profiles = csa.profile(tt, target)
+        for s in range(stops):
+            if s == target:
+                continue
+            for dep, arr in profiles[s].pairs:
+                assert csa.earliest_arrival(tt, s, target, dep) == arr
+            # spot-check evaluate() against direct EA
+            for t in (25_000, 50_000, 75_000):
+                expected = csa.earliest_arrival(tt, s, target, t)
+                got = profiles[s].evaluate(t)
+                if expected is None:
+                    assert got == csa.INF
+                else:
+                    assert got == expected
+
+    def test_profile_pairs_are_pareto(self, small_timetable):
+        profiles = csa.profile(small_timetable, 3)
+        for prof in profiles:
+            pairs = prof.pairs
+            for (d1, a1), (d2, a2) in zip(pairs, pairs[1:]):
+                assert d1 > d2
+                assert a1 > a2
+
+
+class TestOneToAll:
+    def test_unreachable_is_inf(self):
+        tt = Timetable(num_stops=3, connections=[conn(0, 10, 0, 1, 0)])
+        ea = csa.earliest_arrival_all(tt, 0, 0)
+        assert ea[1] == 10
+        assert ea[2] == csa.INF
+
+    def test_latest_departure_all_signs(self, diamond):
+        ld = csa.latest_departure_all(diamond, 3, 400)
+        assert ld[0] == 150
+        assert ld[3] == 400  # already there

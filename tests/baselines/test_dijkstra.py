@@ -1,0 +1,55 @@
+"""Cross-check the time-expanded Dijkstra oracle against CSA."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import csa
+from repro.baselines.dijkstra import TimeExpandedGraph, earliest_arrival
+from repro.timetable.generator import random_timetable
+
+
+class TestCrossCheck:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stops=st.integers(min_value=2, max_value=10),
+        connections=st.integers(min_value=0, max_value=70),
+        seed=st.integers(min_value=0, max_value=9999),
+    )
+    def test_matches_csa_everywhere(self, stops, connections, seed):
+        tt = random_timetable(stops, connections, seed=seed)
+        graph = TimeExpandedGraph(tt)
+        rng = random.Random(seed)
+        for _ in range(15):
+            s = rng.randrange(stops)
+            g = rng.randrange(stops)
+            t = rng.randrange(20_000, 90_000)
+            assert graph.earliest_arrival(s, g, t) == csa.earliest_arrival(
+                tt, s, g, t
+            )
+
+    def test_source_is_goal(self, small_timetable):
+        graph = TimeExpandedGraph(small_timetable)
+        assert graph.earliest_arrival(4, 4, 123) == 123
+
+    def test_no_departures_after_t(self, small_timetable):
+        low, high = small_timetable.time_range()
+        graph = TimeExpandedGraph(small_timetable)
+        assert graph.earliest_arrival(0, 1, high + 1) is None
+
+    def test_one_shot_helper(self, paper_timetable):
+        assert earliest_arrival(paper_timetable, 5, 6, 288) == 432
+
+
+class TestGraphStructure:
+    def test_event_counts(self, paper_timetable):
+        graph = TimeExpandedGraph(paper_timetable)
+        # every connection contributes at most two distinct events
+        assert len(graph.nodes) <= 2 * paper_timetable.num_connections
+        # waiting arcs + connection arcs
+        arc_count = sum(len(a) for a in graph.adjacency)
+        waiting = sum(
+            max(0, len(times) - 1) for times in graph.stop_events
+        )
+        assert arc_count == waiting + paper_timetable.num_connections

@@ -1,0 +1,83 @@
+"""Smoke tests of every experiment driver (tiny workloads)."""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+@pytest.fixture(scope="module", autouse=True)
+def small_world():
+    """Keep the module self-contained: drop caches afterwards."""
+    yield
+    exp.clear_caches()
+
+
+class TestKnnDrivers:
+    def test_knn_with_naive(self):
+        rows = exp.experiment_knn(
+            datasets=["Austin"], ks=(1, 4), density=0.1, n_queries=6, naive=True
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["EA_kNN_ms"] > 0
+            assert "EA_speedup" in row
+
+    def test_knn_density(self):
+        rows = exp.experiment_knn_density(
+            datasets=["Austin"], densities=(0.05, 0.2), k=2, n_queries=5
+        )
+        assert [r["D"] for r in rows] == [0.05, 0.2]
+
+    def test_otm(self):
+        rows = exp.experiment_otm(
+            datasets=["Austin"], densities=(0.1,), n_queries=5
+        )
+        assert rows[0]["EA_OTM_ms"] > 0
+
+    def test_target_set_reuse(self):
+        """Two calls sharing a (D, kmax, interval) tag must not rebuild."""
+        ptldb = exp.get_ptldb("Austin", "ram")
+        bundle = exp.get_bundle("Austin")
+        tag1 = exp._ensure_targets(ptldb, bundle.timetable, 0.1, 4, ("knn_ea",))
+        handle1 = ptldb.handle(tag1)
+        tag2 = exp._ensure_targets(
+            ptldb, bundle.timetable, 0.1, 4, ("knn_ea", "knn_ld")
+        )
+        assert tag1 == tag2
+        handle2 = ptldb.handle(tag2)
+        assert handle2.targets == handle1.targets
+        assert {"knn_ea", "knn_ld"} <= handle2.built
+
+
+class TestAblationDrivers:
+    def test_interval(self):
+        rows = exp.experiment_interval_ablation(
+            "Austin", intervals=(1800, 3600), n_queries=5
+        )
+        assert [r["interval_s"] for r in rows] == [1800, 3600]
+        # smaller interval -> more rows in the knn table
+        assert rows[0]["table_rows"] >= rows[1]["table_rows"]
+
+    def test_ordering(self):
+        rows = exp.experiment_ordering_ablation(
+            "Austin", orderings=("event_degree", "random")
+        )
+        by_name = {r["ordering"]: r for r in rows}
+        assert by_name["event_degree"]["HL_per_V"] <= by_name["random"]["HL_per_V"]
+
+    def test_bufferpool(self):
+        rows = exp.experiment_bufferpool_ablation(
+            "Austin", pool_sizes=(16, 4096), n_queries=10
+        )
+        # the tiny pool cannot cache everything: strictly more page reads
+        assert rows[0]["page_reads"] >= rows[1]["page_reads"]
+
+    def test_transfers(self):
+        rows = exp.experiment_transfers("Austin", max_trips=2, n_queries=10)
+        assert [r["max_trips"] for r in rows] == [1, 2]
+        for row in rows:
+            assert 0 <= row["exact_rate"] <= 1
+
+    def test_storage(self):
+        rows = exp.experiment_storage(datasets=["Austin"])
+        assert rows[0]["total_pages"] > 0

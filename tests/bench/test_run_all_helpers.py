@@ -1,0 +1,21 @@
+"""Tests for the EXPERIMENTS.md generator helpers."""
+
+from repro.bench.run_all import _md
+
+
+class TestMarkdownHelper:
+    def test_renders_rows(self):
+        text = _md(
+            [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}], "My Table"
+        )
+        assert text.startswith("### My Table")
+        assert "| a | b |" in text
+        assert "| 2 | y |" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in _md([], "Empty")
+
+    def test_column_order_follows_first_row(self):
+        text = _md([{"z": 1, "a": 2}], "Order")
+        header_line = [l for l in text.splitlines() if l.startswith("| z")]
+        assert header_line, text

@@ -1,0 +1,110 @@
+"""Shared fixtures.
+
+``paper_timetable`` reconstructs the worked example of the paper's Figure 1:
+7 stops, 4 trips, timestamps in seconds (the figure prints them in units of
+100 s; we keep the raw numbers 288/324/360/396/432 so labels match Table 1
+literally). The trip layout is recovered from Table 1's tuples:
+
+    trip 1: 5 -> 1 (288, 324), 1 -> 0 (324, 360), 0 -> 2 (360, 396),
+            2 -> 6 (396, 432)
+    trip 2: 6 -> 2 (288, 324), 2 -> 0 (324, 360), 0 -> 1 (360, 396),
+            1 -> 5 (396, 432)
+    trip 3: 3 -> 0 (324, 360), 0 -> 4 (360, 396)
+    trip 4: 4 -> 0 (324, 360), 0 -> 3 (360, 396)
+
+Vertex order: 0 highest, then 1, 2, 3, 4 (5 and 6 lowest), per the caption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+from repro.timetable.model import Connection, Timetable
+
+PAPER_ORDER = [0, 1, 2, 3, 4, 5, 6]
+
+
+def make_paper_timetable() -> Timetable:
+    legs = [
+        # trip 1
+        (288, 324, 5, 1, 1),
+        (324, 360, 1, 0, 1),
+        (360, 396, 0, 2, 1),
+        (396, 432, 2, 6, 1),
+        # trip 2
+        (288, 324, 6, 2, 2),
+        (324, 360, 2, 0, 2),
+        (360, 396, 0, 1, 2),
+        (396, 432, 1, 5, 2),
+        # trip 3
+        (324, 360, 3, 0, 3),
+        (360, 396, 0, 4, 3),
+        # trip 4
+        (324, 360, 4, 0, 4),
+        (360, 396, 0, 3, 4),
+    ]
+    connections = [
+        Connection(dep=dep, arr=arr, u=u, v=v, trip=trip)
+        for dep, arr, u, v, trip in legs
+    ]
+    return Timetable(num_stops=7, connections=connections)
+
+
+@pytest.fixture(scope="session")
+def paper_timetable() -> Timetable:
+    return make_paper_timetable()
+
+
+@pytest.fixture(scope="session")
+def paper_labels(paper_timetable):
+    labels, _ = build_labels(paper_timetable, order=PAPER_ORDER)
+    return labels
+
+
+@pytest.fixture(scope="session")
+def paper_labels_with_dummies(paper_timetable):
+    labels, _ = build_labels(
+        paper_timetable, order=PAPER_ORDER, add_dummies=True
+    )
+    return labels
+
+
+@pytest.fixture(scope="session")
+def small_timetable() -> Timetable:
+    """An 18-stop random timetable used across correctness suites."""
+    return random_timetable(18, 160, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_labels(small_timetable):
+    labels, _ = build_labels(small_timetable, add_dummies=True)
+    return labels
+
+
+@pytest.fixture(scope="session")
+def small_ptldb(small_timetable, small_labels) -> PTLDB:
+    ptldb = PTLDB.from_timetable(small_timetable, labels=small_labels)
+    ptldb.build_target_set(
+        "poi",
+        targets={1, 4, 9, 13, 16},
+        kmax=4,
+        families=(
+            "knn_ea",
+            "knn_ld",
+            "otm_ea",
+            "otm_ld",
+            "naive_ea",
+            "naive_ld",
+        ),
+    )
+    return ptldb
+
+
+@pytest.fixture(scope="session")
+def small_engine(small_labels):
+    from repro.labeling.query import TTLQueryEngine
+
+    return TTLQueryEngine(small_labels)

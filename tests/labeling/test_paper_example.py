@@ -1,0 +1,125 @@
+"""Golden tests against the paper's worked example (Figure 1 / Table 1).
+
+Our TTL construction, run on the reconstructed example graph with the
+paper's vertex order, must reproduce Table 1 exactly: the real label tuples
+and (after ``add_dummy_tuples``) the bold dummy entries.
+"""
+
+import pytest
+
+from repro.labeling.query import TTLQueryEngine
+from repro.labeling.ttl import build_labels
+from tests.conftest import PAPER_ORDER
+
+
+def real(tuples):
+    return sorted((t.hub, t.td, t.ta) for t in tuples if not t.is_dummy)
+
+
+def dummies(tuples):
+    return sorted((t.hub, t.td, t.ta) for t in tuples if t.is_dummy)
+
+
+# Table 1, non-bold entries: <hub, td, ta>
+EXPECTED_LOUT = {
+    0: [],
+    1: [(0, 324, 360)],
+    2: [(0, 324, 360)],
+    3: [(0, 324, 360)],
+    4: [(0, 324, 360)],
+    5: [(0, 288, 360), (1, 288, 324)],
+    6: [(0, 288, 360), (2, 288, 324)],
+}
+EXPECTED_LIN = {
+    0: [],
+    1: [(0, 360, 396)],
+    2: [(0, 360, 396)],
+    3: [(0, 360, 396)],
+    4: [(0, 360, 396)],
+    5: [(0, 360, 432), (1, 396, 432)],
+    6: [(0, 360, 432), (2, 396, 432)],
+}
+# Table 1, bold entries (identical in Lout and Lin)
+EXPECTED_DUMMIES = {
+    0: [(0, 360, 360)],
+    1: [(1, 324, 324), (1, 396, 396)],
+    2: [(2, 324, 324), (2, 396, 396)],
+    3: [(3, 396, 396)],
+    4: [(4, 396, 396)],
+    5: [(5, 432, 432)],
+    6: [(6, 432, 432)],
+}
+
+
+class TestTable1:
+    def test_real_lout_tuples(self, paper_labels):
+        for v, expected in EXPECTED_LOUT.items():
+            assert real(paper_labels.lout[v]) == expected, f"Lout({v})"
+
+    def test_real_lin_tuples(self, paper_labels):
+        for v, expected in EXPECTED_LIN.items():
+            assert real(paper_labels.lin[v]) == expected, f"Lin({v})"
+
+    def test_dummy_tuples_match_bold_entries(self, paper_labels_with_dummies):
+        labels = paper_labels_with_dummies
+        for v, expected in EXPECTED_DUMMIES.items():
+            assert dummies(labels.lout[v]) == expected, f"Lout({v}) dummies"
+            assert dummies(labels.lin[v]) == expected, f"Lin({v}) dummies"
+
+    def test_dummy_fraction_is_small(self, paper_labels_with_dummies):
+        """The paper: dummy tuples are a small fraction of all tuples (the
+        example graph is tiny, so allow up to half)."""
+        labels = paper_labels_with_dummies
+        assert labels.dummy_count() < labels.total_tuples
+
+    def test_trip_and_pivot_witnesses(self, paper_labels):
+        """Table 1 pivots: Lout(5) hub-0 tuple is <0,288,360,1,1> (trip 1,
+        pivot 1); Lout(3) hub-0 tuple is <0,324,360,0,3> (trip 3, pivot =
+        hub, because the connection is direct)."""
+        (t,) = [t for t in paper_labels.lout[5] if t.hub == 0]
+        assert (t.trip, t.pivot) == (1, 1)
+        (t,) = [t for t in paper_labels.lout[3] if t.hub == 0]
+        assert (t.trip, t.pivot) == (3, 0)
+        # Lin(5) hub-0 tuple is <0,360,432,1,2>: final trip 2, pivot 1
+        (t,) = [t for t in paper_labels.lin[5] if t.hub == 0]
+        assert (t.trip, t.pivot) == (2, 1)
+
+
+class TestPaperQueries:
+    def test_ea_1_1_324_is_324(self, paper_labels_with_dummies):
+        """The paper: 'the answer to the EA(1, 1, 324) query is 324'."""
+        engine = TTLQueryEngine(paper_labels_with_dummies)
+        assert engine._ea_join(1, 1, 324) == 324
+
+    def test_ea_via_hub(self, paper_labels_with_dummies, paper_timetable):
+        engine = TTLQueryEngine(paper_labels_with_dummies)
+        # 5 -> 6 must go 5 -(trip1)-> ... -> 6, arriving 432
+        assert engine.earliest_arrival(5, 6, 288) == 432
+        # too late to depart: no journey
+        assert engine.earliest_arrival(5, 6, 289) is None
+
+    def test_ld_via_hub(self, paper_labels_with_dummies):
+        engine = TTLQueryEngine(paper_labels_with_dummies)
+        assert engine.latest_departure(5, 6, 432) == 288
+        assert engine.latest_departure(5, 6, 431) is None
+
+    def test_sd_window(self, paper_labels_with_dummies):
+        engine = TTLQueryEngine(paper_labels_with_dummies)
+        assert engine.shortest_duration(5, 6, 288, 432) == 144
+        assert engine.shortest_duration(5, 6, 289, 432) is None
+
+
+class TestOrderMatters:
+    def test_different_order_still_correct(self, paper_timetable):
+        """A worse order gives bigger labels but identical answers."""
+        reversed_order = list(reversed(PAPER_ORDER))
+        labels, _ = build_labels(paper_timetable, order=reversed_order)
+        engine = TTLQueryEngine(labels)
+        assert engine.earliest_arrival(5, 6, 288) == 432
+        assert engine.latest_departure(5, 6, 432) == 288
+
+    def test_bad_order_rejected(self, paper_timetable):
+        from repro.errors import LabelingError
+
+        with pytest.raises(LabelingError):
+            build_labels(paper_timetable, order=[0, 0, 1, 2, 3, 4, 5])

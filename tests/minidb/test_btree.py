@@ -1,0 +1,134 @@
+"""Tests for the paged B+Tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.minidb.btree import BTree
+from repro.minidb.buffer import BufferPool
+from repro.minidb.disk import DiskManager
+
+
+def make_tree(key_len=1, capacity=256):
+    pool = BufferPool(DiskManager(), capacity=capacity)
+    return BTree(pool, key_len=key_len), pool
+
+
+class TestBasics:
+    def test_empty_search(self):
+        tree, _ = make_tree()
+        assert tree.search((5,)) is None
+        assert len(tree) == 0
+        assert tree.height() == 1
+
+    def test_insert_and_search(self):
+        tree, _ = make_tree()
+        tree.insert((5,), (1, 2))
+        assert tree.search((5,)) == (1, 2)
+        assert tree.search((6,)) is None
+
+    def test_replace_existing_key(self):
+        tree, _ = make_tree()
+        tree.insert((5,), (1, 2))
+        tree.insert((5,), (9, 9))
+        assert tree.search((5,)) == (9, 9)
+        assert len(tree) == 1
+
+    def test_key_arity_enforced(self):
+        tree, _ = make_tree(key_len=2)
+        with pytest.raises(StorageError):
+            tree.insert((1,), (0, 0))
+        with pytest.raises(StorageError):
+            tree.search((1, 2, 3))
+
+    def test_key_len_bounds(self):
+        pool = BufferPool(DiskManager(), capacity=16)
+        with pytest.raises(StorageError):
+            BTree(pool, key_len=0)
+        with pytest.raises(StorageError):
+            BTree(pool, key_len=5)
+
+
+class TestSplits:
+    def test_grows_in_height(self):
+        tree, _ = make_tree()
+        for i in range(2000):
+            tree.insert((i,), (i, 0))
+        assert tree.height() >= 2
+        for i in range(2000):
+            assert tree.search((i,)) == (i, 0)
+
+    def test_reverse_insertion_order(self):
+        tree, _ = make_tree()
+        for i in reversed(range(1500)):
+            tree.insert((i,), (i, 1))
+        assert [k[0] for k, _ in tree.scan()] == list(range(1500))
+
+    def test_random_insertion_matches_dict(self):
+        tree, _ = make_tree(key_len=2)
+        rng = random.Random(9)
+        expected = {}
+        for _ in range(3000):
+            key = (rng.randrange(500), rng.randrange(500))
+            value = (rng.randrange(10_000), rng.randrange(100))
+            expected[key] = value
+            tree.insert(key, value)
+        for key, value in expected.items():
+            assert tree.search(key) == value
+        assert [k for k, _ in tree.scan()] == sorted(expected)
+
+    def test_survives_tiny_pool(self):
+        tree, pool = make_tree(capacity=4)
+        for i in range(1200):
+            tree.insert((i,), (i, 0))
+        pool.clear()
+        for i in range(0, 1200, 37):
+            assert tree.search((i,)) == (i, 0)
+
+
+class TestScan:
+    def test_range_scan(self):
+        tree, _ = make_tree()
+        for i in range(0, 100, 2):
+            tree.insert((i,), (i, 0))
+        got = [k[0] for k, _ in tree.scan(low=(10,), high=(20,))]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_scan_between_keys(self):
+        tree, _ = make_tree()
+        for i in range(0, 100, 10):
+            tree.insert((i,), (i, 0))
+        got = [k[0] for k, _ in tree.scan(low=(11,), high=(39,))]
+        assert got == [20, 30]
+
+    def test_full_scan_sorted(self):
+        tree, _ = make_tree(key_len=2)
+        keys = [(3, 1), (1, 9), (2, 2), (1, 1), (3, 0)]
+        for i, key in enumerate(keys):
+            tree.insert(key, (i, 0))
+        assert [k for k, _ in tree.scan()] == sorted(keys)
+
+
+class TestProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(
+            st.tuples(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.integers(min_value=-(2**40), max_value=2**40),
+            ),
+            max_size=400,
+        )
+    )
+    def test_matches_reference_dict(self, keys):
+        tree, _ = make_tree(key_len=2, capacity=512)
+        expected = {}
+        for i, key in enumerate(keys):
+            tree.insert(key, (i, i % 7))
+            expected[key] = (i, i % 7)
+        for key, value in expected.items():
+            assert tree.search(key) == value
+        assert [k for k, _ in tree.scan()] == sorted(expected)

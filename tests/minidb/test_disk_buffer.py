@@ -1,0 +1,157 @@
+"""Tests for the disk manager, device models and buffer pool."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.minidb.buffer import BufferPool
+from repro.minidb.disk import DiskManager, hdd_model, ram_model, ssd_model
+from repro.minidb.page import KIND_HEAP, PAGE_SIZE, Page
+
+
+class TestDeviceModels:
+    def test_hdd_random_reads_are_expensive(self):
+        hdd = hdd_model()
+        assert hdd.random_read_ms > 50 * hdd.sequential_read_ms
+
+    def test_ssd_much_faster_than_hdd(self):
+        assert hdd_model().random_read_ms > 50 * ssd_model().random_read_ms
+
+    def test_ram_is_free(self):
+        ram = ram_model()
+        assert ram.random_read_ms == 0.0
+
+
+class TestDiskManager:
+    def test_allocate_and_roundtrip(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        buf = bytearray(PAGE_SIZE)
+        buf[0] = 42
+        disk.write_page(pid, buf)
+        assert disk.read_page(pid)[0] == 42
+
+    def test_out_of_range(self):
+        disk = DiskManager()
+        with pytest.raises(StorageError):
+            disk.read_page(0)
+        disk.allocate()
+        with pytest.raises(StorageError):
+            disk.read_page(1)
+
+    def test_short_write_rejected(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        with pytest.raises(StorageError):
+            disk.write_page(pid, b"short")
+
+    def test_sequential_detection(self):
+        disk = DiskManager(device=hdd_model())
+        for _ in range(3):
+            disk.allocate()
+        disk.read_page(0)
+        disk.read_page(1)
+        disk.read_page(2)
+        disk.read_page(0)  # jump back: random again
+        assert disk.stats.reads == 4
+        assert disk.stats.sequential_reads == 2
+        expected = 2 * hdd_model().random_read_ms + 2 * hdd_model().sequential_read_ms
+        assert disk.stats.simulated_read_ms == pytest.approx(expected)
+
+    def test_file_persistence(self, tmp_path):
+        path = os.path.join(tmp_path, "db.pages")
+        disk = DiskManager(path=path)
+        pid = disk.allocate()
+        buf = bytearray(PAGE_SIZE)
+        buf[:5] = b"hello"
+        disk.write_page(pid, buf)
+        disk.close()
+        reopened = DiskManager(path=path)
+        assert reopened.num_pages == 1
+        assert bytes(reopened.read_page(pid)[:5]) == b"hello"
+        reopened.close()
+
+    def test_unaligned_file_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.pages")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * 100)
+        with pytest.raises(StorageError, match="not page aligned"):
+            DiskManager(path=path)
+
+    def test_stats_delta(self):
+        disk = DiskManager(device=ssd_model())
+        disk.allocate()
+        before = disk.stats.snapshot()
+        disk.read_page(0)
+        delta = disk.stats.delta(before)
+        assert delta.reads == 1
+        assert delta.simulated_read_ms > 0
+
+
+class TestBufferPool:
+    def make(self, capacity=4):
+        disk = DiskManager(device=hdd_model())
+        return BufferPool(disk, capacity=capacity), disk
+
+    def test_capacity_validation(self):
+        disk = DiskManager()
+        with pytest.raises(StorageError):
+            BufferPool(disk, capacity=0)
+
+    def test_hit_vs_miss(self):
+        pool, disk = self.make()
+        pid, page = pool.new_page(KIND_HEAP)
+        pool.get(pid)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 0
+        pool.clear()
+        pool.get(pid)
+        assert pool.stats.misses == 1
+
+    def test_eviction_writes_back_dirty(self):
+        pool, disk = self.make(capacity=2)
+        pid, page = pool.new_page(KIND_HEAP)
+        page.insert(b"dirty data")
+        pool.mark_dirty(pid)
+        # admit two more pages, evicting the first
+        pool.new_page(KIND_HEAP)
+        pool.new_page(KIND_HEAP)
+        assert not pool.resident(pid)
+        assert pool.stats.evictions >= 1
+        recovered = pool.get(pid)
+        assert recovered.read(0) == b"dirty data"
+
+    def test_mark_dirty_requires_resident(self):
+        pool, _ = self.make(capacity=2)
+        pid, _ = pool.new_page(KIND_HEAP)
+        pool.new_page(KIND_HEAP)
+        pool.new_page(KIND_HEAP)  # evicts pid
+        with pytest.raises(StorageError):
+            pool.mark_dirty(pid)
+
+    def test_clear_flushes(self):
+        pool, disk = self.make()
+        pid, page = pool.new_page(KIND_HEAP)
+        page.insert(b"payload")
+        pool.mark_dirty(pid)
+        pool.clear()
+        assert len(pool) == 0
+        fresh = Page(disk.read_page(pid))
+        assert fresh.read(0) == b"payload"
+
+    def test_lru_order(self):
+        pool, _ = self.make(capacity=2)
+        a, _ = pool.new_page(KIND_HEAP)
+        b, _ = pool.new_page(KIND_HEAP)
+        pool.get(a)  # a becomes most-recent
+        pool.new_page(KIND_HEAP)  # evicts b, not a
+        assert pool.resident(a)
+        assert not pool.resident(b)
+
+    def test_clear_resets_sequential_run(self):
+        pool, disk = self.make()
+        pid, _ = pool.new_page(KIND_HEAP)
+        pool.clear()
+        pool.get(pid)  # must be charged as a random read, not sequential
+        assert disk.stats.sequential_reads == 0

@@ -1,0 +1,131 @@
+"""Executor edge cases: NULL semantics, CASE, operators, catalog corners."""
+
+import pytest
+
+from repro.errors import CatalogError, SQLError, SQLSyntaxError
+from repro.minidb.engine import Database
+from repro.minidb.catalog import TableSchema
+from repro.minidb.values import Column, T_BIGINT
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a BIGINT, b BIGINT)")
+    database.execute("INSERT INTO t VALUES (1, NULL), (2, 5)")
+    return database
+
+
+class TestNullSemantics:
+    def test_arithmetic_with_null_is_null(self, db):
+        assert db.execute("SELECT b + 1 FROM t WHERE a = 1").scalar() is None
+        assert db.execute("SELECT NULL * 3").scalar() is None
+
+    def test_and_or_three_valued(self, db):
+        # NULL AND FALSE = FALSE (row excluded but not by unknown-ness)
+        assert db.execute("SELECT 1 WHERE NULL AND FALSE").rows == []
+        assert db.execute("SELECT 1 WHERE NULL OR TRUE").rows == [(1,)]
+        assert db.execute("SELECT 1 WHERE NULL OR FALSE").rows == []
+
+    def test_not_null_is_null(self, db):
+        assert db.execute("SELECT 1 WHERE NOT NULL").rows == []
+
+    def test_in_with_null_operand(self, db):
+        assert db.execute("SELECT a FROM t WHERE b IN (5)").rows == [(2,)]
+        # NULL IN (...) is unknown, never true
+        assert db.execute("SELECT a FROM t WHERE b IN (1, 2)").rows == []
+
+    def test_aggregates_skip_nulls_but_count_star_does_not(self, db):
+        assert db.execute("SELECT AVG(b) FROM t").scalar() == 5.0
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+class TestCase:
+    def test_case_without_else_is_null(self, db):
+        value = db.execute(
+            "SELECT CASE WHEN a = 99 THEN 1 END FROM t WHERE a = 1"
+        ).scalar()
+        assert value is None
+
+    def test_case_first_match_wins(self, db):
+        value = db.execute(
+            "SELECT CASE WHEN a >= 1 THEN 'first' WHEN a >= 0 THEN 'second' END "
+            "FROM t WHERE a = 2"
+        ).scalar()
+        assert value == "first"
+
+    def test_case_null_condition_falls_through(self, db):
+        value = db.execute(
+            "SELECT CASE WHEN b > 0 THEN 'yes' ELSE 'no' END FROM t WHERE a = 1"
+        ).scalar()
+        assert value == "no"  # NULL > 0 is unknown -> ELSE
+
+
+class TestOperators:
+    def test_string_concat_and_array_concat(self, db):
+        assert db.execute("SELECT 'a' || 'b' || 'c'").scalar() == "abc"
+        assert db.execute("SELECT ARRAY[1] || 2").scalar() == [1, 2]
+
+    def test_modulo(self, db):
+        assert db.execute("SELECT 7 % 3").scalar() == 1
+        assert db.execute("SELECT MOD(7, 3)").scalar() == 1
+        with pytest.raises(SQLError):
+            db.execute("SELECT 7 % 0")
+
+    def test_unary_minus_chains(self, db):
+        assert db.execute("SELECT - - 5").scalar() == 5
+
+    def test_comparison_of_mixed_numeric(self, db):
+        assert db.execute("SELECT 1 WHERE 2 > 1.5").rows == [(1,)]
+
+
+class TestCatalogCorners:
+    def test_duplicate_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (x BIGINT)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (x BIGINT)")  # fine
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("bad", [Column("x", T_BIGINT), Column("x", T_BIGINT)])
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("bad", [Column("x", T_BIGINT)], ("nope",))
+
+    def test_pk_must_be_integer(self, db):
+        db.execute("CREATE TABLE s (name TEXT, PRIMARY KEY (name))")
+        from repro.errors import SQLTypeError
+
+        with pytest.raises(SQLTypeError):
+            db.execute("INSERT INTO s VALUES ('x')")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE missing")
+
+
+class TestMisc:
+    def test_semicolon_tolerated(self, db):
+        assert db.execute("SELECT 1;").scalar() == 1
+
+    def test_empty_group_key_tuple(self, db):
+        # GROUP BY on a constant: single group
+        rows = db.execute("SELECT COUNT(*) FROM t GROUP BY 1 + 1").rows
+        assert rows == [(2,)]
+
+    def test_select_from_where_false(self, db):
+        assert db.execute("SELECT a FROM t WHERE FALSE").rows == []
+
+    def test_window_inside_expression_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELECT 1 + ROW_NUMBER() OVER (ORDER BY a) FROM t")
+
+    def test_order_by_on_union_by_position(self, db):
+        rows = db.execute(
+            "SELECT 2 AS x UNION SELECT 1 ORDER BY 1 DESC"
+        ).rows
+        assert rows == [(2,), (1,)]
+
+    def test_deeply_nested_parentheses(self, db):
+        assert db.execute("SELECT ((((1 + 2)) * (3)))").scalar() == 9

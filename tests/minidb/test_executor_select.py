@@ -1,0 +1,190 @@
+"""Executor tests: projections, filters, ordering, NULL semantics."""
+
+import pytest
+
+from repro.errors import SQLError, SQLNameError, SQLSyntaxError
+from repro.minidb.engine import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a BIGINT, b BIGINT, s TEXT, PRIMARY KEY (a))")
+    database.execute(
+        "INSERT INTO t VALUES (1, 10, 'x'), (2, 20, 'y'), (3, NULL, 'z'), (4, 40, NULL)"
+    )
+    return database
+
+
+class TestProjection:
+    def test_select_columns(self, db):
+        result = db.execute("SELECT a, b FROM t ORDER BY a")
+        assert result.columns == ["a", "b"]
+        assert result.rows == [(1, 10), (2, 20), (3, None), (4, 40)]
+
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM t WHERE a = 1")
+        assert result.rows == [(1, 10, "x")]
+
+    def test_qualified_star(self, db):
+        result = db.execute("SELECT t.* FROM t WHERE a = 2")
+        assert result.rows == [(2, 20, "y")]
+
+    def test_expressions_and_aliases(self, db):
+        result = db.execute("SELECT a * 2 + 1 AS odd FROM t WHERE a = 3")
+        assert result.columns == ["odd"]
+        assert result.rows == [(7,)]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").rows == [(3,)]
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SQLNameError):
+            db.execute("SELECT nope FROM t")
+
+    def test_unknown_table(self, db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            db.execute("SELECT 1 FROM missing")
+
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT a, CASE WHEN b >= 20 THEN 'big' WHEN b IS NULL THEN 'null' "
+            "ELSE 'small' END FROM t ORDER BY a"
+        )
+        assert [r[1] for r in result.rows] == ["small", "big", "null", "big"]
+
+
+class TestWhere:
+    def test_comparisons(self, db):
+        assert len(db.execute("SELECT a FROM t WHERE b > 10").rows) == 2
+        assert len(db.execute("SELECT a FROM t WHERE b >= 10").rows) == 3
+        assert len(db.execute("SELECT a FROM t WHERE b <> 10").rows) == 2
+
+    def test_null_comparisons_filter_out(self, db):
+        # b = NULL is unknown, never true
+        assert db.execute("SELECT a FROM t WHERE b = NULL").rows == []
+        assert db.execute("SELECT a FROM t WHERE b IS NULL").rows == [(3,)]
+        assert len(db.execute("SELECT a FROM t WHERE b IS NOT NULL").rows) == 3
+
+    def test_and_or(self, db):
+        rows = db.execute(
+            "SELECT a FROM t WHERE a > 1 AND (b = 20 OR b = 40) ORDER BY a"
+        ).rows
+        assert rows == [(2,), (4,)]
+
+    def test_in_list(self, db):
+        rows = db.execute("SELECT a FROM t WHERE a IN (1, 3) ORDER BY a").rows
+        assert rows == [(1,), (3,)]
+
+    def test_between(self, db):
+        rows = db.execute("SELECT a FROM t WHERE b BETWEEN 10 AND 20 ORDER BY a").rows
+        assert rows == [(1,), (2,)]
+
+    def test_not(self, db):
+        rows = db.execute("SELECT a FROM t WHERE NOT a = 1 ORDER BY a").rows
+        assert rows == [(2,), (3,), (4,)]
+
+
+class TestOrderLimit:
+    def test_order_desc(self, db):
+        rows = db.execute("SELECT a FROM t ORDER BY a DESC").rows
+        assert rows == [(4,), (3,), (2,), (1,)]
+
+    def test_nulls_sort_last_both_directions(self, db):
+        asc = db.execute("SELECT b FROM t ORDER BY b").rows
+        assert asc == [(10,), (20,), (40,), (None,)]
+        desc = db.execute("SELECT b FROM t ORDER BY b DESC").rows
+        assert desc == [(40,), (20,), (10,), (None,)]
+
+    def test_multi_key(self, db):
+        db.execute("INSERT INTO t VALUES (5, 10, 'w')")
+        rows = db.execute("SELECT b, a FROM t ORDER BY b, a DESC").rows
+        assert rows[0] == (10, 5)
+        assert rows[1] == (10, 1)
+
+    def test_order_by_position(self, db):
+        rows = db.execute("SELECT a, b FROM t ORDER BY 2 DESC, 1").rows
+        assert rows[0] == (4, 40)
+
+    def test_order_by_alias(self, db):
+        rows = db.execute("SELECT a * -1 AS neg FROM t ORDER BY neg").rows
+        assert rows == [(-4,), (-3,), (-2,), (-1,)]
+
+    def test_limit_offset(self, db):
+        rows = db.execute("SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1").rows
+        assert rows == [(2,), (3,)]
+
+    def test_limit_param(self, db):
+        rows = db.execute("SELECT a FROM t ORDER BY a LIMIT $1", (3,)).rows
+        assert len(rows) == 3
+
+    def test_bad_limit(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT a FROM t LIMIT -1")
+
+
+class TestDistinct:
+    def test_distinct(self, db):
+        db.execute("INSERT INTO t VALUES (6, 10, 'x')")
+        rows = db.execute("SELECT DISTINCT s FROM t ORDER BY s").rows
+        assert rows == [("x",), ("y",), ("z",), (None,)]
+
+
+class TestParams:
+    def test_positional(self, db):
+        assert db.execute("SELECT a FROM t WHERE a = $1", (2,)).rows == [(2,)]
+
+    def test_missing_param(self, db):
+        with pytest.raises(SQLError, match="parameter"):
+            db.execute("SELECT $2", (1,))
+
+
+class TestScalarFunctions:
+    def test_floor_integer_division(self, db):
+        # PostgreSQL: int/int truncates; FLOOR of it is the same int
+        assert db.execute("SELECT FLOOR(7300/3600)").scalar() == 2
+        assert db.execute("SELECT 7/2").scalar() == 3
+        assert db.execute("SELECT -7/2").scalar() == -3  # truncation toward zero
+
+    def test_float_division(self, db):
+        assert db.execute("SELECT 7.0/2").scalar() == 3.5
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(SQLError, match="division by zero"):
+            db.execute("SELECT 1/0")
+
+    def test_least_greatest(self, db):
+        assert db.execute("SELECT LEAST(3, 1, 2)").scalar() == 1
+        assert db.execute("SELECT GREATEST(3, NULL, 5)").scalar() == 5
+
+    def test_coalesce(self, db):
+        assert db.execute("SELECT COALESCE(NULL, NULL, 9)").scalar() == 9
+
+    def test_abs_round_sqrt(self, db):
+        assert db.execute("SELECT ABS(-4)").scalar() == 4
+        assert db.execute("SELECT SQRT(9.0)").scalar() == 3.0
+
+    def test_strings(self, db):
+        assert db.execute("SELECT UPPER('ab') || LOWER('CD')").scalar() == "ABcd"
+        assert db.execute("SELECT LENGTH('abc')").scalar() == 3
+
+    def test_unknown_function(self, db):
+        with pytest.raises(SQLNameError):
+            db.execute("SELECT FROBNICATE(1)")
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELECT a FROM t WHERE MIN(a) = 1")
+
+
+class TestResultApi:
+    def test_scalar_requires_single_cell(self, db):
+        with pytest.raises(SQLError):
+            db.execute("SELECT a FROM t").scalar()
+
+    def test_iteration_and_len(self, db):
+        result = db.execute("SELECT a FROM t")
+        assert len(result) == 4
+        assert sorted(v for (v,) in result) == [1, 2, 3, 4]

@@ -1,0 +1,71 @@
+"""Direct unit tests of the scalar/aggregate function registry."""
+
+import pytest
+
+from repro.errors import SQLNameError, SQLTypeError
+from repro.minidb.sql import functions as fn
+
+
+class TestScalars:
+    def test_floor_ceil_on_ints_and_floats(self):
+        assert fn.SCALAR_FUNCTIONS["floor"](3.7) == 3
+        assert fn.SCALAR_FUNCTIONS["floor"](5) == 5
+        assert fn.SCALAR_FUNCTIONS["ceil"](3.2) == 4
+        assert fn.SCALAR_FUNCTIONS["ceil"](None) is None
+
+    def test_coalesce_variants(self):
+        coalesce = fn.SCALAR_FUNCTIONS["coalesce"]
+        assert coalesce(None, None) is None
+        assert coalesce(None, 0, 1) == 0
+        assert coalesce("x") == "x"
+
+    def test_least_greatest_skip_nulls(self):
+        assert fn.SCALAR_FUNCTIONS["least"](None, None) is None
+        assert fn.SCALAR_FUNCTIONS["least"](3, None, 1) == 1
+        assert fn.SCALAR_FUNCTIONS["greatest"](3, None, 1) == 3
+
+    def test_cardinality_type_check(self):
+        assert fn.SCALAR_FUNCTIONS["cardinality"]([1, 2]) == 2
+        assert fn.SCALAR_FUNCTIONS["cardinality"](None) is None
+        with pytest.raises(SQLTypeError):
+            fn.SCALAR_FUNCTIONS["cardinality"](5)
+
+    def test_array_length_postgres_quirks(self):
+        array_length = fn.SCALAR_FUNCTIONS["array_length"]
+        assert array_length([1], 1) == 1
+        assert array_length([], 1) is None  # PostgreSQL returns NULL
+        with pytest.raises(SQLTypeError):
+            array_length([1], 2)  # one-dimensional only
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SQLNameError):
+            fn.get_scalar("nope")
+
+
+class TestAggregates:
+    def test_min_max_skip_nulls(self):
+        assert fn.agg_min([None, 3, 1, None]) == 1
+        assert fn.agg_max([None]) is None
+        assert fn.agg_max([]) is None
+
+    def test_sum_avg(self):
+        assert fn.agg_sum([1, None, 2]) == 3
+        assert fn.agg_avg([1, None, 2]) == 1.5
+        assert fn.agg_sum([None]) is None
+
+    def test_count_counts_non_nulls(self):
+        assert fn.agg_count([1, None, "x"]) == 2
+
+    def test_array_agg(self):
+        assert fn.agg_array([1, None, 2]) == [1, 2]
+        assert fn.agg_array([None]) is None
+
+    def test_bool_aggregates(self):
+        assert fn.agg_bool_and([True, True]) is True
+        assert fn.agg_bool_and([True, False]) is False
+        assert fn.agg_bool_and([None]) is None
+        assert fn.agg_bool_or([False, None, True]) is True
+
+    def test_is_aggregate(self):
+        assert fn.is_aggregate("min")
+        assert not fn.is_aggregate("floor")

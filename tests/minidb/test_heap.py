@@ -1,0 +1,98 @@
+"""Tests for heap files and overflow chains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb.buffer import BufferPool
+from repro.minidb.disk import DiskManager
+from repro.minidb.heap import _INLINE_LIMIT, HeapFile
+
+
+def make_heap(capacity=64):
+    pool = BufferPool(DiskManager(), capacity=capacity)
+    return HeapFile(pool), pool
+
+
+class TestSmallRecords:
+    def test_roundtrip(self):
+        heap, _ = make_heap()
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+
+    def test_rids_are_stable(self):
+        heap, _ = make_heap()
+        rids = [heap.insert(bytes([i]) * 10) for i in range(200)]
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == bytes([i]) * 10
+
+    def test_spills_to_new_pages(self):
+        heap, _ = make_heap()
+        for i in range(100):
+            heap.insert(b"x" * 500)
+        assert len(heap.page_ids()) > 1
+
+    def test_scan_in_insert_order(self):
+        heap, _ = make_heap()
+        payloads = [bytes([i % 256]) * (i % 300 + 1) for i in range(150)]
+        for payload in payloads:
+            heap.insert(payload)
+        assert [rec for _, rec in heap.scan()] == payloads
+
+
+class TestOverflow:
+    def test_large_record_roundtrip(self):
+        heap, _ = make_heap()
+        big = bytes(range(256)) * 200  # 51200 bytes, ~7 overflow pages
+        rid = heap.insert(big)
+        assert heap.read(rid) == big
+
+    def test_boundary_record(self):
+        heap, _ = make_heap()
+        # exactly at the inline limit and one past it
+        at_limit = b"a" * (_INLINE_LIMIT - 1)
+        past_limit = b"b" * _INLINE_LIMIT
+        r1 = heap.insert(at_limit)
+        r2 = heap.insert(past_limit)
+        assert heap.read(r1) == at_limit
+        assert heap.read(r2) == past_limit
+
+    def test_mixed_scan(self):
+        heap, _ = make_heap()
+        payloads = [b"small", b"L" * 30_000, b"tiny", b"M" * 9_000]
+        for payload in payloads:
+            heap.insert(payload)
+        assert [rec for _, rec in heap.scan()] == payloads
+
+    def test_overflow_survives_tiny_pool(self):
+        heap, pool = make_heap(capacity=3)
+        big = b"Z" * 40_000
+        rid = heap.insert(big)
+        pool.clear()
+        assert heap.read(rid) == big
+
+
+class TestDelete:
+    def test_deleted_records_skipped_by_scan(self):
+        heap, _ = make_heap()
+        keep = heap.insert(b"keep")
+        kill = heap.insert(b"kill")
+        heap.delete(kill)
+        assert [rec for _, rec in heap.scan()] == [b"keep"]
+        assert heap.read(keep) == b"keep"
+
+
+class TestProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=0, max_size=20_000), min_size=1, max_size=15
+        )
+    )
+    def test_roundtrip_many(self, payloads):
+        heap, pool = make_heap(capacity=8)
+        rids = [heap.insert(p) for p in payloads]
+        pool.clear()  # force re-reads from "disk"
+        for rid, payload in zip(rids, payloads):
+            assert heap.read(rid) == payload
+        assert [rec for _, rec in heap.scan()] == payloads

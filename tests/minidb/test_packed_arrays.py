@@ -1,0 +1,81 @@
+"""Tests for the delta+varint packed integer array type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb.engine import Database
+from repro.minidb.values import (
+    T_BIGINT_ARRAY,
+    T_BIGINT_ARRAY_PACKED,
+    decode_record,
+    encode_record,
+    type_from_name,
+)
+
+
+class TestCodec:
+    def test_spelling(self):
+        assert type_from_name("BIGINT_PACKED[]") == T_BIGINT_ARRAY_PACKED
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        arr=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=-(2**62), max_value=2**62),
+            ),
+            max_size=60,
+        )
+    )
+    def test_roundtrip(self, arr):
+        types = (T_BIGINT_ARRAY_PACKED,)
+        assert decode_record(types, encode_record(types, (arr,))) == (arr,)
+
+    def test_sorted_arrays_compress_well(self):
+        sorted_ts = list(range(30_000, 60_000, 60))  # typical tds vector
+        packed = encode_record((T_BIGINT_ARRAY_PACKED,), (sorted_ts,))
+        flat = encode_record((T_BIGINT_ARRAY,), (sorted_ts,))
+        assert len(packed) < len(flat) / 4
+
+    def test_negative_jumps(self):
+        arr = [1_000_000, -1_000_000, 0, 2**50, -(2**50)]
+        types = (T_BIGINT_ARRAY_PACKED,)
+        assert decode_record(types, encode_record(types, (arr,)))[0] == arr
+
+
+class TestInSql:
+    def test_unnest_and_slices_work(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE p (v BIGINT, xs BIGINT_PACKED[], PRIMARY KEY (v))"
+        )
+        db.execute("INSERT INTO p VALUES (1, ARRAY[5, 6, 9])")
+        assert db.execute("SELECT UNNEST(xs) FROM p WHERE v = 1").rows == [
+            (5,), (6,), (9,),
+        ]
+        assert db.execute("SELECT xs[1:2] FROM p WHERE v = 1").scalar() == [5, 6]
+        assert db.execute("SELECT CARDINALITY(xs) FROM p WHERE v = 1").scalar() == 3
+
+
+class TestCompressedPtldb:
+    def test_identical_answers_smaller_footprint(self, small_timetable, small_labels):
+        import random
+
+        from repro.ptldb import PTLDB
+
+        flat = PTLDB.from_timetable(small_timetable, labels=small_labels)
+        packed = PTLDB.from_timetable(
+            small_timetable, labels=small_labels, compressed=True
+        )
+        assert (
+            packed.storage_report()["total_pages"]
+            < flat.storage_report()["total_pages"]
+        )
+        rng = random.Random(2)
+        for _ in range(60):
+            s = rng.randrange(small_timetable.num_stops)
+            g = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            assert flat.earliest_arrival(s, g, t) == packed.earliest_arrival(s, g, t)
+            assert flat.latest_departure(s, g, t) == packed.latest_departure(s, g, t)

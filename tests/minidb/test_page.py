@@ -1,0 +1,101 @@
+"""Tests for slotted pages."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.minidb.page import (
+    HEADER_SIZE,
+    KIND_HEAP,
+    MAX_CELL,
+    PAGE_SIZE,
+    SLOT_SIZE,
+    Page,
+)
+
+
+@pytest.fixture()
+def page():
+    p = Page()
+    p.format(KIND_HEAP)
+    return p
+
+
+class TestFormat:
+    def test_fresh_page(self, page):
+        assert page.kind == KIND_HEAP
+        assert page.slot_count == 0
+        assert page.next_page == -1
+        assert page.free_space == PAGE_SIZE - HEADER_SIZE - SLOT_SIZE
+
+    def test_rejects_wrong_buffer_size(self):
+        with pytest.raises(StorageError):
+            Page(bytearray(100))
+
+
+class TestInsertRead:
+    def test_roundtrip(self, page):
+        slot = page.insert(b"hello")
+        assert slot == 0
+        assert page.read(0) == b"hello"
+
+    def test_multiple_cells(self, page):
+        cells = [bytes([i]) * (i + 1) for i in range(10)]
+        for i, cell in enumerate(cells):
+            assert page.insert(cell) == i
+        for i, cell in enumerate(cells):
+            assert page.read(i) == cell
+
+    def test_fill_until_full(self, page):
+        cell = b"x" * 100
+        count = 0
+        while page.free_space >= len(cell):
+            page.insert(cell)
+            count += 1
+        assert count == (PAGE_SIZE - HEADER_SIZE) // (100 + SLOT_SIZE)
+        with pytest.raises(StorageError, match="page full"):
+            page.insert(cell)
+
+    def test_oversized_cell(self, page):
+        with pytest.raises(StorageError):
+            page.insert(b"x" * (MAX_CELL + 1))
+
+    def test_max_cell_fits(self, page):
+        page.insert(b"x" * MAX_CELL)
+        assert page.read(0) == b"x" * MAX_CELL
+
+    def test_read_out_of_range(self, page):
+        with pytest.raises(StorageError):
+            page.read(0)
+
+    def test_free_space_shrinks(self, page):
+        before = page.free_space
+        page.insert(b"abcd")
+        assert page.free_space == before - 4 - SLOT_SIZE
+
+
+class TestDelete:
+    def test_delete_and_scan(self, page):
+        for text in (b"a", b"b", b"c"):
+            page.insert(text)
+        page.delete(1)
+        assert page.is_deleted(1)
+        assert not page.is_deleted(0)
+        assert [(slot, cell) for slot, cell in page.cells()] == [
+            (0, b"a"),
+            (2, b"c"),
+        ]
+
+    def test_read_deleted_raises(self, page):
+        page.insert(b"a")
+        page.delete(0)
+        with pytest.raises(StorageError, match="deleted"):
+            page.read(0)
+
+
+class TestChaining:
+    def test_next_page_persists(self, page):
+        page.next_page = 17
+        assert page.next_page == 17
+        # reinterpreting the same buffer sees the same header
+        clone = Page(page.buf)
+        assert clone.next_page == 17

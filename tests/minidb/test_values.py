@@ -1,0 +1,130 @@
+"""Tests for the minidb type system and record codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SQLTypeError, StorageError
+from repro.minidb.values import (
+    Column,
+    T_BIGINT,
+    T_BIGINT_ARRAY,
+    T_BOOL,
+    T_DOUBLE,
+    T_DOUBLE_ARRAY,
+    T_TEXT,
+    check_value,
+    decode_record,
+    encode_record,
+    type_from_name,
+    type_name,
+)
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name,tag",
+        [
+            ("BIGINT", T_BIGINT),
+            ("bigint", T_BIGINT),
+            ("int", T_BIGINT),
+            ("INTEGER", T_BIGINT),
+            ("double precision", T_DOUBLE),
+            ("TEXT", T_TEXT),
+            ("varchar", T_TEXT),
+            ("BOOLEAN", T_BOOL),
+            ("BIGINT[]", T_BIGINT_ARRAY),
+            ("int[]", T_BIGINT_ARRAY),
+            ("FLOAT8[]", T_DOUBLE_ARRAY),
+        ],
+    )
+    def test_resolution(self, name, tag):
+        assert type_from_name(name) == tag
+
+    def test_unknown_name(self):
+        with pytest.raises(SQLTypeError):
+            type_from_name("JSONB")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SQLTypeError):
+            type_name(99)
+
+    def test_column_validates_eagerly(self):
+        with pytest.raises(SQLTypeError):
+            Column("c", 99)
+        assert Column("c", T_BIGINT).type_str == "BIGINT"
+
+
+class TestCheckValue:
+    def test_null_always_ok(self):
+        for tag in (T_BIGINT, T_DOUBLE, T_TEXT, T_BOOL, T_BIGINT_ARRAY):
+            assert check_value(tag, None) is None
+
+    def test_bigint(self):
+        assert check_value(T_BIGINT, 42) == 42
+        with pytest.raises(SQLTypeError):
+            check_value(T_BIGINT, 4.5)
+        with pytest.raises(SQLTypeError):
+            check_value(T_BIGINT, True)  # bools are not ints here
+
+    def test_double_coerces_int(self):
+        assert check_value(T_DOUBLE, 3) == 3.0
+        assert isinstance(check_value(T_DOUBLE, 3), float)
+
+    def test_text(self):
+        assert check_value(T_TEXT, "hi") == "hi"
+        with pytest.raises(SQLTypeError):
+            check_value(T_TEXT, 5)
+
+    def test_array_elements_checked(self):
+        assert check_value(T_BIGINT_ARRAY, (1, 2, None)) == [1, 2, None]
+        with pytest.raises(SQLTypeError):
+            check_value(T_BIGINT_ARRAY, [1, "x"])
+        with pytest.raises(SQLTypeError):
+            check_value(T_BIGINT_ARRAY, 7)
+
+    def test_double_array_coerces(self):
+        assert check_value(T_DOUBLE_ARRAY, [1, 2.5]) == [1.0, 2.5]
+
+
+class TestRecordCodec:
+    TYPES = (T_BIGINT, T_DOUBLE, T_TEXT, T_BOOL, T_BIGINT_ARRAY, T_DOUBLE_ARRAY)
+
+    def test_simple_roundtrip(self):
+        row = (7, 3.25, "héllo", True, [1, -2, None], [0.5, None])
+        raw = encode_record(self.TYPES, row)
+        assert decode_record(self.TYPES, raw) == row
+
+    def test_all_nulls(self):
+        row = (None,) * 6
+        raw = encode_record(self.TYPES, row)
+        assert decode_record(self.TYPES, raw) == row
+
+    def test_empty_arrays(self):
+        types = (T_BIGINT_ARRAY,)
+        assert decode_record(types, encode_record(types, ([],))) == ([],)
+
+    def test_arity_mismatch(self):
+        with pytest.raises(StorageError):
+            encode_record((T_BIGINT,), (1, 2))
+
+    def test_many_columns_bitmap(self):
+        types = (T_BIGINT,) * 20
+        row = tuple(i if i % 3 else None for i in range(20))
+        assert decode_record(types, encode_record(types, row)) == row
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        number=st.integers(min_value=-(2**62), max_value=2**62),
+        real=st.floats(allow_nan=False, allow_infinity=False),
+        text=st.text(max_size=80),
+        flag=st.booleans(),
+        arr=st.lists(
+            st.one_of(st.none(), st.integers(min_value=-(2**62), max_value=2**62)),
+            max_size=40,
+        ),
+    )
+    def test_property_roundtrip(self, number, real, text, flag, arr):
+        types = (T_BIGINT, T_DOUBLE, T_TEXT, T_BOOL, T_BIGINT_ARRAY)
+        row = (number, real, text, flag, arr)
+        assert decode_record(types, encode_record(types, row)) == row

@@ -1,0 +1,139 @@
+"""Structural tests of the auxiliary tables (paper Tables 4-6)."""
+
+import pytest
+
+from repro.ptldb.framework import PTLDB
+
+TARGETS = {1, 4, 9, 13, 16}
+
+
+@pytest.fixture(scope="module")
+def ptldb(small_timetable, small_labels):
+    # fixtures from tests/conftest.py, re-scoped per module for isolation
+    instance = PTLDB.from_timetable(small_timetable, labels=small_labels)
+    instance.build_target_set(
+        "aux", TARGETS, kmax=2,
+        families=("knn_ea", "knn_ld", "otm_ea", "otm_ld", "naive_ea", "naive_ld"),
+    )
+    return instance
+
+
+def small_timetable_fixture():  # pragma: no cover - doc helper
+    pass
+
+
+class TestTargetsAndHours:
+    def test_targets_table(self, ptldb):
+        rows = ptldb.db.execute("SELECT v FROM tgt_aux ORDER BY v").rows
+        assert [v for (v,) in rows] == sorted(TARGETS)
+
+    def test_hours_cover_label_range(self, ptldb):
+        handle = ptldb.handle("aux")
+        rows = ptldb.db.execute("SELECT h FROM hours_aux ORDER BY h").rows
+        hours = [h for (h,) in rows]
+        assert hours[0] == ptldb.time_low // 3600
+        assert hours[-1] == ptldb.time_high // 3600
+        assert hours == list(range(hours[0], hours[-1] + 1))
+        assert handle.aux.low_hour == hours[0]
+        assert handle.aux.high_hour == hours[-1]
+
+
+class TestOptimizedTables:
+    def test_rows_cover_every_hub_hour(self, ptldb):
+        """Tables 5-6: one row per (hub appearing in target labels, hour)."""
+        db = ptldb.db
+        hubs = {
+            hub
+            for (hub,) in db.execute(
+                "SELECT DISTINCT x.hub FROM (SELECT UNNEST(hubs) AS hub "
+                "FROM lin, tgt_aux WHERE lin.v = tgt_aux.v) x"
+            ).rows
+        }
+        hours = [h for (h,) in db.execute("SELECT h FROM hours_aux").rows]
+        count = db.execute("SELECT COUNT(*) FROM knn_ea_aux").scalar()
+        assert count == len(hubs) * len(hours)
+        count_otm = db.execute("SELECT COUNT(*) FROM otm_ea_aux").scalar()
+        assert count_otm == count
+
+    def test_exp_arrays_stay_within_their_hour(self, ptldb):
+        rows = ptldb.db.execute(
+            "SELECT hub, dephour, tds_exp FROM knn_ea_aux"
+        ).rows
+        checked = 0
+        for hub, hour, tds_exp in rows:
+            if tds_exp is None:
+                continue
+            for td in tds_exp:
+                assert hour * 3600 <= td < (hour + 1) * 3600
+                checked += 1
+        assert checked > 0
+
+    def test_exp_arrays_sorted_by_departure(self, ptldb):
+        rows = ptldb.db.execute("SELECT tds_exp FROM knn_ea_aux").rows
+        for (tds_exp,) in rows:
+            if tds_exp:
+                assert tds_exp == sorted(tds_exp)
+
+    def test_future_arrays_bounded_by_kmax_distinct(self, ptldb):
+        rows = ptldb.db.execute("SELECT vs, tas FROM knn_ea_aux").rows
+        nonempty = 0
+        for vs, tas in rows:
+            if vs is None:
+                continue
+            nonempty += 1
+            assert len(vs) <= 2  # kmax
+            assert len(vs) == len(set(vs))  # distinct targets
+            assert tas == sorted(tas)  # earliest arrivals first
+        assert nonempty > 0
+
+    def test_otm_future_covers_all_reachable_targets(self, ptldb):
+        """otm_ea keeps the best entry per target — up to |T| per row."""
+        rows = ptldb.db.execute("SELECT vs FROM otm_ea_aux").rows
+        widths = [len(vs) for (vs,) in rows if vs is not None]
+        assert max(widths) <= len(TARGETS)
+        assert max(widths) > 2  # wider than the kNN table's kmax
+
+    def test_ld_table_mirrors_by_arrival_hour(self, ptldb):
+        rows = ptldb.db.execute(
+            "SELECT arrhour, tas_exp, tds FROM knn_ld_aux"
+        ).rows
+        saw_exp = False
+        for hour, tas_exp, tds in rows:
+            if tas_exp:
+                saw_exp = True
+                for ta in tas_exp:
+                    assert hour * 3600 <= ta < (hour + 1) * 3600
+            if tds:
+                assert tds == sorted(tds, reverse=True)  # latest first
+        assert saw_exp
+
+
+class TestNaiveTables:
+    def test_naive_rows_keyed_by_hub_td(self, ptldb):
+        rows = ptldb.db.execute("SELECT hub, td, vs, tas FROM knn_ea_naive_aux").rows
+        seen = set()
+        for hub, td, vs, tas in rows:
+            assert (hub, td) not in seen
+            seen.add((hub, td))
+            assert 1 <= len(vs) <= 2  # kmax entries, distinct targets
+            assert len(vs) == len(set(vs))
+            assert tas == sorted(tas)
+
+    def test_naive_table_larger_than_optimized(self, ptldb):
+        """The paper's §3.2.1 motivation: per-(hub, td) rows outnumber
+        per-(hub, hour) rows on any realistic timetable."""
+        db = ptldb.db
+        naive = db.execute("SELECT COUNT(*) FROM knn_ea_naive_aux").scalar()
+        optimized_nonempty = db.execute(
+            "SELECT COUNT(*) FROM knn_ea_aux WHERE tds_exp IS NOT NULL"
+        ).scalar()
+        assert naive > optimized_nonempty
+
+
+class TestStorageReport:
+    def test_report_lists_all_tables(self, ptldb):
+        report = ptldb.storage_report()
+        names = set(report["tables"])
+        for expected in ("lout", "lin", "knn_ea_aux", "otm_ld_aux", "tgt_aux"):
+            assert expected in names
+        assert report["total_bytes"] == report["total_pages"] * 8192

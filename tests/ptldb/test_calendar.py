@@ -1,0 +1,121 @@
+"""Tests for multi-period (weekday/weekend) table versions."""
+
+import datetime
+
+import pytest
+
+from repro.baselines import csa
+from repro.errors import DatabaseError
+from repro.ptldb.calendar import (
+    MultiPeriodPTLDB,
+    ServicePeriod,
+    weekday_weekend_periods,
+)
+from repro.timetable.generator import CityConfig, generate_city
+
+
+def make_city(headway: int, seed: int):
+    return generate_city(
+        CityConfig(
+            name="cal", num_stops=16, num_lines=3, line_length=5,
+            headway_s=headway, hub_count=2, seed=seed,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def multi():
+    weekday_tt = make_city(1500, seed=6)   # dense weekday service
+    weekend_tt = make_city(3600, seed=6)   # sparse weekend service
+    router = MultiPeriodPTLDB()
+    weekday, weekend = weekday_weekend_periods()
+    router.add_period(weekday, weekday_tt)
+    router.add_period(weekend, weekend_tt)
+    return router, weekday_tt, weekend_tt
+
+
+class TestServicePeriod:
+    def test_validation(self):
+        with pytest.raises(DatabaseError):
+            ServicePeriod("empty", frozenset())
+        with pytest.raises(DatabaseError):
+            ServicePeriod("bad", frozenset({9}))
+
+
+class TestRouting:
+    def test_by_weekday_index(self, multi):
+        router, weekday_tt, weekend_tt = multi
+        assert router.instance_for(0).labels.num_stops == 16
+        assert router.instance_for(2) is router.instance_for(4)
+        assert router.instance_for(5) is router.instance_for(6)
+        assert router.instance_for(0) is not router.instance_for(6)
+
+    def test_by_date(self, multi):
+        router, _, _ = multi
+        monday = datetime.date(2016, 3, 14)  # the EDBT'16 week
+        saturday = datetime.date(2016, 3, 19)
+        assert router.instance_for(monday) is router.instance_for("weekday")
+        assert router.instance_for(saturday) is router.instance_for("weekend")
+
+    def test_by_name(self, multi):
+        router, _, _ = multi
+        assert router.instance_for("sunday") is router.instance_for("weekend")
+        with pytest.raises(DatabaseError):
+            router.instance_for("fooday")
+
+    def test_bad_type(self, multi):
+        router, _, _ = multi
+        with pytest.raises(DatabaseError):
+            router.instance_for(3.5)
+
+    def test_duplicate_period_or_day_rejected(self, multi):
+        router, weekday_tt, _ = multi
+        with pytest.raises(DatabaseError, match="already registered"):
+            router.add_period(
+                ServicePeriod("weekday", frozenset({0})), weekday_tt
+            )
+        with pytest.raises(DatabaseError, match="already covered"):
+            router.add_period(
+                ServicePeriod("monday_special", frozenset({0})), weekday_tt
+            )
+
+    def test_uncovered_day(self):
+        router = MultiPeriodPTLDB()
+        router.add_period(
+            ServicePeriod("only_monday", frozenset({0})), make_city(2000, 1)
+        )
+        with pytest.raises(DatabaseError, match="no service period"):
+            router.instance_for(3)
+
+
+class TestQueriesPerPeriod:
+    def test_answers_match_each_days_oracle(self, multi):
+        import random
+
+        router, weekday_tt, weekend_tt = multi
+        rng = random.Random(3)
+        for _ in range(40):
+            s, g = rng.randrange(16), rng.randrange(16)
+            if s == g:
+                continue
+            t = rng.randrange(22_000, 88_000)
+            assert router.earliest_arrival("monday", s, g, t) == (
+                csa.earliest_arrival(weekday_tt, s, g, t)
+            )
+            assert router.earliest_arrival("sunday", s, g, t) == (
+                csa.earliest_arrival(weekend_tt, s, g, t)
+            )
+            assert router.latest_departure(5, s, g, t) == (
+                csa.latest_departure(weekend_tt, s, g, t)
+            )
+
+    def test_weekend_is_sparser(self, multi):
+        router, weekday_tt, weekend_tt = multi
+        assert weekend_tt.num_connections < weekday_tt.num_connections
+
+    def test_storage_report_covers_all_versions(self, multi):
+        router, _, _ = multi
+        report = router.storage_report()
+        assert set(report) == {"weekday", "weekend"}
+        for section in report.values():
+            assert section["total_pages"] > 0

@@ -1,0 +1,80 @@
+"""Tests for the derived batch queries: many-to-many and range."""
+
+import pytest
+
+from repro.errors import DatabaseError
+
+TARGETS = {1, 4, 9, 13, 16}
+
+
+class TestManyToMany:
+    def test_table_matches_per_source_otm(self, small_ptldb):
+        sources = [0, 2, 7]
+        table = small_ptldb.ea_many_to_many("poi", sources, 30_000)
+        assert set(table) == set(sources)
+        for s in sources:
+            assert table[s] == small_ptldb.ea_one_to_many("poi", s, 30_000)
+
+    def test_ld_table(self, small_ptldb):
+        table = small_ptldb.ld_many_to_many("poi", [3, 5], 80_000)
+        for s in (3, 5):
+            assert table[s] == small_ptldb.ld_one_to_many("poi", s, 80_000)
+
+    def test_empty_sources(self, small_ptldb):
+        assert small_ptldb.ea_many_to_many("poi", [], 30_000) == {}
+
+
+class TestRange:
+    def test_range_is_filtered_otm(self, small_ptldb):
+        otm = small_ptldb.ea_one_to_many("poi", 2, 30_000)
+        within = small_ptldb.reachable_within("poi", 2, 30_000, 7200)
+        assert within == {
+            v: a for v, a in otm.items() if a <= 30_000 + 7200
+        }
+
+    def test_zero_window(self, small_ptldb):
+        # only targets reachable "instantly" (dummy events at exactly t)
+        result = small_ptldb.reachable_within("poi", 2, 30_000, 0)
+        for arrival in result.values():
+            assert arrival == 30_000
+
+    def test_growing_window_is_monotone(self, small_ptldb):
+        smaller = small_ptldb.reachable_within("poi", 2, 30_000, 3600)
+        larger = small_ptldb.reachable_within("poi", 2, 30_000, 14_400)
+        assert set(smaller) <= set(larger)
+        for v, arrival in smaller.items():
+            assert larger[v] == arrival
+
+    def test_negative_window_rejected(self, small_ptldb):
+        with pytest.raises(DatabaseError):
+            small_ptldb.reachable_within("poi", 2, 30_000, -1)
+
+
+class TestCharts:
+    def test_ascii_chart_renders(self):
+        from repro.bench.report import ascii_bar_chart, series_chart
+
+        chart = ascii_bar_chart({"Austin": 2.0, "Madrid": 20.0}, title="Fig")
+        lines = chart.splitlines()
+        assert lines[0] == "Fig"
+        assert "Austin" in lines[1] and "Madrid" in lines[2]
+        # log scale: Madrid's bar is the longest
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_chart_handles_zeros_and_empty(self):
+        from repro.bench.report import ascii_bar_chart
+
+        assert "(no data)" in ascii_bar_chart({})
+        chart = ascii_bar_chart({"a": 0.0})
+        assert "a" in chart
+
+    def test_series_chart(self):
+        from repro.bench.report import series_chart
+
+        rows = [
+            {"dataset": "Austin", "k": 4, "EA_ms": 1.5},
+            {"dataset": "Madrid", "k": 4, "EA_ms": 12.5},
+        ]
+        chart = series_chart(rows, ["dataset", "k"], "EA_ms")
+        assert "Austin 4" in chart
+        assert "12.5" in chart

@@ -1,0 +1,122 @@
+"""PTLDB kNN queries (Codes 2-3-4): naive and optimized vs the reference."""
+
+import random
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from tests.conftest import PAPER_ORDER
+
+TARGETS = {1, 4, 9, 13, 16}
+
+
+class TestPaperTable4Example:
+    @pytest.fixture(scope="class")
+    def ptldb(self, paper_timetable):
+        labels, _ = build_labels(
+            paper_timetable, order=PAPER_ORDER, add_dummies=True
+        )
+        instance = PTLDB.from_timetable(paper_timetable, labels=labels)
+        instance.build_target_set(
+            "ex", targets={4, 6}, kmax=1,
+            families=("knn_ea", "knn_ld", "naive_ea", "naive_ld"),
+        )
+        return instance
+
+    def test_naive_table_matches_table4(self, ptldb):
+        """Table 4: the ea_knn_naive rows for T = {4, 6}, k = 1."""
+        rows = {
+            (hub, td): (vs, tas)
+            for hub, td, vs, tas in ptldb.db.execute(
+                "SELECT hub, td, vs, tas FROM knn_ea_naive_ex ORDER BY hub, td"
+            ).rows
+        }
+        assert rows[(0, 360)] == ([4], [396])  # best of {4: 396, 6: 432}
+        assert rows[(2, 396)] == ([6], [432])
+        assert rows[(4, 396)] == ([4], [396])
+        assert rows[(6, 432)] == ([6], [432])
+
+    def test_ea_knn_example_answer(self, ptldb):
+        """The paper: EA-kNN(0, {4,6}, 360, 1) = (4, 396)."""
+        assert ptldb.ea_knn_naive("ex", 0, 360, 1) == [(4, 396)]
+        assert ptldb.ea_knn("ex", 0, 360, 1) == [(4, 396)]
+
+
+class TestAgainstReference:
+    def _ld_values_ok(self, engine, ref, got, q, t):
+        if [value for _, value in ref] != [value for _, value in got]:
+            return False
+        return all(engine._ld_join(q, v, t) == value for v, value in got)
+
+    def test_ea_knn_matches_reference(self, small_ptldb, small_engine, small_timetable):
+        rng = random.Random(31)
+        for _ in range(80):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            k = rng.choice([1, 2, 4])
+            ref = small_engine.ea_knn(q, TARGETS, t, k)
+            assert small_ptldb.ea_knn("poi", q, t, k) == ref
+            assert small_ptldb.ea_knn_naive("poi", q, t, k) == ref
+
+    def test_ld_knn_matches_reference(self, small_ptldb, small_engine, small_timetable):
+        rng = random.Random(32)
+        for _ in range(80):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            k = rng.choice([1, 2, 4])
+            ref = small_engine.ld_knn(q, TARGETS, t, k)
+            opt = small_ptldb.ld_knn("poi", q, t, k)
+            naive = small_ptldb.ld_knn_naive("poi", q, t, k)
+            # vertices may differ when departure times tie; values must not
+            assert self._ld_values_ok(small_engine, ref, opt, q, t)
+            assert self._ld_values_ok(small_engine, ref, naive, q, t)
+
+    def test_k_equals_one_and_full_set(self, small_ptldb, small_engine):
+        q, t = 0, 40_000
+        assert small_ptldb.ea_knn("poi", q, t, 1) == small_engine.ea_knn(
+            q, TARGETS, t, 1
+        )
+        assert small_ptldb.ea_knn("poi", q, t, 4) == small_engine.ea_knn(
+            q, TARGETS, t, 4
+        )
+
+    def test_no_reachable_targets_is_empty(self, small_ptldb, small_timetable):
+        _, high = small_timetable.time_range()
+        assert small_ptldb.ea_knn("poi", 0, high + 10, 4) == []
+
+
+class TestGuards:
+    def test_k_beyond_kmax(self, small_ptldb):
+        with pytest.raises(DatabaseError, match="kmax"):
+            small_ptldb.ea_knn("poi", 0, 30_000, 5)
+        with pytest.raises(DatabaseError, match="kmax"):
+            small_ptldb.ld_knn_naive("poi", 0, 30_000, 9)
+
+    def test_unknown_tag(self, small_ptldb):
+        with pytest.raises(DatabaseError, match="target set"):
+            small_ptldb.ea_knn("nope", 0, 30_000, 1)
+
+    def test_family_not_built(self, small_timetable, small_labels):
+        ptldb = PTLDB.from_timetable(small_timetable, labels=small_labels)
+        ptldb.build_target_set("partial", {1, 2}, kmax=2, families=("knn_ea",))
+        ptldb.ea_knn("partial", 0, 30_000, 1)  # built: fine
+        with pytest.raises(DatabaseError, match="family"):
+            ptldb.ld_knn("partial", 0, 30_000, 1)
+
+    def test_bad_tag_identifier(self, small_ptldb):
+        with pytest.raises(DatabaseError, match="identifier"):
+            small_ptldb.build_target_set("bad-tag!", {1}, kmax=1, families=())
+
+    def test_empty_target_set(self, small_ptldb):
+        with pytest.raises(DatabaseError):
+            small_ptldb.build_target_set("empty", set(), kmax=1, families=("knn_ea",))
+
+    def test_target_out_of_range(self, small_ptldb):
+        with pytest.raises(DatabaseError):
+            small_ptldb.build_target_set("oob", {999}, kmax=1, families=())
+
+    def test_unknown_family(self, small_ptldb):
+        with pytest.raises(DatabaseError, match="family"):
+            small_ptldb.build_target_set("f", {1}, kmax=1, families=("knn_xx",))

@@ -1,0 +1,100 @@
+"""PTLDB one-to-many queries vs the reference engine."""
+
+import random
+
+import pytest
+
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+
+TARGETS = {1, 4, 9, 13, 16}
+
+
+class TestAgainstReference:
+    def test_ea_otm(self, small_ptldb, small_engine, small_timetable):
+        rng = random.Random(41)
+        for _ in range(60):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            assert small_ptldb.ea_one_to_many("poi", q, t) == (
+                small_engine.ea_one_to_many(q, TARGETS, t)
+            )
+
+    def test_ld_otm(self, small_ptldb, small_engine, small_timetable):
+        rng = random.Random(42)
+        for _ in range(60):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            assert small_ptldb.ld_one_to_many("poi", q, t) == (
+                small_engine.ld_one_to_many(q, TARGETS, t)
+            )
+
+    def test_otm_superset_of_knn(self, small_ptldb):
+        q, t = 2, 35_000
+        otm = small_ptldb.ea_one_to_many("poi", q, t)
+        knn = small_ptldb.ea_knn("poi", q, t, 4)
+        for v, value in knn:
+            assert otm[v] == value
+
+    def test_unreachable_targets_absent(self, small_ptldb, small_timetable):
+        _, high = small_timetable.time_range()
+        assert small_ptldb.ea_one_to_many("poi", 0, high + 1) == {}
+        low, _ = small_timetable.time_range()
+        assert small_ptldb.ld_one_to_many("poi", 0, low - 1) == {}
+
+
+class TestDensityExtremes:
+    def test_all_stops_as_targets(self, small_timetable, small_labels, small_engine):
+        """D = 1.0: one-to-many degenerates to one-to-all."""
+        ptldb = PTLDB.from_timetable(small_timetable, labels=small_labels)
+        everyone = frozenset(range(small_timetable.num_stops))
+        ptldb.build_target_set(
+            "all", everyone, kmax=4, families=("otm_ea", "otm_ld")
+        )
+        rng = random.Random(43)
+        for _ in range(15):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            assert ptldb.ea_one_to_many("all", q, t) == (
+                small_engine.ea_one_to_many(q, everyone, t)
+            )
+
+    def test_single_target(self, small_timetable, small_labels, small_engine):
+        ptldb = PTLDB.from_timetable(small_timetable, labels=small_labels)
+        ptldb.build_target_set("one", {7}, kmax=1, families=("otm_ea", "otm_ld"))
+        rng = random.Random(44)
+        for _ in range(25):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            assert ptldb.ea_one_to_many("one", q, t) == (
+                small_engine.ea_one_to_many(q, {7}, t)
+            )
+            assert ptldb.ld_one_to_many("one", q, t) == (
+                small_engine.ld_one_to_many(q, {7}, t)
+            )
+
+
+class TestIntervalAblationCorrectness:
+    """§3.2.1: any grouping interval must give identical answers."""
+
+    @pytest.mark.parametrize("interval", [900, 1800, 10_800])
+    def test_intervals_agree(self, small_timetable, small_labels, small_engine, interval):
+        ptldb = PTLDB.from_timetable(small_timetable, labels=small_labels)
+        ptldb.build_target_set(
+            "iv", TARGETS, kmax=4, interval_s=interval,
+            families=("knn_ea", "knn_ld", "otm_ea", "otm_ld"),
+        )
+        rng = random.Random(interval)
+        for _ in range(30):
+            q = rng.randrange(small_timetable.num_stops)
+            t = rng.randrange(20_000, 92_000)
+            assert ptldb.ea_one_to_many("iv", q, t) == (
+                small_engine.ea_one_to_many(q, TARGETS, t)
+            )
+            assert ptldb.ea_knn("iv", q, t, 4) == small_engine.ea_knn(
+                q, TARGETS, t, 4
+            )
+            assert ptldb.ld_one_to_many("iv", q, t) == (
+                small_engine.ld_one_to_many(q, TARGETS, t)
+            )

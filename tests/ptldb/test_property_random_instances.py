@@ -1,0 +1,98 @@
+"""End-to-end property tests: fresh random timetables, targets and queries.
+
+These are the heaviest correctness tests in the suite: for each generated
+instance the full pipeline runs (TTL -> dummies -> DB load -> aux tables)
+and every query type is compared against the independent oracles.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import csa
+from repro.labeling.query import TTLQueryEngine
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    stops=st.integers(min_value=3, max_value=12),
+    connections=st.integers(min_value=5, max_value=70),
+    seed=st.integers(min_value=0, max_value=9999),
+    target_seed=st.integers(min_value=0, max_value=99),
+)
+def test_full_pipeline_property(stops, connections, seed, target_seed):
+    tt = random_timetable(stops, connections, seed=seed)
+    labels, _ = build_labels(tt, add_dummies=True)
+    engine = TTLQueryEngine(labels)
+    ptldb = PTLDB.from_timetable(tt, labels=labels)
+
+    rng = random.Random(target_seed)
+    count = rng.randint(1, max(1, stops // 2))
+    targets = frozenset(rng.sample(range(stops), count))
+    ptldb.build_target_set(
+        "prop", targets, kmax=2,
+        families=("knn_ea", "knn_ld", "otm_ea", "otm_ld", "naive_ea", "naive_ld"),
+    )
+
+    for _ in range(12):
+        q = rng.randrange(stops)
+        g = rng.randrange(stops)
+        t = rng.randrange(20_000, 92_000)
+
+        # v2v against the connection-scan oracle
+        if q != g:
+            assert ptldb.earliest_arrival(q, g, t) == csa.earliest_arrival(
+                tt, q, g, t
+            )
+            assert ptldb.latest_departure(q, g, t) == csa.latest_departure(
+                tt, q, g, t
+            )
+
+        # batched queries against the in-memory label reference
+        assert ptldb.ea_one_to_many("prop", q, t) == engine.ea_one_to_many(
+            q, targets, t
+        )
+        assert ptldb.ld_one_to_many("prop", q, t) == engine.ld_one_to_many(
+            q, targets, t
+        )
+        k = rng.choice([1, 2])
+        ref = engine.ea_knn(q, targets, t, k)
+        assert ptldb.ea_knn("prop", q, t, k) == ref
+        assert ptldb.ea_knn_naive("prop", q, t, k) == ref
+        # LD kNN: values must agree (vertex ties may differ)
+        ref_values = [value for _, value in engine.ld_knn(q, targets, t, k)]
+        got = ptldb.ld_knn("prop", q, t, k)
+        assert [value for _, value in got] == ref_values
+        for v2, value in got:
+            assert engine._ld_join(q, v2, t) == value
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    stops=st.integers(min_value=3, max_value=10),
+    connections=st.integers(min_value=5, max_value=50),
+    seed=st.integers(min_value=0, max_value=999),
+    interval=st.sampled_from([900, 3600, 7200]),
+)
+def test_interval_invariance_property(stops, connections, seed, interval):
+    """Answers must be independent of the grouping interval (§3.2.1)."""
+    tt = random_timetable(stops, connections, seed=seed)
+    labels, _ = build_labels(tt, add_dummies=True)
+    engine = TTLQueryEngine(labels)
+    ptldb = PTLDB.from_timetable(tt, labels=labels)
+    rng = random.Random(seed)
+    targets = frozenset(rng.sample(range(stops), max(1, stops // 3)))
+    ptldb.build_target_set(
+        "iv", targets, kmax=2, interval_s=interval,
+        families=("knn_ea", "otm_ea"),
+    )
+    for _ in range(8):
+        q = rng.randrange(stops)
+        t = rng.randrange(20_000, 92_000)
+        assert ptldb.ea_one_to_many("iv", q, t) == engine.ea_one_to_many(
+            q, targets, t
+        )

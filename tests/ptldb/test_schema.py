@@ -1,0 +1,63 @@
+"""Tests for the lout/lin base schema and label loading."""
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.labeling.ttl import build_labels
+from repro.minidb.engine import Database
+from repro.ptldb.schema import label_time_range, load_labels
+from tests.conftest import PAPER_ORDER
+
+
+class TestLoadLabels:
+    def test_one_row_per_vertex(self, small_ptldb, small_labels):
+        db = small_ptldb.db
+        assert db.execute("SELECT COUNT(*) FROM lout").scalar() == small_labels.num_stops
+        assert db.execute("SELECT COUNT(*) FROM lin").scalar() == small_labels.num_stops
+
+    def test_arrays_parallel_and_sorted(self, small_ptldb, small_labels):
+        db = small_ptldb.db
+        rows = db.execute("SELECT v, hubs, tds, tas FROM lout").rows
+        for v, hubs, tds, tas in rows:
+            assert len(hubs) == len(tds) == len(tas)
+            keys = list(zip(hubs, tds))
+            assert keys == sorted(keys)  # the paper's (hub, td) order
+            expected = [(t.hub, t.td, t.ta) for t in small_labels.lout[v]]
+            assert list(zip(hubs, tds, tas)) == expected
+
+    def test_requires_dummy_tuples(self, small_timetable):
+        labels, _ = build_labels(small_timetable)  # no dummies
+        with pytest.raises(DatabaseError, match="dummy"):
+            load_labels(Database(), labels)
+
+    def test_paper_table2_and_table3_rows(self, paper_labels_with_dummies):
+        """Tables 2 and 3: the v=1 and v=4 rows of lout and lin."""
+        db = Database()
+        load_labels(db, paper_labels_with_dummies)
+        row = db.execute("SELECT hubs, tds, tas FROM lout WHERE v=1").rows[0]
+        assert row == ([0, 1, 1], [324, 324, 396], [360, 324, 396])
+        row = db.execute("SELECT hubs, tds, tas FROM lout WHERE v=4").rows[0]
+        assert row == ([0, 4], [324, 396], [360, 396])
+        row = db.execute("SELECT hubs, tds, tas FROM lin WHERE v=1").rows[0]
+        assert row == ([0, 1, 1], [360, 324, 396], [396, 324, 396])
+        row = db.execute("SELECT hubs, tds, tas FROM lin WHERE v=4").rows[0]
+        assert row == ([0, 4], [360, 396], [396, 396])
+
+    def test_reload_replaces_tables(self, paper_labels_with_dummies):
+        db = Database()
+        load_labels(db, paper_labels_with_dummies)
+        load_labels(db, paper_labels_with_dummies)  # idempotent
+        assert db.execute("SELECT COUNT(*) FROM lout").scalar() == 7
+
+
+class TestTimeRange:
+    def test_paper_example_range(self, paper_labels_with_dummies):
+        low, high = label_time_range(paper_labels_with_dummies)
+        assert low == 288
+        assert high == 432
+
+    def test_empty_labels_degenerate_range(self):
+        from repro.labeling.labels import TTLLabels
+
+        empty = TTLLabels(2, [0, 1])
+        assert label_time_range(empty) == (0, 0)

@@ -1,0 +1,126 @@
+"""PTLDB vertex-to-vertex SQL queries (Code 1) against the CSA oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import csa
+from repro.errors import DatabaseError
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+from tests.conftest import PAPER_ORDER
+
+
+class TestPaperExample:
+    @pytest.fixture(scope="class")
+    def ptldb(self, paper_timetable):
+        labels, _ = build_labels(
+            paper_timetable, order=PAPER_ORDER, add_dummies=True
+        )
+        return PTLDB.from_timetable(paper_timetable, labels=labels)
+
+    def test_ea_1_1_324(self, ptldb):
+        """The paper: EA(1, 1, 324) = 324 via the dummy tuples."""
+        assert ptldb.earliest_arrival(1, 1, 324) == 324
+
+    def test_ea_transfers(self, ptldb):
+        assert ptldb.earliest_arrival(5, 6, 288) == 432
+        assert ptldb.earliest_arrival(5, 0, 288) == 360
+        assert ptldb.earliest_arrival(3, 4, 300) == 396
+
+    def test_ea_no_journey_is_null(self, ptldb):
+        assert ptldb.earliest_arrival(5, 6, 289) is None
+
+    def test_ld(self, ptldb):
+        assert ptldb.latest_departure(5, 6, 432) == 288
+        assert ptldb.latest_departure(3, 4, 396) == 324
+        assert ptldb.latest_departure(5, 6, 431) is None
+
+    def test_sd(self, ptldb):
+        assert ptldb.shortest_duration(5, 6, 288, 432) == 144
+        assert ptldb.shortest_duration(3, 4, 0, 500) == 72
+        assert ptldb.shortest_duration(5, 6, 289, 432) is None
+
+    def test_stop_bounds_checked(self, ptldb):
+        with pytest.raises(DatabaseError):
+            ptldb.earliest_arrival(0, 7, 0)
+        with pytest.raises(DatabaseError):
+            ptldb.latest_departure(-1, 0, 0)
+
+
+class TestAgainstOracle:
+    def test_random_instance_exhaustive(self, small_ptldb, small_timetable):
+        rng = random.Random(21)
+        for _ in range(200):
+            s = rng.randrange(small_timetable.num_stops)
+            g = rng.randrange(small_timetable.num_stops)
+            if s == g:
+                continue
+            t = rng.randrange(20_000, 92_000)
+            t2 = t + rng.randrange(0, 40_000)
+            assert small_ptldb.earliest_arrival(s, g, t) == csa.earliest_arrival(
+                small_timetable, s, g, t
+            )
+            assert small_ptldb.latest_departure(s, g, t) == csa.latest_departure(
+                small_timetable, s, g, t
+            )
+            assert small_ptldb.shortest_duration(
+                s, g, t, t2
+            ) == csa.shortest_duration(small_timetable, s, g, t, t2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        stops=st.integers(min_value=2, max_value=10),
+        connections=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_property_fresh_instances(self, stops, connections, seed):
+        tt = random_timetable(stops, connections, seed=seed)
+        labels, _ = build_labels(tt, add_dummies=True)
+        ptldb = PTLDB.from_timetable(tt, labels=labels)
+        rng = random.Random(seed)
+        for _ in range(10):
+            s = rng.randrange(stops)
+            g = rng.randrange(stops)
+            if s == g:
+                continue
+            t = rng.randrange(20_000, 92_000)
+            assert ptldb.earliest_arrival(s, g, t) == csa.earliest_arrival(
+                tt, s, g, t
+            )
+
+
+class TestAccessPattern:
+    @pytest.fixture(scope="class")
+    def wide_ptldb(self):
+        """A wider instance whose label tables span many pages, so the
+        point-lookup access pattern is distinguishable from a scan."""
+        tt = random_timetable(60, 1200, seed=17)
+        labels, _ = build_labels(tt, add_dummies=True)
+        return PTLDB.from_timetable(tt, device="hdd", labels=labels)
+
+    def test_v2v_fetches_exactly_two_label_rows(self, wide_ptldb):
+        """The paper's §3.1 claim: a v2v query reads one lout and one lin
+        row (plus index pages), never scanning the tables."""
+        db = wide_ptldb.db
+        lout_pages = len(db.catalog.get("lout").heap.page_ids())
+        lin_pages = len(db.catalog.get("lin").heap.page_ids())
+        assert lout_pages + lin_pages > 10
+        wide_ptldb.restart()
+        wide_ptldb.earliest_arrival(2, 9, 30_000)
+        cost = db.last_cost
+        # two point lookups: a handful of pages, never a scan
+        assert 0 < cost.page_reads < (lout_pages + lin_pages) // 2
+        assert cost.page_reads <= 10
+        # warm cache: no further I/O at all
+        wide_ptldb.earliest_arrival(2, 9, 31_000)
+        assert db.last_cost.page_reads == 0
+
+    def test_restart_goes_cold(self, small_ptldb):  # noqa: D102
+        small_ptldb.earliest_arrival(2, 9, 30_000)
+        small_ptldb.restart()
+        small_ptldb.earliest_arrival(2, 9, 30_000)
+        assert small_ptldb.db.last_cost.page_reads > 0

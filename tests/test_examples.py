@@ -1,0 +1,33 @@
+"""Every example script must run cleanly (they double as smoke tests)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "tourist_knn.py",
+    "geomarketing_otm.py",
+    "gtfs_pipeline.py",
+    "transfer_planning.py",
+]
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(ROOT, "examples", script)
+    assert os.path.exists(path), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

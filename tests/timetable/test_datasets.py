@@ -1,0 +1,67 @@
+"""Tests for the Table 7 dataset registry."""
+
+import pytest
+
+from repro.errors import TimetableError
+from repro.timetable.datasets import (
+    DATASET_NAMES,
+    PAPER_TABLE7,
+    dataset_config,
+    load_dataset,
+    paper_row,
+)
+
+
+class TestRegistry:
+    def test_eleven_datasets(self):
+        assert len(DATASET_NAMES) == 11
+        assert len(PAPER_TABLE7) == 11
+
+    def test_paper_rows_are_table7(self):
+        madrid = paper_row("Madrid")
+        assert madrid.avg_degree == 413
+        assert madrid.labels_per_vertex == 7230
+        sweden = paper_row("Sweden")
+        assert sweden.stops == 51_000
+
+    def test_unknown_dataset(self):
+        with pytest.raises(TimetableError):
+            dataset_config("Atlantis")
+        with pytest.raises(TimetableError):
+            paper_row("Atlantis")
+
+    def test_unknown_scale(self):
+        with pytest.raises(TimetableError):
+            dataset_config("Austin", scale="huge")
+
+
+class TestGeneratedDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_all_datasets_generate(self, name):
+        tt = load_dataset(name)
+        assert tt.num_stops >= 30
+        assert tt.num_connections > 0
+
+    def test_relative_shape_preserved(self):
+        """Madrid stays the densest, Salt Lake City the lightest, Sweden the
+        largest — the orderings that drive every figure."""
+        degree = {
+            name: load_dataset(name).average_degree
+            for name in ("Madrid", "Salt Lake City", "Toronto", "Denver")
+        }
+        assert degree["Madrid"] == max(degree.values())
+        assert degree["Salt Lake City"] == min(degree.values())
+        stops = {
+            name: load_dataset(name).num_stops for name in ("Sweden", "Austin")
+        }
+        assert stops["Sweden"] > stops["Austin"]
+
+    def test_deterministic(self):
+        a = load_dataset("Austin")
+        b = load_dataset("Austin")
+        assert a.connections == b.connections
+
+    def test_seed_override(self):
+        a = load_dataset("Austin", seed=100)
+        b = load_dataset("Austin", seed=200)
+        assert a.connections != b.connections

@@ -1,0 +1,136 @@
+"""Tests for the synthetic city generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TimetableError
+from repro.timetable.generator import (
+    CityConfig,
+    config_for_degree,
+    generate_city,
+    random_timetable,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="test",
+        num_stops=25,
+        num_lines=4,
+        line_length=6,
+        headway_s=1200,
+        hub_count=2,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return CityConfig(**defaults)
+
+
+class TestCityConfig:
+    def test_rejects_tiny_city(self):
+        with pytest.raises(TimetableError):
+            small_config(num_stops=1)
+
+    def test_rejects_short_lines(self):
+        with pytest.raises(TimetableError):
+            small_config(line_length=1)
+
+    def test_rejects_line_longer_than_city(self):
+        with pytest.raises(TimetableError):
+            small_config(line_length=26)
+
+    def test_rejects_nonpositive_headway(self):
+        with pytest.raises(TimetableError):
+            small_config(headway_s=0)
+
+    def test_rejects_empty_span(self):
+        with pytest.raises(TimetableError):
+            small_config(span_start=100, span_end=100)
+
+    def test_rejects_bad_hub_count(self):
+        with pytest.raises(TimetableError):
+            small_config(hub_count=0)
+
+    def test_expected_connections_positive(self):
+        assert small_config().expected_connections() > 0
+
+
+class TestGenerateCity:
+    def test_deterministic_for_seed(self):
+        a = generate_city(small_config())
+        b = generate_city(small_config())
+        assert a.connections == b.connections
+
+    def test_different_seeds_differ(self):
+        a = generate_city(small_config(seed=1))
+        b = generate_city(small_config(seed=2))
+        assert a.connections != b.connections
+
+    def test_every_stop_is_served(self):
+        tt = generate_city(small_config())
+        touched = set()
+        for c in tt.connections:
+            touched.add(c.u)
+            touched.add(c.v)
+        assert touched == set(range(tt.num_stops))
+
+    def test_connections_within_reasonable_span(self):
+        config = small_config()
+        tt = generate_city(config)
+        low, high = tt.time_range()
+        assert low >= config.span_start
+        # trips departing before span_end may arrive somewhat after it
+        assert high < config.span_end + 3600 * 2
+
+    def test_stop_names_assigned(self):
+        tt = generate_city(small_config())
+        assert len(tt.stop_names) == tt.num_stops
+        assert "hub" in tt.stop_names[0]
+
+    def test_evening_thinning_reduces_late_service(self):
+        tt = generate_city(small_config(evening_thinning=2.5))
+        low, high = tt.time_range()
+        quarter = (high - low) // 4
+        first = sum(1 for c in tt.connections if c.dep < low + quarter)
+        fourth = sum(1 for c in tt.connections if c.dep >= high - quarter)
+        assert first > fourth
+
+    def test_no_thinning_keeps_service_flat(self):
+        tt = generate_city(small_config(evening_thinning=1.0, headway_jitter_s=0))
+        low, high = tt.time_range()
+        quarter = (high - low) // 4
+        first = sum(1 for c in tt.connections if c.dep < low + quarter)
+        fourth = sum(1 for c in tt.connections if c.dep >= high - quarter)
+        assert first <= fourth * 2  # roughly flat
+
+
+class TestConfigForDegree:
+    @pytest.mark.parametrize("stops,degree", [(30, 20), (60, 10), (100, 40)])
+    def test_degree_lands_near_target(self, stops, degree):
+        config = config_for_degree("t", stops, degree, seed=4)
+        tt = generate_city(config)
+        assert degree * 0.4 <= tt.average_degree <= degree * 2.5
+
+    def test_line_length_clamped(self):
+        config = config_for_degree("t", 12, 5)
+        assert config.line_length >= 4
+
+
+class TestRandomTimetable:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stops=st.integers(min_value=2, max_value=12),
+        connections=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_always_valid(self, stops, connections, seed):
+        tt = random_timetable(stops, connections, seed=seed)
+        assert tt.num_connections == connections
+        for c in tt.connections:
+            assert c.u != c.v
+            assert c.arr > c.dep
+
+    def test_each_connection_is_its_own_trip(self):
+        tt = random_timetable(5, 30, seed=1)
+        assert tt.num_trips == 30

@@ -1,0 +1,129 @@
+"""Tests for the minimal GTFS reader/writer."""
+
+import os
+
+import pytest
+
+from repro.errors import GTFSError
+from repro.timetable.gtfs import (
+    format_gtfs_time,
+    load_feed,
+    parse_gtfs_time,
+    write_feed,
+)
+from repro.timetable.generator import generate_city, CityConfig
+
+
+class TestTimeParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("00:00:00", 0),
+            ("08:30:15", 8 * 3600 + 30 * 60 + 15),
+            ("23:59:59", 86399),
+            ("25:10:00", 25 * 3600 + 600),  # GTFS allows hours > 23
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_gtfs_time(text) == expected
+
+    @pytest.mark.parametrize("bad", ["8:30", "aa:bb:cc", "08:61:00", "-1:00:00", ""])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(GTFSError):
+            parse_gtfs_time(bad)
+
+    def test_format_roundtrip(self):
+        for seconds in (0, 59, 3600, 86399, 90000):
+            assert parse_gtfs_time(format_gtfs_time(seconds)) == seconds
+
+    def test_format_rejects_negative(self):
+        with pytest.raises(GTFSError):
+            format_gtfs_time(-1)
+
+
+class TestFeedRoundTrip:
+    def test_synthetic_city_roundtrips(self, tmp_path):
+        config = CityConfig(
+            name="rt", num_stops=15, num_lines=3, line_length=5,
+            headway_s=2400, hub_count=2, seed=9,
+        )
+        original = generate_city(config)
+        feed_dir = os.path.join(tmp_path, "feed")
+        write_feed(original, feed_dir, city="rt")
+        loaded = load_feed(feed_dir)
+        assert loaded.num_stops == original.num_stops
+        # connection multisets must agree up to trip renumbering
+        def key(tt):
+            return sorted((c.dep, c.arr, c.u, c.v) for c in tt.connections)
+        assert key(loaded) == key(original)
+
+    def test_paper_example_roundtrips(self, tmp_path, paper_timetable):
+        feed_dir = os.path.join(tmp_path, "paper")
+        write_feed(paper_timetable, feed_dir)
+        loaded = load_feed(feed_dir)
+        got = sorted((c.dep, c.arr, c.u, c.v) for c in loaded.connections)
+        want = sorted((c.dep, c.arr, c.u, c.v) for c in paper_timetable.connections)
+        assert got == want
+
+
+class TestFeedErrors:
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(GTFSError, match="missing required"):
+            load_feed(str(tmp_path))
+
+    def _write(self, path, name, text):
+        with open(os.path.join(path, name), "w") as handle:
+            handle.write(text)
+
+    def test_duplicate_stop_ids(self, tmp_path):
+        self._write(tmp_path, "stops.txt", "stop_id,stop_name\nS1,a\nS1,b\n")
+        self._write(
+            tmp_path,
+            "stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n",
+        )
+        with pytest.raises(GTFSError, match="duplicate stop_id"):
+            load_feed(str(tmp_path))
+
+    def test_unknown_stop_reference(self, tmp_path):
+        self._write(tmp_path, "stops.txt", "stop_id,stop_name\nS1,a\n")
+        self._write(
+            tmp_path,
+            "stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+            "T1,08:00:00,08:00:00,MISSING,1\n",
+        )
+        with pytest.raises(GTFSError, match="unknown stop"):
+            load_feed(str(tmp_path))
+
+    def test_empty_stops(self, tmp_path):
+        self._write(tmp_path, "stops.txt", "stop_id,stop_name\n")
+        self._write(
+            tmp_path,
+            "stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n",
+        )
+        with pytest.raises(GTFSError, match="no stops"):
+            load_feed(str(tmp_path))
+
+    def test_missing_stop_sequence(self, tmp_path):
+        self._write(tmp_path, "stops.txt", "stop_id,stop_name\nS1,a\nS2,b\n")
+        self._write(
+            tmp_path,
+            "stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id\n"
+            "T1,08:00:00,08:00:00,S1\n",
+        )
+        with pytest.raises(GTFSError):
+            load_feed(str(tmp_path))
+
+    def test_repeated_sequence_rejected(self, tmp_path):
+        self._write(tmp_path, "stops.txt", "stop_id,stop_name\nS1,a\nS2,b\n")
+        self._write(
+            tmp_path,
+            "stop_times.txt",
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+            "T1,08:00:00,08:00:00,S1,1\nT1,08:10:00,08:10:00,S2,1\n",
+        )
+        with pytest.raises(GTFSError, match="repeats stop_sequence"):
+            load_feed(str(tmp_path))

@@ -1,0 +1,134 @@
+"""Unit tests for the timetable multigraph model."""
+
+import pytest
+
+from repro.errors import TimetableError
+from repro.timetable.model import Connection, Timetable
+
+
+def conn(dep, arr, u, v, trip=0):
+    return Connection(dep=dep, arr=arr, u=u, v=v, trip=trip)
+
+
+class TestConnection:
+    def test_duration(self):
+        assert conn(100, 160, 0, 1).duration == 60
+
+    def test_zero_duration_allowed(self):
+        assert conn(100, 100, 0, 1).duration == 0
+
+    def test_rejects_time_travel(self):
+        with pytest.raises(TimetableError):
+            conn(200, 100, 0, 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(TimetableError):
+            conn(100, 200, 3, 3)
+
+    def test_ordering_is_by_departure_then_arrival(self):
+        a = conn(100, 200, 0, 1)
+        b = conn(100, 150, 2, 3)
+        c = conn(50, 300, 4, 5)
+        assert sorted([a, b, c]) == [c, b, a]
+
+
+class TestTimetableValidation:
+    def test_connections_get_sorted(self):
+        tt = Timetable(
+            num_stops=3,
+            connections=[conn(200, 300, 1, 2, 1), conn(100, 150, 0, 1, 0)],
+        )
+        assert [c.dep for c in tt.connections] == [100, 200]
+
+    def test_rejects_unknown_stop(self):
+        with pytest.raises(TimetableError):
+            Timetable(num_stops=2, connections=[conn(0, 10, 0, 5)])
+
+    def test_rejects_zero_stops(self):
+        with pytest.raises(TimetableError):
+            Timetable(num_stops=0, connections=[])
+
+    def test_rejects_bad_stop_names_length(self):
+        with pytest.raises(TimetableError):
+            Timetable(num_stops=2, connections=[], stop_names=["only one"])
+
+    def test_rejects_trip_teleport(self):
+        # trip 7 jumps from stop 1 to stop 2 without a connecting leg
+        with pytest.raises(TimetableError, match="teleports"):
+            Timetable(
+                num_stops=4,
+                connections=[conn(0, 10, 0, 1, 7), conn(20, 30, 2, 3, 7)],
+            )
+
+    def test_rejects_trip_departing_before_arrival(self):
+        with pytest.raises(TimetableError, match="before arriving"):
+            Timetable(
+                num_stops=3,
+                connections=[conn(0, 100, 0, 1, 7), conn(50, 200, 1, 2, 7)],
+            )
+
+    def test_trip_with_dwell_is_valid(self):
+        tt = Timetable(
+            num_stops=3,
+            connections=[conn(0, 100, 0, 1, 7), conn(130, 200, 1, 2, 7)],
+        )
+        assert tt.num_connections == 2
+
+
+class TestTimetableProperties:
+    @pytest.fixture()
+    def tt(self):
+        return Timetable(
+            num_stops=3,
+            connections=[
+                conn(100, 200, 0, 1, 0),
+                conn(250, 300, 1, 2, 0),
+                conn(120, 180, 0, 2, 1),
+            ],
+        )
+
+    def test_counts(self, tt):
+        assert tt.num_connections == 3
+        assert tt.num_trips == 2
+        assert tt.average_degree == 1.0
+
+    def test_time_range(self, tt):
+        assert tt.time_range() == (100, 300)
+
+    def test_time_range_empty_raises(self):
+        with pytest.raises(TimetableError):
+            Timetable(num_stops=1, connections=[]).time_range()
+
+    def test_outgoing_sorted_by_departure(self, tt):
+        out = tt.outgoing()
+        assert [c.dep for c in out[0]] == [100, 120]
+        assert out[2] == []
+
+    def test_incoming_sorted_by_arrival(self, tt):
+        inc = tt.incoming()
+        assert [c.arr for c in inc[2]] == [180, 300]
+
+    def test_stats_keys(self, tt):
+        stats = tt.stats()
+        assert stats["stops"] == 3
+        assert stats["connections"] == 3
+        assert stats["first_departure"] == 100
+        assert stats["last_arrival"] == 300
+
+
+class TestReverse:
+    def test_reverse_swaps_and_negates(self):
+        tt = Timetable(num_stops=2, connections=[conn(100, 180, 0, 1, 0)])
+        rev = tt.reverse()
+        c = rev.connections[0]
+        assert (c.u, c.v) == (1, 0)
+        assert (c.dep, c.arr) == (-180, -100)
+
+    def test_double_reverse_is_identity(self, paper_timetable):
+        back = paper_timetable.reverse().reverse()
+        assert back.connections == paper_timetable.connections
+
+    def test_reverse_preserves_counts(self, paper_timetable):
+        rev = paper_timetable.reverse()
+        assert rev.num_connections == paper_timetable.num_connections
+        assert rev.num_trips == paper_timetable.num_trips

@@ -1,0 +1,104 @@
+"""Tests for the round-limited CSA oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import csa
+from repro.errors import TimetableError
+from repro.timetable.generator import random_timetable
+from repro.timetable.model import Connection, Timetable
+from repro.transfers.csa import (
+    earliest_arrival_bounded,
+    earliest_arrival_by_trips,
+    latest_departure_bounded,
+    trips_needed,
+)
+
+
+def conn(dep, arr, u, v, trip):
+    return Connection(dep=dep, arr=arr, u=u, v=v, trip=trip)
+
+
+@pytest.fixture()
+def two_leg():
+    """0 -> 1 with trip A, 1 -> 2 with trip B, plus a slow direct trip C."""
+    return Timetable(
+        num_stops=3,
+        connections=[
+            conn(100, 200, 0, 1, 0),
+            conn(210, 300, 1, 2, 1),
+            conn(100, 500, 0, 2, 2),
+        ],
+    )
+
+
+class TestBoundedEA:
+    def test_one_trip_forces_direct(self, two_leg):
+        assert earliest_arrival_bounded(two_leg, 0, 2, 0, 1) == 500
+
+    def test_two_trips_allow_transfer(self, two_leg):
+        assert earliest_arrival_bounded(two_leg, 0, 2, 0, 2) == 300
+
+    def test_zero_trips(self, two_leg):
+        assert earliest_arrival_bounded(two_leg, 0, 2, 0, 0) is None
+        assert earliest_arrival_bounded(two_leg, 0, 0, 0, 0) == 0
+
+    def test_same_trip_costs_one(self):
+        tt = Timetable(
+            num_stops=3,
+            connections=[conn(0, 100, 0, 1, 9), conn(110, 200, 1, 2, 9)],
+        )
+        assert earliest_arrival_bounded(tt, 0, 2, 0, 1) == 200
+
+    def test_negative_max_trips_rejected(self, two_leg):
+        with pytest.raises(TimetableError):
+            earliest_arrival_by_trips(two_leg, 0, 0, -1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        stops=st.integers(min_value=2, max_value=10),
+        connections=st.integers(min_value=0, max_value=60),
+        seed=st.integers(min_value=0, max_value=999),
+        t=st.integers(min_value=20_000, max_value=90_000),
+    )
+    def test_rounds_are_monotone_and_converge(self, stops, connections, seed, t):
+        tt = random_timetable(stops, connections, seed=seed)
+        rounds = earliest_arrival_by_trips(tt, 0, t, 6)
+        for earlier, later in zip(rounds, rounds[1:]):
+            for a, b in zip(earlier, later):
+                assert b <= a  # more trips never hurt
+        # enough rounds == the unbounded answer
+        unbounded = csa.earliest_arrival_all(tt, 0, t)
+        for v in range(stops):
+            assert rounds[6][v] == unbounded[v]
+
+
+class TestBoundedLD:
+    def test_mirrors_ea(self, two_leg):
+        assert latest_departure_bounded(two_leg, 0, 2, 500, 1) == 100
+        assert latest_departure_bounded(two_leg, 0, 2, 300, 1) is None
+        assert latest_departure_bounded(two_leg, 0, 2, 300, 2) == 100
+
+    def test_converges_to_unbounded(self, small_timetable):
+        import random
+
+        rng = random.Random(1)
+        for _ in range(30):
+            s = rng.randrange(small_timetable.num_stops)
+            g = rng.randrange(small_timetable.num_stops)
+            if s == g:
+                continue
+            t = rng.randrange(20_000, 92_000)
+            assert latest_departure_bounded(
+                small_timetable, s, g, t, 8
+            ) == csa.latest_departure(small_timetable, s, g, t)
+
+
+class TestTripsNeeded:
+    def test_counts(self, two_leg):
+        assert trips_needed(two_leg, 0, 0, 0) == 0
+        assert trips_needed(two_leg, 0, 1, 0) == 1
+        assert trips_needed(two_leg, 0, 2, 0, arrive_by=300) == 2
+        assert trips_needed(two_leg, 0, 2, 0, arrive_by=500) == 1
+        assert trips_needed(two_leg, 2, 0, 0) is None

@@ -1,0 +1,50 @@
+"""Round-trip tests for transfer-label persistence."""
+
+import os
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.timetable.generator import random_timetable
+from repro.transfers.labels import TransferLabels
+from repro.transfers.query import TransferQueryEngine
+from repro.transfers.ttl import build_transfer_labels
+
+
+class TestTransferLabelIO:
+    def test_roundtrip(self, tmp_path):
+        tt = random_timetable(12, 90, seed=2)
+        labels, _ = build_transfer_labels(tt, max_trips=3, add_dummies=True)
+        path = os.path.join(tmp_path, "labels.ttlt")
+        labels.save(path)
+        loaded = TransferLabels.load(path)
+        assert loaded.num_stops == labels.num_stops
+        assert loaded.max_trips == labels.max_trips
+        assert loaded.order == labels.order
+        assert loaded.lout == labels.lout
+        assert loaded.lin == labels.lin
+
+    def test_roundtrip_preserves_answers(self, tmp_path):
+        import random
+
+        tt = random_timetable(12, 90, seed=2)
+        labels, _ = build_transfer_labels(tt, max_trips=3, add_dummies=True)
+        path = os.path.join(tmp_path, "labels.ttlt")
+        labels.save(path)
+        before = TransferQueryEngine(labels)
+        after = TransferQueryEngine(TransferLabels.load(path))
+        rng = random.Random(4)
+        for _ in range(40):
+            s, g = rng.randrange(12), rng.randrange(12)
+            t = rng.randrange(20_000, 92_000)
+            for k in (1, 2, 3):
+                assert before.earliest_arrival(s, g, t, k) == (
+                    after.earliest_arrival(s, g, t, k)
+                )
+
+    def test_bad_magic(self, tmp_path):
+        path = os.path.join(tmp_path, "junk")
+        with open(path, "wb") as handle:
+            handle.write(b"XXXX1234")
+        with pytest.raises(LabelingError):
+            TransferLabels.load(path)

@@ -1,0 +1,94 @@
+"""Tests for PTLDB-T, the SQL variant of transfer-bounded queries."""
+
+import random
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.timetable.generator import random_timetable
+from repro.transfers.query import TransferQueryEngine
+from repro.transfers.sql import TransferPTLDB
+from repro.transfers.ttl import build_transfer_labels
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tt = random_timetable(14, 130, seed=8)
+    labels, _ = build_transfer_labels(tt, max_trips=3, add_dummies=True)
+    engine = TransferQueryEngine(labels)
+    sql = TransferPTLDB.from_timetable(tt, labels=labels)
+    return tt, engine, sql
+
+
+class TestSqlMatchesEngine:
+    def test_ea(self, setup):
+        tt, engine, sql = setup
+        rng = random.Random(51)
+        for _ in range(120):
+            s = rng.randrange(tt.num_stops)
+            g = rng.randrange(tt.num_stops)
+            if s == g:
+                continue
+            t = rng.randrange(20_000, 92_000)
+            for k in (1, 2, 3):
+                assert sql.earliest_arrival(s, g, t, k) == engine.earliest_arrival(
+                    s, g, t, k
+                ), (s, g, t, k)
+
+    def test_ld(self, setup):
+        tt, engine, sql = setup
+        rng = random.Random(52)
+        for _ in range(120):
+            s = rng.randrange(tt.num_stops)
+            g = rng.randrange(tt.num_stops)
+            if s == g:
+                continue
+            t = rng.randrange(20_000, 92_000)
+            for k in (1, 2, 3):
+                assert sql.latest_departure(s, g, t, k) == engine.latest_departure(
+                    s, g, t, k
+                ), (s, g, t, k)
+
+    def test_tightening_budget_never_improves(self, setup):
+        tt, _, sql = setup
+        rng = random.Random(53)
+        for _ in range(60):
+            s = rng.randrange(tt.num_stops)
+            g = rng.randrange(tt.num_stops)
+            if s == g:
+                continue
+            t = rng.randrange(20_000, 92_000)
+            values = [sql.earliest_arrival(s, g, t, k) for k in (1, 2, 3)]
+            present = [v for v in values if v is not None]
+            assert present == sorted(present, reverse=True)
+            # once reachable, stays reachable with more trips
+            for a, b in zip(values, values[1:]):
+                if a is not None:
+                    assert b is not None
+
+
+class TestGuards:
+    def test_budget_range(self, setup):
+        _, _, sql = setup
+        with pytest.raises(DatabaseError):
+            sql.earliest_arrival(0, 1, 0, 0)
+        with pytest.raises(DatabaseError):
+            sql.earliest_arrival(0, 1, 0, 99)
+
+    def test_stop_range(self, setup):
+        _, _, sql = setup
+        with pytest.raises(DatabaseError):
+            sql.earliest_arrival(0, 99, 0, 1)
+
+
+class TestTables:
+    def test_parallel_arrays(self, setup):
+        _, _, sql = setup
+        rows = sql.db.execute("SELECT hubs, tds, tas, trs, bts FROM lout_tr").rows
+        for hubs, tds, tas, trs, bts in rows:
+            assert len(hubs) == len(tds) == len(tas) == len(trs) == len(bts)
+            for trips, boundary in zip(trs, bts):
+                if trips == 0:  # dummy tuples carry no witness
+                    assert boundary is None
+                else:
+                    assert boundary is not None
