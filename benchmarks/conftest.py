@@ -53,13 +53,25 @@ def cycle_calls(calls):
 
 
 def attach_cold_stats(benchmark, ptldb, name, calls):
-    """Run one cold batch through the harness and attach its stats."""
+    """Run one cold batch through the harness and attach its stats.
+
+    ``stage_io_ms`` / ``stage_page_reads`` attribute the simulated I/O to
+    the plan operator that caused it (see docs/OBSERVABILITY.md), so the
+    benchmark JSON carries the per-stage breakdown the paper's
+    access-pattern claims are about.
+    """
     from repro.bench.runner import run_batch
 
     result = run_batch(ptldb, name, calls)
     benchmark.extra_info["cold_avg_total_ms"] = round(result.avg_total_ms, 3)
     benchmark.extra_info["cold_avg_sim_io_ms"] = round(result.avg_io_ms, 3)
     benchmark.extra_info["empty_results"] = result.empty_results
+    benchmark.extra_info["stage_io_ms"] = {
+        row["stage"]: row["io_ms"] for row in result.stage_rows()
+    }
+    benchmark.extra_info["stage_page_reads"] = {
+        row["stage"]: row["page_reads"] for row in result.stage_rows()
+    }
     return result
 
 

@@ -10,6 +10,12 @@ CPU-bound (the join does the work, I/O is minimal).
 
 Before each batch the buffer pool is cleared — the paper restarts the
 PostgreSQL server and drops the OS cache before each experiment.
+
+Per-stage attribution: every query's :class:`~repro.minidb.metrics.QueryTrace`
+is folded into ``BenchResult.stages`` (exclusive per-operator-name figures),
+so benchmark JSON can say *which* operator caused the simulated I/O — the
+paper's v2v claim is literally "two Index Scan misses", not just "two misses
+somewhere".
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import statistics
 import time
 from dataclasses import dataclass, field
 
+from repro.minidb.metrics import REGISTRY, MetricsRegistry
 from repro.ptldb.framework import PTLDB
 
 
@@ -30,7 +37,10 @@ class BenchResult:
     cpu_ms: list[float] = field(default_factory=list)
     io_ms: list[float] = field(default_factory=list)
     page_reads: int = 0
+    pool_misses: int = 0
     empty_results: int = 0
+    # operator name -> aggregated exclusive figures across the batch
+    stages: dict = field(default_factory=dict)
 
     @property
     def avg_cpu_ms(self) -> float:
@@ -60,13 +70,56 @@ class BenchResult:
             "empty_results": self.empty_results,
         }
 
+    def merge_trace(self, trace) -> None:
+        """Fold one query's per-stage exclusive figures into the batch."""
+        for stage, figures in trace.stage_totals().items():
+            bucket = self.stages.get(stage)
+            if bucket is None:
+                self.stages[stage] = dict(figures)
+            else:
+                for key, value in figures.items():
+                    bucket[key] += value
 
-def run_batch(ptldb: PTLDB, name: str, calls, cold_start: bool = True) -> BenchResult:
+    def stage_rows(self) -> list[dict]:
+        """Stage breakdown rows, costliest simulated I/O first."""
+        out = []
+        for stage in sorted(
+            self.stages, key=lambda s: -self.stages[s]["io_ms"]
+        ):
+            figures = self.stages[stage]
+            out.append(
+                {
+                    "stage": stage,
+                    "calls": figures["calls"],
+                    "rows": figures["rows"],
+                    "pool_hits": figures["pool_hits"],
+                    "pool_misses": figures["pool_misses"],
+                    "page_reads": figures["page_reads"],
+                    "io_ms": round(figures["io_ms"], 3),
+                    "time_ms": round(figures["time_ms"], 3),
+                }
+            )
+        return out
+
+    def to_json(self) -> dict:
+        """The ``row()`` summary plus the per-stage I/O attribution."""
+        return {**self.row(), "pool_misses": self.pool_misses, "stages": self.stage_rows()}
+
+
+def run_batch(
+    ptldb: PTLDB,
+    name: str,
+    calls,
+    cold_start: bool = True,
+    registry: MetricsRegistry | None = REGISTRY,
+) -> BenchResult:
     """Execute ``calls`` (iterable of zero-arg callables) against *ptldb*.
 
     Each callable should issue exactly one PTLDB query and return its
     result; ``None`` / empty results are counted (the paper's quartile
-    timestamp sampling exists to keep those rare).
+    timestamp sampling exists to keep those rare). Each query's trace is
+    folded into ``result.stages`` and observed in *registry* (pass ``None``
+    to skip registry updates).
     """
     if cold_start:
         ptldb.restart()
@@ -80,6 +133,17 @@ def run_batch(ptldb: PTLDB, name: str, calls, cold_start: bool = True) -> BenchR
         result.cpu_ms.append(elapsed_ms)
         result.io_ms.append(io_ms)
         result.page_reads += cost.page_reads if cost else 0
+        result.pool_misses += cost.pool_misses if cost else 0
+        trace = getattr(ptldb.db, "last_trace", None)
+        if trace is not None:
+            result.merge_trace(trace)
+        if registry is not None:
+            registry.counter(f"bench.{name}.queries").inc()
+            registry.histogram(f"bench.{name}.total_ms").observe(
+                elapsed_ms + io_ms
+            )
+            if cost:
+                registry.counter(f"bench.{name}.page_reads").inc(cost.page_reads)
         if value is None or value == [] or value == {}:
             result.empty_results += 1
         result.queries += 1

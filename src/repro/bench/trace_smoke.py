@@ -1,0 +1,122 @@
+"""Trace smoke check: one traced query per PTLDB query type.
+
+Runs every query family (v2v EA/LD/SD, kNN naive + optimized, one-to-many)
+against a small random timetable on the HDD device model and fails — exit
+status 1 — if any query's :class:`~repro.minidb.metrics.QueryTrace` is
+missing its expected operators or reports a negative counter. This is the
+CI tripwire for the observability layer: a refactor that drops an
+operator's instrumentation (or breaks delta attribution) turns every later
+benchmark's stage breakdown silently wrong, so we fail fast here instead.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.trace_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.report import format_stage_breakdown
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+
+#: operator names that must appear in each query type's trace
+EXPECTED_OPERATORS = {
+    "v2v_ea": {"CTE", "Index Scan", "ProjectSet", "Hash Join", "Aggregate"},
+    "v2v_ld": {"CTE", "Index Scan", "ProjectSet", "Hash Join", "Aggregate"},
+    "v2v_sd": {"CTE", "Index Scan", "ProjectSet"},
+    "knn_ea_naive": {"Seq Scan", "Sort"},
+    "knn_ld_naive": {"Seq Scan", "Sort"},
+    "knn_ea": {"Index Nested Loop", "Sort"},
+    "knn_ld": {"Index Nested Loop", "Sort"},
+    "otm_ea": {"Index Nested Loop", "GroupAggregate"},
+    "otm_ld": {"Index Nested Loop", "GroupAggregate"},
+}
+
+
+def build_fixture() -> PTLDB:
+    timetable = random_timetable(18, 160, seed=11)
+    labels, _ = build_labels(timetable, add_dummies=True)
+    ptldb = PTLDB.from_timetable(timetable, device="hdd", labels=labels)
+    ptldb.build_target_set(
+        "smoke",
+        targets={1, 4, 9, 13, 16},
+        kmax=4,
+        families=(
+            "knn_ea", "knn_ld", "otm_ea", "otm_ld", "naive_ea", "naive_ld",
+        ),
+    )
+    return ptldb
+
+
+def query_calls(ptldb: PTLDB) -> dict:
+    """One representative zero-arg call per query type."""
+    noon = 12 * 3600
+    return {
+        "v2v_ea": lambda: ptldb.earliest_arrival(2, 9, noon),
+        "v2v_ld": lambda: ptldb.latest_departure(2, 9, 2 * noon),
+        "v2v_sd": lambda: ptldb.shortest_duration(2, 9, 0, 2 * noon),
+        "knn_ea_naive": lambda: ptldb.ea_knn_naive("smoke", 2, noon, 2),
+        "knn_ld_naive": lambda: ptldb.ld_knn_naive("smoke", 2, 2 * noon, 2),
+        "knn_ea": lambda: ptldb.ea_knn("smoke", 2, noon, 2),
+        "knn_ld": lambda: ptldb.ld_knn("smoke", 2, 2 * noon, 2),
+        "otm_ea": lambda: ptldb.ea_one_to_many("smoke", 2, noon),
+        "otm_ld": lambda: ptldb.ld_one_to_many("smoke", 2, 2 * noon),
+    }
+
+
+def check_trace(name: str, trace) -> list[str]:
+    """All problems with one query's trace (empty = sound)."""
+    if trace is None:
+        return [f"{name}: no trace recorded"]
+    problems = [f"{name}: {p}" for p in trace.validate()]
+    present = {op.name for op in trace.operators()}
+    for required in sorted(EXPECTED_OPERATORS[name]):
+        if required not in present:
+            problems.append(
+                f"{name}: expected operator {required!r} missing "
+                f"(trace has {sorted(present)})"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    args = list(argv or [])
+    unknown = [a for a in args if a not in ("-q", "--quiet")]
+    if unknown:
+        print(f"error: unknown argument(s): {' '.join(unknown)}", file=sys.stderr)
+        print("usage: python -m repro.bench.trace_smoke [-q]", file=sys.stderr)
+        return 2
+    verbose = not args
+    ptldb = build_fixture()
+    failures: list[str] = []
+    for name, call in query_calls(ptldb).items():
+        ptldb.restart()
+        call()
+        trace = ptldb.last_trace
+        problems = check_trace(name, trace)
+        failures.extend(problems)
+        if verbose:
+            status = "FAIL" if problems else "ok"
+            detail = (
+                f"{len(list(trace.operators()))} operators, "
+                f"misses={trace.pool_misses}, io={trace.io_ms:.2f} ms"
+                if trace is not None
+                else "no trace"
+            )
+            print(f"{status:4s} {name:14s} {detail}")
+            if not problems and trace is not None:
+                print(format_stage_breakdown(trace.stage_totals()))
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+    if verbose:
+        print(f"all {len(EXPECTED_OPERATORS)} query types traced cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

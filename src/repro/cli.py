@@ -83,6 +83,11 @@ def _build_ptldb(args) -> PTLDB:
     return PTLDB.from_timetable(timetable, device=args.device, labels=labels)
 
 
+def _print_trace(args, ptldb) -> None:
+    if getattr(args, "trace", False) and ptldb.last_trace is not None:
+        print(ptldb.last_trace.format(), file=sys.stderr)
+
+
 def cmd_query(args) -> int:
     ptldb = _build_ptldb(args)
     kind = args.kind
@@ -100,6 +105,7 @@ def cmd_query(args) -> int:
                 args.source, args.goal, args.time, args.time2
             )
         print("no journey" if value is None else value)
+        _print_trace(args, ptldb)
         return 0
     # batched queries need a target set
     if not args.targets:
@@ -124,6 +130,7 @@ def cmd_query(args) -> int:
             result = ptldb.ea_one_to_many("cli", args.source, args.time)
         for stop in sorted(result):
             print(f"{stop}\t{result[stop]}")
+    _print_trace(args, ptldb)
     return 0
 
 
@@ -192,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--targets", help="comma-separated target stops")
     p.add_argument("--ld", action="store_true", help="LD variant for knn/otm")
     p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-operator query trace (stderr) after the result",
+    )
 
     p = sub.add_parser("bench", help="run one experiment, print its table")
     p.add_argument("--experiment", required=True)

@@ -13,7 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import StorageError
-from repro.minidb.disk import DiskManager
+from repro.minidb.disk import DiskManager, IOStats
 from repro.minidb.page import Page
 
 
@@ -85,11 +85,19 @@ class BufferPool:
                 frame[1] = False
 
     def clear(self) -> None:
-        """Flush and drop the whole cache (the paper's cold-cache restart)."""
+        """Flush and drop the whole cache (the paper's cold-cache restart).
+
+        Pool counters and the disk manager's I/O counters reset together:
+        activity before the restart (including the flush writes issued
+        here) can no longer leak into deltas measured after it, so a cold
+        benchmark run never mixes warm-run figures.
+        """
         self.flush()
         self._frames.clear()
         # Forget the sequential-read run as a real restart would.
         self.disk._last_read_page = -2
+        self.stats = PoolStats()
+        self.disk.stats = IOStats()
 
     def resident(self, page_id: int) -> bool:
         return page_id in self._frames

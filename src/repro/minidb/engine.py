@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 from dataclasses import dataclass
 
 from repro.errors import DatabaseError, StorageError
 from repro.minidb.buffer import BufferPool
 from repro.minidb.catalog import Catalog
 from repro.minidb.disk import DeviceModel, DiskManager, hdd_model, ram_model, ssd_model
+from repro.minidb.metrics import QueryTrace, TraceCollector
 from repro.minidb.page import HEADER_SIZE, KIND_META, PAGE_SIZE
 from repro.minidb.sql.executor import Executor, Result
 from repro.minidb.sql.parser import parse
@@ -39,6 +41,7 @@ class QueryCost:
     page_reads: int
     pool_hits: int
     simulated_io_ms: float
+    pool_misses: int = 0
 
 
 class Database:
@@ -62,6 +65,9 @@ class Database:
         self.catalog = Catalog(self.pool)
         self._plan_cache: dict[str, object] = {}
         self.last_cost: QueryCost | None = None
+        self.last_trace: QueryTrace | None = None
+        #: Set False to skip per-operator trace collection (hot loops).
+        self.tracing = True
         self._path = path
         if self.disk.num_pages == 0:
             # Fresh database: page 0 is the catalog checkpoint (META) page.
@@ -83,14 +89,36 @@ class Database:
             self._plan_cache[sql] = stmt
         disk_before = self.disk.stats.snapshot()
         pool_before = self.pool.stats.snapshot()
-        result = Executor(self.catalog, tuple(params)).execute(stmt)
+        collector = TraceCollector(self.pool) if self.tracing else None
+        started = time.perf_counter()
+        result = Executor(
+            self.catalog, tuple(params), collector=collector
+        ).execute(stmt)
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
         disk_delta = self.disk.stats.delta(disk_before)
         pool_delta = self.pool.stats.delta(pool_before)
         self.last_cost = QueryCost(
             page_reads=disk_delta.reads,
             pool_hits=pool_delta.hits,
             simulated_io_ms=disk_delta.simulated_read_ms,
+            pool_misses=pool_delta.misses,
         )
+        if collector is not None:
+            trace = QueryTrace(
+                sql=sql,
+                roots=collector.roots,
+                total_ms=elapsed_ms,
+                pool_hits=pool_delta.hits,
+                pool_misses=pool_delta.misses,
+                page_reads=disk_delta.reads,
+                io_ms=disk_delta.simulated_read_ms,
+            )
+            self.last_trace = trace
+            result.trace = trace
+        else:
+            # Never leave a previous statement's trace lying around — a
+            # stale tree would silently misattribute this statement's I/O.
+            self.last_trace = None
         return result
 
     def executemany(self, sql: str, param_rows) -> int:

@@ -1,0 +1,366 @@
+"""Query observability: per-operator traces and a metrics registry.
+
+The paper's claims are *access-pattern* claims — "PTLDB needs to access
+exactly two rows" per v2v query (Code 1), "at most ``|Lout|/|V|`` rows" per
+optimized kNN probe (Code 3) — so coarse per-statement totals are not enough
+to verify them. This module attributes buffer-pool and simulated-I/O
+activity to the individual plan operator that caused it.
+
+Three layers:
+
+* :class:`TraceCollector` — a stack of open operator scopes. The executor
+  wraps every operator body in ``with collector.operator(name, detail):``;
+  on exit the scope records rows produced, wall time, and the buffer-pool /
+  disk-stat deltas observed while it was open (*inclusive* of its children).
+* :class:`OperatorStats` / :class:`QueryTrace` — the resulting tree.
+  Exclusive ("self") figures are derived as inclusive minus the sum of the
+  children, PostgreSQL ``EXPLAIN ANALYZE`` style.
+* :class:`MetricsRegistry` — named counters and histograms the bench
+  harness feeds so per-stage breakdowns survive across many queries.
+
+See docs/OBSERVABILITY.md for the full API walk-through.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Operator tree
+# ---------------------------------------------------------------------------
+@dataclass
+class OperatorStats:
+    """One plan operator's lifecycle figures (inclusive of children)."""
+
+    name: str
+    detail: str = ""
+    rows: int = 0
+    loops: int = 1
+    time_ms: float = 0.0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    page_reads: int = 0
+    io_ms: float = 0.0
+    children: list["OperatorStats"] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} {self.detail}".rstrip()
+
+    # -- exclusive ("self") figures: inclusive minus the children ----------
+    @property
+    def self_time_ms(self) -> float:
+        return self.time_ms - sum(c.time_ms for c in self.children)
+
+    @property
+    def self_pool_hits(self) -> int:
+        return self.pool_hits - sum(c.pool_hits for c in self.children)
+
+    @property
+    def self_pool_misses(self) -> int:
+        return self.pool_misses - sum(c.pool_misses for c in self.children)
+
+    @property
+    def self_page_reads(self) -> int:
+        return self.page_reads - sum(c.page_reads for c in self.children)
+
+    @property
+    def self_io_ms(self) -> float:
+        return self.io_ms - sum(c.io_ms for c in self.children)
+
+    def stats_suffix(self) -> str:
+        """The ``EXPLAIN ANALYZE`` annotation appended to the plan line."""
+        return (
+            f"(actual rows={self.rows} loops={self.loops} "
+            f"time={self.time_ms:.3f} ms) "
+            f"(buffers: hits={self.pool_hits} misses={self.pool_misses} "
+            f"reads={self.page_reads} io={self.io_ms:.3f} ms)"
+        )
+
+    def walk(self):
+        """Yield this operator then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def render_plan(roots: list[OperatorStats], analyze: bool = False) -> list[str]:
+    """Indented plan lines for ``EXPLAIN`` (labels only) or ``EXPLAIN
+    ANALYZE`` (labels plus actual-row/buffer annotations)."""
+    lines: list[str] = []
+
+    def visit(node: OperatorStats, depth: int) -> None:
+        prefix = "  " * depth
+        if analyze:
+            lines.append(f"{prefix}{node.label} {node.stats_suffix()}")
+        else:
+            lines.append(prefix + node.label)
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return lines
+
+
+@dataclass
+class QueryTrace:
+    """Everything observed while executing one SQL statement."""
+
+    sql: str
+    roots: list[OperatorStats] = field(default_factory=list)
+    total_ms: float = 0.0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    page_reads: int = 0
+    io_ms: float = 0.0
+
+    def operators(self):
+        """Iterate every operator in the tree, depth-first."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[OperatorStats]:
+        """All operators whose name matches exactly (e.g. ``"Index Scan"``)."""
+        return [op for op in self.operators() if op.name == name]
+
+    def stage_totals(self) -> dict[str, dict]:
+        """Exclusive figures aggregated per operator name.
+
+        This is the per-stage attribution the bench harness emits: every
+        hit/miss/read lands in exactly one stage, so the stage sums equal
+        the statement totals.
+        """
+        stages: dict[str, dict] = {}
+        for op in self.operators():
+            stage = stages.setdefault(
+                op.name,
+                {
+                    "calls": 0,
+                    "rows": 0,
+                    "pool_hits": 0,
+                    "pool_misses": 0,
+                    "page_reads": 0,
+                    "io_ms": 0.0,
+                    "time_ms": 0.0,
+                },
+            )
+            stage["calls"] += 1
+            stage["rows"] += op.rows
+            stage["pool_hits"] += op.self_pool_hits
+            stage["pool_misses"] += op.self_pool_misses
+            stage["page_reads"] += op.self_page_reads
+            stage["io_ms"] += op.self_io_ms
+            stage["time_ms"] += op.self_time_ms
+        return stages
+
+    def format(self, analyze: bool = True) -> str:
+        """Human-readable trace: a totals header plus the annotated tree."""
+        header = (
+            f"QueryTrace: total={self.total_ms:.3f} ms, "
+            f"hits={self.pool_hits}, misses={self.pool_misses}, "
+            f"reads={self.page_reads}, io={self.io_ms:.3f} ms"
+        )
+        return "\n".join(
+            [header] + ["  " + line for line in render_plan(self.roots, analyze)]
+        )
+
+    def validate(self) -> list[str]:
+        """Consistency problems, empty when the trace is sound.
+
+        Checked: the tree is non-empty, no operator reports a negative
+        counter (inclusive or exclusive), and per-operator counters never
+        exceed the statement totals.
+        """
+        problems: list[str] = []
+        if not self.roots:
+            problems.append("trace has no operators")
+        for op in self.operators():
+            for attr in ("rows", "loops", "pool_hits", "pool_misses", "page_reads"):
+                if getattr(op, attr) < 0:
+                    problems.append(f"{op.label}: negative {attr}")
+            for attr in ("time_ms", "io_ms"):
+                if getattr(op, attr) < 0:
+                    problems.append(f"{op.label}: negative {attr}")
+            for attr in (
+                "self_pool_hits",
+                "self_pool_misses",
+                "self_page_reads",
+            ):
+                if getattr(op, attr) < 0:
+                    problems.append(f"{op.label}: negative {attr}")
+            if op.self_io_ms < -1e-9:
+                problems.append(f"{op.label}: negative self_io_ms")
+        root_misses = sum(r.pool_misses for r in self.roots)
+        if root_misses > self.pool_misses:
+            problems.append(
+                f"operator misses ({root_misses}) exceed statement total "
+                f"({self.pool_misses})"
+            )
+        root_reads = sum(r.page_reads for r in self.roots)
+        if root_reads > self.page_reads:
+            problems.append(
+                f"operator reads ({root_reads}) exceed statement total "
+                f"({self.page_reads})"
+            )
+        return problems
+
+
+# ---------------------------------------------------------------------------
+# Collection
+# ---------------------------------------------------------------------------
+class _NullScope:
+    """No-op stand-in so uninstrumented executors stay branch-free."""
+
+    rows = 0
+    loops = 1
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SCOPE = _NullScope()
+
+
+class TraceCollector:
+    """Builds the operator tree as the executor enters and exits scopes.
+
+    Each scope snapshots the pool and disk counters on entry and records
+    the deltas on exit, so a node's figures are inclusive of everything its
+    children did while it was open.
+    """
+
+    def __init__(self, pool=None):
+        self.pool = pool
+        self.disk = pool.disk if pool is not None else None
+        self.roots: list[OperatorStats] = []
+        self._stack: list[OperatorStats] = []
+
+    @contextmanager
+    def operator(self, name: str, detail: str = ""):
+        node = OperatorStats(name=name, detail=detail)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        pool_before = self.pool.stats.snapshot() if self.pool is not None else None
+        disk_before = self.disk.stats.snapshot() if self.disk is not None else None
+        started = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.time_ms += (time.perf_counter() - started) * 1000.0
+            if pool_before is not None:
+                pool_delta = self.pool.stats.delta(pool_before)
+                node.pool_hits += pool_delta.hits
+                node.pool_misses += pool_delta.misses
+            if disk_before is not None:
+                disk_delta = self.disk.stats.delta(disk_before)
+                node.page_reads += disk_delta.reads
+                node.io_ms += disk_delta.simulated_read_ms
+            self._stack.pop()
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+@dataclass
+class Counter:
+    """A monotonically increasing named value."""
+
+    name: str
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Histogram:
+    """A named distribution of observations (milliseconds, rows, ...)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": round(self.total, 3),
+            "mean": round(self.mean, 3),
+            "p50": round(self.percentile(50), 3),
+            "p95": round(self.percentile(95), 3),
+            "max": round(max(self.values), 3) if self.values else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with a JSON-friendly snapshot."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+
+#: Process-wide default registry; the bench harness feeds this unless given
+#: its own instance.
+REGISTRY = MetricsRegistry()

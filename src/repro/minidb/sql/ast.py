@@ -216,6 +216,10 @@ class Vacuum:
 
 @dataclass(frozen=True)
 class Explain:
-    """EXPLAIN <statement>: run it, return the executor's plan trace."""
+    """EXPLAIN [ANALYZE] <statement>: run it, return the plan tree.
+
+    With ``analyze`` the plan lines carry actual row counts and buffer-pool
+    figures per operator (PostgreSQL's ``EXPLAIN ANALYZE``)."""
 
     statement: object
+    analyze: bool = False

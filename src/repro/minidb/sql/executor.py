@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SQLError, SQLNameError, SQLSyntaxError, SQLTypeError
+from repro.minidb.metrics import NULL_SCOPE, TraceCollector, render_plan
 from repro.minidb.sql import ast
 from repro.minidb.sql.functions import (
     AGGREGATE_FUNCTIONS,
@@ -49,6 +50,7 @@ class Result:
 
     columns: list[str]
     rows: list[tuple]
+    trace: object | None = None  # QueryTrace, attached by Database.execute
 
     def scalar(self):
         """Single value of a single-row, single-column result."""
@@ -227,23 +229,30 @@ def _hashable(row: tuple) -> tuple:
 # Executor
 # ---------------------------------------------------------------------------
 class Executor:
-    def __init__(self, catalog, params: tuple = (), trace: list | None = None):
+    def __init__(self, catalog, params: tuple = (), collector: TraceCollector | None = None):
         self.catalog = catalog
         self.params = params
-        self.trace = trace
+        self.collector = collector
 
-    def _note(self, message: str) -> None:
-        if self.trace is not None:
-            self.trace.append(message)
+    def _op(self, name: str, detail: str = ""):
+        """Operator scope: a context manager collecting lifecycle stats.
+
+        Returns a no-op scope when no collector is attached, so the
+        executor body reads the same either way.
+        """
+        if self.collector is not None:
+            return self.collector.operator(name, detail)
+        return NULL_SCOPE
 
     # -- entry points ---------------------------------------------------
     def execute(self, stmt) -> Result:
         if isinstance(stmt, ast.Explain):
-            trace: list[str] = []
-            Executor(self.catalog, self.params, trace=trace).execute(
+            collector = TraceCollector(getattr(self.catalog, "pool", None))
+            Executor(self.catalog, self.params, collector=collector).execute(
                 stmt.statement
             )
-            return Result(["plan"], [(line,) for line in trace])
+            lines = render_plan(collector.roots, analyze=stmt.analyze)
+            return Result(["plan"], [(line,) for line in lines])
         if isinstance(stmt, ast.Query):
             rel = self.run_query(stmt, {})
             return Result([name for _, name in rel.columns], rel.rows)
@@ -260,8 +269,10 @@ class Executor:
             return self._exec_update(stmt)
         if isinstance(stmt, ast.Vacuum):
             table = self.catalog.get(stmt.table)
-            self._note(f"Vacuum {stmt.table}")
-            return Result(["rows"], [(table.vacuum(),)])
+            with self._op("Vacuum", stmt.table) as node:
+                live = table.vacuum()
+                node.rows = live
+            return Result(["rows"], [(live,)])
         raise SQLError(f"cannot execute {type(stmt).__name__}")
 
     # -- DDL / DML ------------------------------------------------------
@@ -290,24 +301,27 @@ class Executor:
             source_rows = [
                 tuple(const_fn(e)(()) for e in row) for row in stmt.rows
             ]
-        for source in source_rows:
-            if len(source) != len(positions):
-                raise SQLError(
-                    f"INSERT expects {len(positions)} values, got {len(source)}"
-                )
-            row = [None] * len(schema.columns)
-            for pos, value in zip(positions, source):
-                row[pos] = value
-            table.insert(tuple(row))
-            count += 1
+        with self._op("Insert", f"on {stmt.table}") as node:
+            for source in source_rows:
+                if len(source) != len(positions):
+                    raise SQLError(
+                        f"INSERT expects {len(positions)} values, got {len(source)}"
+                    )
+                row = [None] * len(schema.columns)
+                for pos, value in zip(positions, source):
+                    row[pos] = value
+                table.insert(tuple(row))
+                count += 1
+            node.rows = count
         return Result(["count"], [(count,)])
 
     def _exec_delete(self, stmt: ast.Delete) -> Result:
         table = self.catalog.get(stmt.table)
-        victims = self._matching_rows(table, stmt.table, stmt.where)
-        for rid, row in victims:
-            table.delete_row(rid, row)
-        self._note(f"Delete on {stmt.table}: {len(victims)} rows")
+        with self._op("Delete", f"on {stmt.table}") as node:
+            victims = self._matching_rows(table, stmt.table, stmt.where)
+            for rid, row in victims:
+                table.delete_row(rid, row)
+            node.rows = len(victims)
         return Result(["count"], [(len(victims),)])
 
     def _exec_update(self, stmt: ast.Update) -> Result:
@@ -318,15 +332,16 @@ class Executor:
             self._compile(expr, schema, grouped=False)
             for _, expr in stmt.assignments
         ]
-        victims = self._matching_rows(table, stmt.table, stmt.where)
-        # Non-transactional: a failing reinsert (e.g. a duplicate key)
-        # aborts mid-way, like a storage engine without WAL would.
-        for rid, row in victims:
-            new_row = list(row)
-            for position, fn in zip(positions, value_fns):
-                new_row[position] = fn(row)
-            table.update_row(rid, row, tuple(new_row))
-        self._note(f"Update on {stmt.table}: {len(victims)} rows")
+        with self._op("Update", f"on {stmt.table}") as node:
+            victims = self._matching_rows(table, stmt.table, stmt.where)
+            # Non-transactional: a failing reinsert (e.g. a duplicate key)
+            # aborts mid-way, like a storage engine without WAL would.
+            for rid, row in victims:
+                new_row = list(row)
+                for position, fn in zip(positions, value_fns):
+                    new_row[position] = fn(row)
+                table.update_row(rid, row, tuple(new_row))
+            node.rows = len(victims)
         return Result(["count"], [(len(victims),)])
 
     def _matching_rows(self, table, alias: str, where):
@@ -347,7 +362,9 @@ class Executor:
     def run_query(self, query: ast.Query, env: dict) -> Relation:
         env = dict(env)
         for name, cte_query in query.ctes:
-            env[name] = self.run_query(cte_query, env)
+            with self._op("CTE", name) as node:
+                env[name] = self.run_query(cte_query, env)
+                node.rows = len(env[name].rows)
 
         if len(query.cores) == 1 and isinstance(query.cores[0], ast.SelectCore):
             return self._run_single(query, query.cores[0], env)
@@ -366,29 +383,32 @@ class Executor:
         width = len(parts[0].columns)
         rows = list(parts[0].rows)
         for op, part in zip(query.set_ops, parts[1:]):
-            self._note(op.title())
-            if len(part.columns) != width:
-                raise SQLError("UNION operands have different column counts")
-            rows.extend(part.rows)
-            if op == "UNION":
-                seen = set()
-                deduped = []
-                for row in rows:
-                    key = _hashable(row)
-                    if key not in seen:
-                        seen.add(key)
-                        deduped.append(row)
-                rows = deduped
+            with self._op(op.title()) as node:
+                if len(part.columns) != width:
+                    raise SQLError("UNION operands have different column counts")
+                rows.extend(part.rows)
+                if op == "UNION":
+                    seen = set()
+                    deduped = []
+                    for row in rows:
+                        key = _hashable(row)
+                        if key not in seen:
+                            seen.add(key)
+                            deduped.append(row)
+                    rows = deduped
+                node.rows = len(rows)
         columns = parts[0].columns
         if query.order_by:
-            schema = [(None, name) for _, name in columns]
-            key_fns = []
-            descending = []
-            for item in query.order_by:
-                key_fns.append(self._order_key_fn(item.expr, schema, columns))
-                descending.append(item.descending)
-            keys = [tuple(fn(row) for fn in key_fns) for row in rows]
-            rows = _sort_rows(rows, len(key_fns), keys, descending)
+            with self._op("Sort", f"({len(query.order_by)} keys)") as node:
+                schema = [(None, name) for _, name in columns]
+                key_fns = []
+                descending = []
+                for item in query.order_by:
+                    key_fns.append(self._order_key_fn(item.expr, schema, columns))
+                    descending.append(item.descending)
+                keys = [tuple(fn(row) for fn in key_fns) for row in rows]
+                rows = _sort_rows(rows, len(key_fns), keys, descending)
+                node.rows = len(rows)
         rows = self._apply_limit(rows, query)
         return Relation([(None, name) for _, name in columns], rows)
 
@@ -445,12 +465,16 @@ class Executor:
         order_items = query.order_by if len(query.cores) == 1 else ()
 
         if grouped:
-            self._note(
-                f"GroupAggregate ({len(core.group_by)} keys)"
+            op_name, op_detail = (
+                ("GroupAggregate", f"({len(core.group_by)} keys)")
                 if core.group_by
-                else "Aggregate"
+                else ("Aggregate", "")
             )
-            out_rows, key_rows = self._run_grouped(core, items, schema, rows, order_items)
+            with self._op(op_name, op_detail) as node:
+                out_rows, key_rows = self._run_grouped(
+                    core, items, schema, rows, order_items
+                )
+                node.rows = len(out_rows)
         else:
             item_fns = [self._compile(it.expr, schema, grouped=False) for it in items]
             out_rows = [tuple(fn(row) for fn in item_fns) for row in rows]
@@ -480,9 +504,12 @@ class Executor:
             key_rows = [p[1] for p in pairs] if order_items else None
 
         if order_items and key_rows is not None:
-            self._note(f"Sort ({len(order_items)} keys)")
-            descending = [it.descending for it in order_items]
-            out_rows = _sort_rows(out_rows, len(order_items), key_rows, descending)
+            with self._op("Sort", f"({len(order_items)} keys)") as node:
+                descending = [it.descending for it in order_items]
+                out_rows = _sort_rows(
+                    out_rows, len(order_items), key_rows, descending
+                )
+                node.rows = len(out_rows)
 
         if len(query.cores) == 1:
             out_rows = self._apply_limit(out_rows, query)
@@ -609,45 +636,50 @@ class Executor:
         ]
         if not srf_positions:
             return items, schema, rows
-        self._note(f"ProjectSet (UNNEST x {len(srf_positions)})")
-        # Compile each SRF argument; non-SRF items stay as-is but will be
-        # evaluated against the extended rows (original columns preserved).
-        srf_fns = {}
-        for i in srf_positions:
-            expr = items[i].expr
-            if not (isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING):
-                raise SQLSyntaxError(
-                    "UNNEST must be the whole select expression in minidb"
-                )
-            if len(expr.args) != 1:
-                raise SQLSyntaxError("UNNEST takes exactly one argument")
-            srf_fns[i] = self._compile(expr.args[0], schema, grouped=False)
+        with self._op("ProjectSet", f"(UNNEST x {len(srf_positions)})") as node:
+            # Compile each SRF argument; non-SRF items stay as-is but will be
+            # evaluated against the extended rows (original columns preserved).
+            srf_fns = {}
+            for i in srf_positions:
+                expr = items[i].expr
+                if not (
+                    isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING
+                ):
+                    raise SQLSyntaxError(
+                        "UNNEST must be the whole select expression in minidb"
+                    )
+                if len(expr.args) != 1:
+                    raise SQLSyntaxError("UNNEST takes exactly one argument")
+                srf_fns[i] = self._compile(expr.args[0], schema, grouped=False)
 
-        new_schema = list(schema)
-        synth_names = {}
-        for i in srf_positions:
-            synth = f"__srf_{i}"
-            synth_names[i] = synth
-            new_schema.append((None, synth))
+            new_schema = list(schema)
+            synth_names = {}
+            for i in srf_positions:
+                synth = f"__srf_{i}"
+                synth_names[i] = synth
+                new_schema.append((None, synth))
 
-        new_rows = []
-        for row in rows:
-            arrays = {}
-            max_len = 0
-            for i, fn in srf_fns.items():
-                value = fn(row)
-                if value is None:
-                    value = []
-                elif not isinstance(value, (list, tuple)):
-                    raise SQLTypeError(f"UNNEST expects an array, got {value!r}")
-                arrays[i] = value
-                max_len = max(max_len, len(value))
-            for j in range(max_len):
-                extra = tuple(
-                    arrays[i][j] if j < len(arrays[i]) else None
-                    for i in srf_positions
-                )
-                new_rows.append(row + extra)
+            new_rows = []
+            for row in rows:
+                arrays = {}
+                max_len = 0
+                for i, fn in srf_fns.items():
+                    value = fn(row)
+                    if value is None:
+                        value = []
+                    elif not isinstance(value, (list, tuple)):
+                        raise SQLTypeError(
+                            f"UNNEST expects an array, got {value!r}"
+                        )
+                    arrays[i] = value
+                    max_len = max(max_len, len(value))
+                for j in range(max_len):
+                    extra = tuple(
+                        arrays[i][j] if j < len(arrays[i]) else None
+                        for i in srf_positions
+                    )
+                    new_rows.append(row + extra)
+            node.rows = len(new_rows)
 
         new_items = []
         for i, item in enumerate(items):
@@ -666,39 +698,45 @@ class Executor:
         ]
         if not win_positions:
             return items, schema, rows
-        self._note("WindowAgg")
-        new_schema = list(schema)
-        extras: list[list] = [[] for _ in rows]
-        new_items = list(items)
-        for i in win_positions:
-            win = items[i].expr
-            if win.name != "row_number":
-                raise SQLError(f"unsupported window function {win.name!r}")
-            part_fns = [self._compile(e, schema, grouped=False) for e in win.partition_by]
-            order_fns = [
-                self._compile(it.expr, schema, grouped=False) for it in win.order_by
-            ]
-            descending = [it.descending for it in win.order_by]
-            # Stable sort indices within partitions.
-            indexed = list(range(len(rows)))
-            keys = [
-                tuple(fn(rows[idx]) for fn in order_fns) for idx in indexed
-            ]
-            ordered = _sort_rows(indexed, len(order_fns), keys, descending)
-            counters: dict = {}
-            numbers = [0] * len(rows)
-            for idx in ordered:
-                part = _hashable(tuple(fn(rows[idx]) for fn in part_fns))
-                counters[part] = counters.get(part, 0) + 1
-                numbers[idx] = counters[part]
-            synth = f"__win_{i}"
-            new_schema.append((None, synth))
-            for row_idx in range(len(rows)):
-                extras[row_idx].append(numbers[row_idx])
-            new_items[i] = ast.SelectItem(
-                ast.ColumnRef(None, synth), alias=items[i].alias or "row_number"
-            )
-        new_rows = [row + tuple(extra) for row, extra in zip(rows, extras)]
+        with self._op("WindowAgg") as node:
+            new_schema = list(schema)
+            extras: list[list] = [[] for _ in rows]
+            new_items = list(items)
+            for i in win_positions:
+                win = items[i].expr
+                if win.name != "row_number":
+                    raise SQLError(f"unsupported window function {win.name!r}")
+                part_fns = [
+                    self._compile(e, schema, grouped=False)
+                    for e in win.partition_by
+                ]
+                order_fns = [
+                    self._compile(it.expr, schema, grouped=False)
+                    for it in win.order_by
+                ]
+                descending = [it.descending for it in win.order_by]
+                # Stable sort indices within partitions.
+                indexed = list(range(len(rows)))
+                keys = [
+                    tuple(fn(rows[idx]) for fn in order_fns) for idx in indexed
+                ]
+                ordered = _sort_rows(indexed, len(order_fns), keys, descending)
+                counters: dict = {}
+                numbers = [0] * len(rows)
+                for idx in ordered:
+                    part = _hashable(tuple(fn(rows[idx]) for fn in part_fns))
+                    counters[part] = counters.get(part, 0) + 1
+                    numbers[idx] = counters[part]
+                synth = f"__win_{i}"
+                new_schema.append((None, synth))
+                for row_idx in range(len(rows)):
+                    extras[row_idx].append(numbers[row_idx])
+                new_items[i] = ast.SelectItem(
+                    ast.ColumnRef(None, synth),
+                    alias=items[i].alias or "row_number",
+                )
+            new_rows = [row + tuple(extra) for row, extra in zip(rows, extras)]
+            node.rows = len(new_rows)
         return new_items, new_schema, new_rows
 
     # -- FROM clause --------------------------------------------------------
@@ -740,36 +778,55 @@ class Executor:
         item, on_conjuncts = source
         all_conj = list(enumerate(conjuncts))
         if isinstance(item, ast.SubqueryRef):
-            self._note(f"Subquery Scan {item.alias}")
-            rel = self.run_query(item.query, env)
-            rel = rel.requalify(item.alias)
-            schema, rows = rel.columns, rel.rows
-        else:
-            alias = item.alias or item.name
-            if item.name in env:
-                self._note(f"CTE Scan on {item.name}")
+            with self._op("Subquery Scan", item.alias) as node:
+                rel = self.run_query(item.query, env)
+                rel = rel.requalify(item.alias)
+                schema, rows = rel.columns, rel.rows
+                rows = self._filter_source(
+                    schema, rows, all_conj, on_conjuncts, used
+                )
+                node.rows = len(rows)
+            return schema, rows
+        alias = item.alias or item.name
+        if item.name in env:
+            with self._op("CTE Scan", f"on {item.name}") as node:
                 rel = env[item.name].requalify(alias)
                 schema, rows = rel.columns, rel.rows
-            else:
-                table = self.catalog.get(item.name)
-                schema = [(alias, n) for n in table.schema.column_names]
-                key = self._pk_probe(table, alias, all_conj, used)
-                if key is not None:
-                    self._note(
-                        f"Index Scan using {item.name}_pkey on {item.name} "
-                        f"(point lookup)"
-                    )
-                    row = table.lookup(key)
-                    rows = [row] if row is not None else []
-                else:
-                    self._note(f"Seq Scan on {item.name}")
-                    rows = list(table.scan())
-        # Push down single-source filters.
-        rows = self._apply_filters(schema, rows, all_conj, used)
-        rows = self._apply_filters(
-            schema, rows, list(enumerate(on_conjuncts, start=-1000)), set(), always=True
-        )
+                rows = self._filter_source(
+                    schema, rows, all_conj, on_conjuncts, used
+                )
+                node.rows = len(rows)
+            return schema, rows
+        table = self.catalog.get(item.name)
+        schema = [(alias, n) for n in table.schema.column_names]
+        key = self._pk_probe(table, alias, all_conj, used)
+        if key is not None:
+            with self._op(
+                "Index Scan",
+                f"using {item.name}_pkey on {item.name} (point lookup)",
+            ) as node:
+                row = table.lookup(key)
+                rows = [row] if row is not None else []
+                rows = self._filter_source(
+                    schema, rows, all_conj, on_conjuncts, used
+                )
+                node.rows = len(rows)
+        else:
+            with self._op("Seq Scan", f"on {item.name}") as node:
+                rows = list(table.scan())
+                rows = self._filter_source(
+                    schema, rows, all_conj, on_conjuncts, used
+                )
+                node.rows = len(rows)
         return schema, rows
+
+    def _filter_source(self, schema, rows, all_conj, on_conjuncts, used):
+        """Push down single-source filters (WHERE, then mandatory ON)."""
+        rows = self._apply_filters(schema, rows, all_conj, used)
+        return self._apply_filters(
+            schema, rows, list(enumerate(on_conjuncts, start=-1000)), set(),
+            always=True,
+        )
 
     def _pk_probe(self, table, alias, indexed_conjuncts, used):
         """If conjuncts pin every PK column to a constant, return the key."""
@@ -856,32 +913,36 @@ class Executor:
                         pins[pin[0]] = pin[1]
                         consumed.append(idx)
                 if set(pins) == set(pk):
-                    self._note(
-                        f"Index Nested Loop: probe {item.name} by primary "
-                        f"key ({', '.join(pk)})"
-                    )
-                    key_fns = [pins[col] for col in pk]
-                    right_schema = [(alias, n) for n in table.schema.column_names]
-                    joined = []
-                    probe_cache: dict = {}  # duplicate probes hit memory
-                    for row in left_rows:
-                        key = tuple(fn(row) for fn in key_fns)
-                        if any(not isinstance(k, int) for k in key):
-                            continue
-                        if key in probe_cache:
-                            match = probe_cache[key]
-                        else:
-                            match = table.lookup(key)
-                            probe_cache[key] = match
-                        if match is not None:
-                            joined.append(row + match)
-                    for idx in consumed:
-                        if idx is not None:
-                            used.add(idx)
-                    schema = left_schema + right_schema
-                    rows = self._apply_post_join_filters(
-                        schema, joined, conjuncts, used, on_conjuncts
-                    )
+                    with self._op(
+                        "Index Nested Loop",
+                        f"probe {item.name} by primary key ({', '.join(pk)})",
+                    ) as node:
+                        key_fns = [pins[col] for col in pk]
+                        right_schema = [
+                            (alias, n) for n in table.schema.column_names
+                        ]
+                        joined = []
+                        probe_cache: dict = {}  # duplicate probes hit memory
+                        for row in left_rows:
+                            key = tuple(fn(row) for fn in key_fns)
+                            if any(not isinstance(k, int) for k in key):
+                                continue
+                            if key in probe_cache:
+                                match = probe_cache[key]
+                            else:
+                                match = table.lookup(key)
+                                probe_cache[key] = match
+                            if match is not None:
+                                joined.append(row + match)
+                        for idx in consumed:
+                            if idx is not None:
+                                used.add(idx)
+                        schema = left_schema + right_schema
+                        rows = self._apply_post_join_filters(
+                            schema, joined, conjuncts, used, on_conjuncts
+                        )
+                        node.rows = len(rows)
+                        node.loops = len(left_rows)
                     return schema, rows
 
         # --- materialize right side ---------------------------------------
@@ -900,34 +961,36 @@ class Executor:
                 hash_pair = (idx, pair)
                 break
         if hash_pair is not None:
-            self._note("Hash Join")
-            idx, (left_fn, right_fn) = hash_pair
-            buckets: dict = {}
-            for row in right_rows:
-                key = right_fn(row)
-                if key is None:
-                    continue
-                buckets.setdefault(key, []).append(row)
-            joined = []
-            for row in left_rows:
-                key = left_fn(row)
-                if key is None:
-                    continue
-                for right in buckets.get(key, ()):
-                    joined.append(row + right)
-            if idx is not None:
-                used.add(idx)
-            rows = self._apply_post_join_filters(
-                schema, joined, conjuncts, used, on_conjuncts
-            )
+            with self._op("Hash Join") as node:
+                idx, (left_fn, right_fn) = hash_pair
+                buckets: dict = {}
+                for row in right_rows:
+                    key = right_fn(row)
+                    if key is None:
+                        continue
+                    buckets.setdefault(key, []).append(row)
+                joined = []
+                for row in left_rows:
+                    key = left_fn(row)
+                    if key is None:
+                        continue
+                    for right in buckets.get(key, ()):
+                        joined.append(row + right)
+                if idx is not None:
+                    used.add(idx)
+                rows = self._apply_post_join_filters(
+                    schema, joined, conjuncts, used, on_conjuncts
+                )
+                node.rows = len(rows)
             return schema, rows
 
         # --- nested loop (cross product) -----------------------------------
-        self._note("Nested Loop (cross product)")
-        joined = [l + r for l in left_rows for r in right_rows]
-        rows = self._apply_post_join_filters(
-            schema, joined, conjuncts, used, on_conjuncts
-        )
+        with self._op("Nested Loop", "(cross product)") as node:
+            joined = [l + r for l in left_rows for r in right_rows]
+            rows = self._apply_post_join_filters(
+                schema, joined, conjuncts, used, on_conjuncts
+            )
+            node.rows = len(rows)
         return schema, rows
 
     def _apply_post_join_filters(self, schema, rows, conjuncts, used, on_conjuncts):

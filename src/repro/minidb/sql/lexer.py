@@ -19,7 +19,7 @@ KEYWORDS = {
     "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "PRIMARY",
     "KEY", "IF", "EXISTS", "DELETE", "TRUE", "FALSE", "CASE", "WHEN",
     "THEN", "ELSE", "END", "OVER", "PARTITION", "ARRAY", "JOIN", "ON",
-    "UPDATE", "SET", "VACUUM", "EXPLAIN",
+    "UPDATE", "SET", "VACUUM", "EXPLAIN", "ANALYZE",
     "INNER", "LEFT", "CROSS", "OUTER", "NULLS", "FIRST", "LAST",
 }
 

@@ -81,8 +81,9 @@ class Parser:
     # -- statements --------------------------------------------------------
     def parse_statement(self):
         if self.accept_keyword("EXPLAIN"):
+            analyze = self.accept_keyword("ANALYZE")
             inner = self.parse_statement()
-            return ast.Explain(inner)
+            return ast.Explain(inner, analyze=bool(analyze))
         if self.at_keyword("SELECT", "WITH") or self.at_op("("):
             stmt = self.parse_query()
         elif self.at_keyword("CREATE"):

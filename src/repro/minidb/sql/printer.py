@@ -167,7 +167,8 @@ def render(stmt) -> str:
     if isinstance(stmt, ast.Query):
         return render_query(stmt)
     if isinstance(stmt, ast.Explain):
-        return "EXPLAIN " + render(stmt.statement)
+        analyze = "ANALYZE " if stmt.analyze else ""
+        return f"EXPLAIN {analyze}" + render(stmt.statement)
     if isinstance(stmt, ast.CreateTable):
         columns = ", ".join(f"{c.name} {c.type_name}" for c in stmt.columns)
         pk = ""

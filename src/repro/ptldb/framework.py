@@ -77,6 +77,16 @@ class PTLDB:
         """Cold-cache restart (the paper's pre-experiment server restart)."""
         self.db.restart()
 
+    @property
+    def last_trace(self):
+        """Per-operator :class:`~repro.minidb.metrics.QueryTrace` of the
+        most recent SQL statement any query method executed."""
+        return self.db.last_trace
+
+    def explain_analyze(self, sql: str, params: tuple = ()) -> list[str]:
+        """Annotated plan lines for *sql* (runs the statement once)."""
+        return [row[0] for row in self.db.execute("EXPLAIN ANALYZE " + sql, params)]
+
     # ------------------------------------------------------------------
     # Vertex-to-vertex queries (Code 1)
     # ------------------------------------------------------------------

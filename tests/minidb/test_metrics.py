@@ -1,0 +1,202 @@
+"""Tests for the observability layer: traces, EXPLAIN ANALYZE, registry.
+
+The attribution invariant under test is the one the bench harness depends
+on: per-operator exclusive counters sum to the statement totals, so a
+stage breakdown never under- or over-reports the pool activity.
+"""
+
+import pytest
+
+from repro.minidb import Database
+from repro.minidb.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    OperatorStats,
+    QueryTrace,
+    TraceCollector,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database(device="hdd")
+    database.execute("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))")
+    for i in range(300):
+        database.execute("INSERT INTO t VALUES ($1, $2)", (i, i * 10))
+    database.execute("CREATE TABLE u (a BIGINT, c BIGINT, PRIMARY KEY (a))")
+    for i in range(50):
+        database.execute("INSERT INTO u VALUES ($1, $2)", (i, i + 1000))
+    return database
+
+
+class TestTraceCollection:
+    def test_every_select_has_a_trace(self, db):
+        result = db.execute("SELECT b FROM t WHERE a = 7")
+        assert result.trace is not None
+        assert result.trace is db.last_trace
+        assert result.trace.roots
+
+    def test_operator_rows_and_labels(self, db):
+        trace = db.execute("SELECT b FROM t WHERE a = 7").trace
+        scans = trace.find("Index Scan")
+        assert len(scans) == 1
+        assert scans[0].rows == 1
+        assert "t_pkey" in scans[0].detail
+
+    def test_seq_scan_counts_all_rows(self, db):
+        trace = db.execute("SELECT b FROM t WHERE b = 70").trace
+        scans = trace.find("Seq Scan")
+        assert len(scans) == 1
+        assert scans[0].rows == 1  # rows after the pushed-down filter
+
+    def test_misses_attributed_to_operators_sum_to_totals(self, db):
+        db.restart()
+        trace = db.execute("SELECT b FROM t WHERE b = 70").trace
+        assert trace.pool_misses > 0
+        inclusive = sum(root.pool_misses for root in trace.roots)
+        assert inclusive == trace.pool_misses
+        exclusive = sum(op.self_pool_misses for op in trace.operators())
+        assert exclusive == trace.pool_misses
+        assert sum(op.self_page_reads for op in trace.operators()) == (
+            trace.page_reads
+        )
+
+    def test_io_ms_attribution(self, db):
+        db.restart()
+        trace = db.execute("SELECT b FROM t WHERE b = 70").trace
+        assert trace.io_ms > 0
+        exclusive = sum(op.self_io_ms for op in trace.operators())
+        assert exclusive == pytest.approx(trace.io_ms)
+
+    def test_join_trace_has_tree_structure(self, db):
+        db.restart()
+        trace = db.execute(
+            "SELECT u.c FROM (SELECT a FROM t WHERE a < 5) s, u WHERE u.a = s.a"
+        ).trace
+        inl = trace.find("Index Nested Loop")
+        assert len(inl) == 1
+        assert inl[0].rows == 5
+        assert inl[0].loops == 5  # one probe per derived row
+        assert trace.validate() == []
+
+    def test_stage_totals_cover_everything(self, db):
+        db.restart()
+        trace = db.execute("SELECT COUNT(*) FROM t").trace
+        stages = trace.stage_totals()
+        assert "Seq Scan" in stages and "Aggregate" in stages
+        assert sum(s["pool_misses"] for s in stages.values()) == trace.pool_misses
+        assert sum(s["io_ms"] for s in stages.values()) == pytest.approx(
+            trace.io_ms
+        )
+
+    def test_tracing_can_be_disabled(self, db):
+        db.tracing = False
+        result = db.execute("SELECT b FROM t WHERE a = 7")
+        assert result.trace is None
+        assert db.last_cost is not None  # coarse accounting still works
+
+    def test_dml_traces(self, db):
+        trace = db.execute("UPDATE t SET b = 0 WHERE a < 3").trace
+        ops = trace.find("Update")
+        assert len(ops) == 1 and ops[0].rows == 3
+        trace = db.execute("DELETE FROM t WHERE a < 3").trace
+        assert trace.find("Delete")[0].rows == 3
+
+    def test_validate_flags_negative_counters(self):
+        trace = QueryTrace(
+            sql="SELECT 1",
+            roots=[OperatorStats(name="Seq Scan", rows=-1)],
+        )
+        assert any("negative rows" in p for p in trace.validate())
+        assert QueryTrace(sql="SELECT 1").validate() == ["trace has no operators"]
+
+
+class TestExplainAnalyze:
+    def test_plain_explain_has_no_actuals(self, db):
+        plan = [r[0] for r in db.execute("EXPLAIN SELECT b FROM t WHERE a = 1")]
+        assert any("Index Scan" in line for line in plan)
+        assert not any("actual rows=" in line for line in plan)
+
+    def test_analyze_reports_rows_and_buffers(self, db):
+        db.restart()
+        plan = [
+            r[0]
+            for r in db.execute("EXPLAIN ANALYZE SELECT b FROM t WHERE a = 1")
+        ]
+        scan_lines = [line for line in plan if "Index Scan" in line]
+        assert len(scan_lines) == 1
+        assert "actual rows=1" in scan_lines[0]
+        assert "misses=" in scan_lines[0]
+        # cold run: the lookup's misses appear on the scan line itself
+        assert "misses=0" not in scan_lines[0]
+
+    def test_analyze_tree_is_indented(self, db):
+        plan = [
+            r[0]
+            for r in db.execute(
+                "EXPLAIN ANALYZE WITH s AS (SELECT a FROM t WHERE a < 5) "
+                "SELECT u.c FROM s, u WHERE u.a = s.a"
+            )
+        ]
+        cte_children = [
+            line for line in plan if line.startswith("  ") and "Seq Scan" in line
+        ]
+        assert cte_children, f"expected an indented child line in {plan}"
+
+    def test_trace_collector_nests(self):
+        collector = TraceCollector()
+        with collector.operator("Outer") as outer:
+            with collector.operator("Inner", "detail") as inner:
+                inner.rows = 3
+            outer.rows = 1
+        assert [n.name for n in collector.roots] == ["Outer"]
+        assert collector.roots[0].children[0].label == "Inner detail"
+
+
+class TestRegistry:
+    def test_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("q").inc()
+        registry.counter("q").inc(2)
+        registry.histogram("ms").observe(1.0)
+        registry.histogram("ms").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["q"] == 3
+        assert snap["histograms"]["ms"]["count"] == 2
+        assert snap["histograms"]["ms"]["mean"] == 2.0
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_histogram_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(95) == 95
+        assert Histogram("empty").percentile(50) == 0.0
+
+
+class TestClearResetsStats:
+    def test_clear_resets_pool_and_disk_counters(self, db):
+        db.execute("SELECT COUNT(*) FROM t")
+        db.restart()
+        db.execute("SELECT COUNT(*) FROM t")  # warm up again
+        assert db.pool.stats.accesses > 0
+        db.pool.clear()
+        assert db.pool.stats.hits == 0
+        assert db.pool.stats.misses == 0
+        assert db.disk.stats.reads == 0
+        assert db.disk.stats.simulated_read_ms == 0.0
+
+    def test_cold_deltas_cannot_mix_warm_runs(self, db):
+        db.execute("SELECT COUNT(*) FROM t")  # warm activity
+        db.restart()
+        db.execute("SELECT COUNT(*) FROM t")
+        # after a restart, the global counters describe the cold run only
+        assert db.disk.stats.reads == db.last_cost.page_reads
+        assert db.pool.stats.misses == db.last_cost.pool_misses

@@ -39,6 +39,8 @@ STATEMENTS = [
     "DELETE FROM t WHERE a = 1",
     "VACUUM t",
     "EXPLAIN SELECT a FROM t WHERE a = 1",
+    "EXPLAIN ANALYZE SELECT a FROM t WHERE a = 1",
+    "EXPLAIN ANALYZE WITH s AS (SELECT a FROM t) SELECT * FROM s",
 ]
 
 

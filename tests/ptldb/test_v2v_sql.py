@@ -124,3 +124,34 @@ class TestAccessPattern:
         small_ptldb.restart()
         small_ptldb.earliest_arrival(2, 9, 30_000)
         assert small_ptldb.db.last_cost.page_reads > 0
+
+    def test_v2v_trace_touches_exactly_two_label_rows(self, wide_ptldb):
+        """Per-operator regression for §3.1: the trace shows exactly two
+        Index Scan point lookups (one on lout, one on lin), each producing
+        one row, and no label-table Seq Scan anywhere in the plan."""
+        wide_ptldb.restart()
+        wide_ptldb.earliest_arrival(2, 9, 30_000)
+        trace = wide_ptldb.last_trace
+        assert trace is not None and trace.validate() == []
+        scans = trace.find("Index Scan")
+        assert len(scans) == 2
+        assert sorted(
+            table for scan in scans for table in ("lout", "lin")
+            if f"on {table} " in scan.detail + " "
+        ) == ["lin", "lout"]
+        assert [scan.rows for scan in scans] == [1, 1]
+        assert not trace.find("Seq Scan")
+        # every buffer-pool miss of the query happens inside those lookups
+        assert sum(s.pool_misses for s in scans) == trace.pool_misses
+
+    def test_v2v_explain_analyze_output(self, wide_ptldb):
+        """EXPLAIN ANALYZE on Code 1 reports actual rows and misses."""
+        from repro.ptldb import sqltext
+
+        wide_ptldb.restart()
+        plan = wide_ptldb.explain_analyze(sqltext.V2V_EA, (2, 9, 30_000))
+        scan_lines = [line for line in plan if "Index Scan" in line]
+        assert len(scan_lines) == 2
+        for line in scan_lines:
+            assert "actual rows=1" in line
+            assert "misses=" in line and "misses=0" not in line

@@ -64,6 +64,18 @@ class TestQueries:
             out = capsys.readouterr().out
             assert "\t" in out
 
+    def test_trace_flag(self, capsys):
+        code = main(
+            [
+                "query", "ea", "--dataset", "Austin", "--trace",
+                "--source", "5", "--goal", "17", "--time", "32400",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "QueryTrace" in err
+        assert "Index Scan" in err
+
     def test_ld_variant(self, capsys):
         code = main(
             [
