@@ -41,6 +41,10 @@ class BenchResult:
     empty_results: int = 0
     # operator name -> aggregated exclusive figures across the batch
     stages: dict = field(default_factory=dict)
+    # static access-path classification of the batch's statement (from the
+    # analyzer, recorded once) — the *predicted* plan next to the measured
+    # stages above
+    access_paths: list = field(default_factory=list)
 
     @property
     def avg_cpu_ms(self) -> float:
@@ -101,9 +105,31 @@ class BenchResult:
             )
         return out
 
+    def plan_divergence(self) -> list[str]:
+        """Statically predicted operators that never showed up in the
+        measured traces — an empty list means the executor did exactly what
+        the analyzer proved it would (e.g. v2v really ran two Index Scans).
+        """
+        out = []
+        for path in self.access_paths:
+            expected = path["expected_operator"]
+            if not any(stage.startswith(expected) for stage in self.stages):
+                out.append(
+                    f"{path['table']}: predicted {expected} "
+                    f"({path['kind']}) not observed in traces"
+                )
+        return out
+
     def to_json(self) -> dict:
-        """The ``row()`` summary plus the per-stage I/O attribution."""
-        return {**self.row(), "pool_misses": self.pool_misses, "stages": self.stage_rows()}
+        """The ``row()`` summary plus per-stage I/O attribution and the
+        static (predicted) access paths with any divergence from traces."""
+        return {
+            **self.row(),
+            "pool_misses": self.pool_misses,
+            "stages": self.stage_rows(),
+            "access_paths": self.access_paths,
+            "plan_divergence": self.plan_divergence(),
+        }
 
 
 def run_batch(
@@ -137,6 +163,10 @@ def run_batch(
         trace = getattr(ptldb.db, "last_trace", None)
         if trace is not None:
             result.merge_trace(trace)
+        if not result.access_paths:
+            analysis = getattr(ptldb.db, "last_analysis", None)
+            if analysis is not None:
+                result.access_paths = analysis.summary()
         if registry is not None:
             registry.counter(f"bench.{name}.queries").inc()
             registry.histogram(f"bench.{name}.total_ms").observe(

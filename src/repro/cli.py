@@ -11,6 +11,9 @@ Subcommands::
     python -m repro.cli query knn --labels austin.ttl --dataset Austin \\
         --source 5 --time 32400 --k 3 --targets 2,4,18
     python -m repro.cli bench --experiment table7 --datasets Austin,Madrid
+    python -m repro.cli lint --corpus
+    python -m repro.cli lint --sql "SELECT v FROM lout WHERE v=1"
+    python -m repro.cli lint --file queries.sql
 """
 
 from __future__ import annotations
@@ -166,6 +169,112 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _lint_database():
+    """In-memory database whose catalog mirrors a full PTLDB deployment:
+    the label tables plus every auxiliary table family the corpus queries
+    reference (built from the same DDL helpers the real builders use)."""
+    from repro.minidb.engine import Database
+    from repro.ptldb import aux
+    from repro.ptldb.schema import LIN_DDL, LOUT_DDL
+    from repro.ptldb.sqltext import CORPUS_TAG
+
+    db = Database()
+    tag = CORPUS_TAG
+    for ddl in (
+        LOUT_DDL.format(array="BIGINT[]"),
+        LIN_DDL.format(array="BIGINT[]"),
+        aux.targets_ddl(f"tgt_{tag}"),
+        aux.hours_ddl(f"hours_{tag}"),
+        aux.naive_ea_ddl(f"knn_ea_naive_{tag}"),
+        aux.naive_ld_ddl(f"knn_ld_naive_{tag}"),
+        aux.grouped_ea_ddl(f"knn_ea_{tag}"),
+        aux.grouped_ld_ddl(f"knn_ld_{tag}"),
+        aux.grouped_ea_ddl(f"otm_ea_{tag}"),
+        aux.grouped_ld_ddl(f"otm_ld_{tag}"),
+    ):
+        db.execute(ddl)
+    return db
+
+
+def _split_statements(text: str) -> list[str]:
+    """Split a SQL script on top-level semicolons (quote-aware)."""
+    out, buf, in_str = [], [], False
+    for ch in text:
+        if ch == "'":
+            in_str = not in_str
+        if ch == ";" and not in_str:
+            stmt = "".join(buf).strip()
+            if stmt:
+                out.append(stmt)
+            buf = []
+        else:
+            buf.append(ch)
+    tail = "".join(buf).strip()
+    if tail:
+        out.append(tail)
+    return out
+
+
+def cmd_lint(args) -> int:
+    from repro.errors import SQLError
+    from repro.minidb.sql import ast
+    from repro.minidb.sql.analyzer import analyze, check_paper_bounds
+    from repro.minidb.sql.parser import parse
+    from repro.ptldb.sqltext import corpus
+
+    db = _lint_database()
+    if args.corpus:
+        cases = [(q.name, q.sql, q.family) for q in corpus()]
+    elif args.sql:
+        cases = [
+            (f"stmt{i + 1}", sql, None)
+            for i, sql in enumerate(_split_statements(args.sql))
+        ]
+    elif args.file:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+        cases = [
+            (f"{args.file}:{i + 1}", sql, None)
+            for i, sql in enumerate(_split_statements(text))
+        ]
+    else:
+        raise ReproError("lint needs one of --corpus, --sql or --file")
+
+    failures = 0
+    for name, sql, family in cases:
+        try:
+            stmt = parse(sql)
+        except SQLError as exc:
+            print(f"{name}: SYNTAX {exc}")
+            failures += 1
+            continue
+        analysis = analyze(stmt, db.catalog, sql=sql)
+        if family is not None:
+            check_paper_bounds(analysis, family)
+        # APL diagnostics are warnings for execution but failures for lint:
+        # the whole point is proving the paper's access bounds hold.
+        bad = analysis.errors or any(
+            d.code.startswith("APL") for d in analysis.diagnostics
+        )
+        if bad:
+            failures += 1
+            print(f"{name}: FAIL")
+            print(analysis.render())
+        else:
+            paths = ", ".join(p.describe() for p in analysis.access_paths)
+            print(f"{name}: ok — {paths or 'no table access'}")
+            for diag in analysis.warnings:
+                print(diag.render(sql))
+        # Apply DDL so later statements in the same script see the table.
+        if isinstance(stmt, (ast.CreateTable, ast.DropTable)) and analysis.ok:
+            db.execute(sql, analyze=False)
+    if failures:
+        print(f"lint: {failures} of {len(cases)} statement(s) failed")
+        return 1
+    print(f"lint: {len(cases)} statement(s) ok")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -210,6 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--datasets")
     p.add_argument("--device", default="hdd", choices=["ram", "hdd", "ssd"])
     p.add_argument("--queries", type=int, default=50)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically analyze SQL and check the paper's access bounds",
+    )
+    p.add_argument(
+        "--corpus",
+        action="store_true",
+        help="lint the canned paper query corpus (all seven families)",
+    )
+    p.add_argument("--sql", help="ad-hoc SQL text (';'-separated)")
+    p.add_argument("--file", help="path to a SQL script")
     return parser
 
 
@@ -221,6 +342,7 @@ def main(argv=None) -> int:
         "preprocess": cmd_preprocess,
         "query": cmd_query,
         "bench": cmd_bench,
+        "lint": cmd_lint,
     }
     try:
         return handlers[args.command](args)

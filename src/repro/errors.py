@@ -45,5 +45,30 @@ class SQLTypeError(SQLError):
     """An expression is applied to values of the wrong type."""
 
 
+class SQLAnalysisError(SQLError):
+    """A statement was rejected by static analysis before execution.
+
+    Concrete subclasses below multiply-inherit from the exception the
+    executor would have raised for the same fault at runtime, so existing
+    ``except CatalogError`` / ``except SQLNameError`` handlers (and tests)
+    keep working when the analyzer fires first."""
+
+
+class AnalyzerCatalogError(SQLAnalysisError, CatalogError):
+    """Static analysis: unknown relation or invalid DDL (SEM001/SEM006)."""
+
+
+class AnalyzerNameError(SQLAnalysisError, SQLNameError):
+    """Static analysis: unresolved or ambiguous name (SEM002-SEM004)."""
+
+
+class AnalyzerTypeError(SQLAnalysisError, SQLTypeError):
+    """Static analysis: type rule violation (TYP*)."""
+
+
+class AnalyzerStructureError(SQLAnalysisError, SQLSyntaxError):
+    """Static analysis: structural rule violation (SEM005, AGG*, WIN*, SRF*)."""
+
+
 class BenchmarkError(ReproError):
     """Benchmark harness misconfiguration."""

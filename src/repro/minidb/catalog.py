@@ -186,6 +186,9 @@ class Catalog:
     def __init__(self, pool: BufferPool):
         self.pool = pool
         self._tables: dict[str, Table] = {}
+        #: Bumped on every schema change; cached statement analyses are
+        #: keyed on it so they never outlive the catalog they were bound to.
+        self.version = 0
 
     def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
         key = schema.name.lower()
@@ -195,6 +198,7 @@ class Catalog:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema, self.pool)
         self._tables[key] = table
+        self.version += 1
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -206,6 +210,7 @@ class Catalog:
         # Pages are not reclaimed (no vacuum); the table simply vanishes
         # from the catalog, like a dropped-but-unvacuumed relation.
         del self._tables[key]
+        self.version += 1
 
     def get(self, name: str) -> Table:
         try:
@@ -241,3 +246,4 @@ class Catalog:
                 row_count=info["row_count"],
             )
             self._tables[schema.name.lower()] = table
+        self.version += 1

@@ -26,6 +26,7 @@ from repro.minidb.catalog import Catalog
 from repro.minidb.disk import DeviceModel, DiskManager, hdd_model, ram_model, ssd_model
 from repro.minidb.metrics import QueryTrace, TraceCollector
 from repro.minidb.page import HEADER_SIZE, KIND_META, PAGE_SIZE
+from repro.minidb.sql.analyzer import Analysis, analyze as analyze_stmt
 from repro.minidb.sql.executor import Executor, Result
 from repro.minidb.sql.parser import parse
 
@@ -63,11 +64,15 @@ class Database:
         self.disk = DiskManager(path=path, device=device)
         self.pool = BufferPool(self.disk, capacity=pool_pages)
         self.catalog = Catalog(self.pool)
-        self._plan_cache: dict[str, object] = {}
+        self._plan_cache: dict[str, tuple[object, Analysis | None, int]] = {}
         self.last_cost: QueryCost | None = None
         self.last_trace: QueryTrace | None = None
+        self.last_analysis: Analysis | None = None
         #: Set False to skip per-operator trace collection (hot loops).
         self.tracing = True
+        #: Set False to skip static analysis before execution (opt-out;
+        #: per-call override via ``execute(..., analyze=False)``).
+        self.analyze = True
         self._path = path
         if self.disk.num_pages == 0:
             # Fresh database: page 0 is the catalog checkpoint (META) page.
@@ -81,12 +86,35 @@ class Database:
             self.catalog.restore(json.loads(payload.decode("utf-8")))
 
     # ------------------------------------------------------------------
-    def execute(self, sql: str, params: tuple | list = ()) -> Result:
-        """Parse (with caching) and run one SQL statement."""
-        stmt = self._plan_cache.get(sql)
-        if stmt is None:
-            stmt = parse(sql)
-            self._plan_cache[sql] = stmt
+    def execute(
+        self,
+        sql: str,
+        params: tuple | list = (),
+        analyze: bool | None = None,
+    ) -> Result:
+        """Parse, statically analyze (both cached) and run one statement.
+
+        Analysis is strict by default: semantic errors (unknown names, type
+        violations, misplaced aggregates, ...) raise *before* any page is
+        read. Pass ``analyze=False`` (or set ``db.analyze = False``) to skip
+        it; access-path warnings (``APL*``) never block execution."""
+        do_analyze = self.analyze if analyze is None else analyze
+        cached = self._plan_cache.get(sql)
+        if cached is None:
+            stmt, analysis, version = parse(sql), None, -1
+        else:
+            stmt, analysis, version = cached
+        if do_analyze and (
+            analysis is None or version != self.catalog.version
+        ):
+            analysis = analyze_stmt(stmt, self.catalog, sql=sql)
+            version = self.catalog.version
+            cached = None  # entry changed — re-store below
+        if cached is None:
+            self._plan_cache[sql] = (stmt, analysis, version)
+        self.last_analysis = analysis
+        if do_analyze and analysis is not None:
+            analysis.raise_if_errors()
         disk_before = self.disk.stats.snapshot()
         pool_before = self.pool.stats.snapshot()
         collector = TraceCollector(self.pool) if self.tracing else None

@@ -1,8 +1,18 @@
-"""AST node definitions for the minidb SQL dialect."""
+"""AST node definitions for the minidb SQL dialect.
+
+Every node carries an optional ``span`` — a ``(start, end)`` byte-offset
+range into the original SQL text, attached by the parser and excluded from
+equality/hashing so structural comparison (tests, GROUP BY matching) ignores
+where a node came from. The analyzer uses spans to render caret diagnostics.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+def _span_field():
+    return field(default=None, compare=False, repr=False)
 
 
 # ---------------------------------------------------------------------------
@@ -15,17 +25,20 @@ class Expr:
 @dataclass(frozen=True)
 class Literal(Expr):
     value: object  # int | float | str | bool | None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Param(Expr):
     index: int  # 1-based, as in $1
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class ColumnRef(Expr):
     table: str | None
     name: str
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -33,6 +46,7 @@ class Star(Expr):
     """``*`` or ``alias.*`` in a select list."""
 
     table: str | None = None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -41,18 +55,21 @@ class BinaryOp(Expr):
     #          'AND', 'OR', '||'
     left: Expr
     right: Expr
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class UnaryOp(Expr):
     op: str  # '-', 'NOT'
     operand: Expr
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class IsNull(Expr):
     operand: Expr
     negated: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -60,6 +77,7 @@ class InList(Expr):
     operand: Expr
     items: tuple[Expr, ...]
     negated: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -69,6 +87,7 @@ class FuncCall(Expr):
     distinct: bool = False
     star: bool = False  # COUNT(*)
     agg_order_by: tuple["OrderItem", ...] = ()  # ARRAY_AGG(x ORDER BY ...)
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -76,6 +95,7 @@ class WindowFunc(Expr):
     name: str  # only 'row_number' supported
     partition_by: tuple[Expr, ...]
     order_by: tuple["OrderItem", ...]
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -83,23 +103,27 @@ class ArraySlice(Expr):
     base: Expr
     low: Expr | None
     high: Expr | None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class ArrayIndex(Expr):
     base: Expr
     index: Expr
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class ArrayLiteral(Expr):
     items: tuple[Expr, ...]
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class CaseExpr(Expr):
     whens: tuple[tuple[Expr, Expr], ...]  # (condition, result)
     default: Expr | None
+    span: tuple | None = _span_field()
 
 
 # ---------------------------------------------------------------------------
@@ -109,24 +133,28 @@ class CaseExpr(Expr):
 class SelectItem:
     expr: Expr
     alias: str | None = None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class OrderItem:
     expr: Expr
     descending: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class TableRef:
     name: str
     alias: str | None = None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class SubqueryRef:
     query: "Query"
     alias: str
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -136,6 +164,7 @@ class Join:
     left: object  # TableRef | SubqueryRef | Join
     right: object
     condition: Expr | None  # None for CROSS JOIN
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -146,6 +175,7 @@ class SelectCore:
     group_by: tuple[Expr, ...] = ()
     having: Expr | None = None
     distinct: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -158,6 +188,7 @@ class Query:
     limit: Expr | None = None
     offset: Expr | None = None
     ctes: tuple[tuple[str, "Query"], ...] = ()
+    span: tuple | None = _span_field()
 
     @property
     def is_simple(self) -> bool:
@@ -172,6 +203,7 @@ class ColumnDef:
     name: str
     type_name: str
     primary_key: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -180,12 +212,14 @@ class CreateTable:
     columns: tuple[ColumnDef, ...]
     primary_key: tuple[str, ...]
     if_not_exists: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class DropTable:
     name: str
     if_exists: bool = False
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -194,12 +228,14 @@ class Insert:
     columns: tuple[str, ...]  # empty = all, in schema order
     rows: tuple[tuple[Expr, ...], ...] = ()  # VALUES form
     select: Query | None = None  # INSERT ... SELECT form
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Delete:
     table: str
     where: Expr | None = None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -207,11 +243,13 @@ class Update:
     table: str
     assignments: tuple[tuple[str, Expr], ...]  # (column, new value)
     where: Expr | None = None
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
 class Vacuum:
     table: str
+    span: tuple | None = _span_field()
 
 
 @dataclass(frozen=True)
@@ -223,3 +261,4 @@ class Explain:
 
     statement: object
     analyze: bool = False
+    span: tuple | None = _span_field()

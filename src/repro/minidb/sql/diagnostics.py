@@ -1,0 +1,109 @@
+"""Source positions, spans and diagnostic rendering for the SQL front-end.
+
+Every token carries its byte offset plus a 1-based ``line``/``col``; AST
+nodes carry ``(start, end)`` offset spans. A :class:`Diagnostic` combines a
+stable code (``SEM002``, ``TYP001``, ``APL001``, ...), a severity, a message
+and a span, and renders with a caret excerpt of the offending source::
+
+    SEM002 error: column "nope" does not exist (line 1:8)
+      SELECT nope FROM t
+             ^^^^
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+
+
+def line_col(sql: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of *offset* in *sql*."""
+    offset = max(0, min(offset, len(sql)))
+    prefix = sql[:offset]
+    line = prefix.count("\n") + 1
+    last_nl = prefix.rfind("\n")
+    col = offset - last_nl  # works for last_nl == -1 too (col = offset + 1)
+    return line, col
+
+
+def caret_excerpt(sql: str, start: int, end: int | None = None) -> str:
+    """The source line containing *start* with a caret run underneath."""
+    start = max(0, min(start, len(sql)))
+    line_start = sql.rfind("\n", 0, start) + 1
+    line_end = sql.find("\n", start)
+    if line_end == -1:
+        line_end = len(sql)
+    text = sql[line_start:line_end]
+    if end is None or end <= start:
+        end = start + 1
+    width = max(1, min(end, line_end) - start)
+    pad = " " * (start - line_start)
+    return f"  {text}\n  {pad}{'^' * width}"
+
+
+@dataclass(frozen=True)
+class Span:
+    """Half-open ``[start, end)`` byte range into the original SQL text."""
+
+    start: int
+    end: int
+
+    @classmethod
+    def of(cls, node) -> "Span | None":
+        raw = getattr(node, "span", None)
+        if raw is None:
+            return None
+        if isinstance(raw, Span):
+            return raw
+        return cls(raw[0], raw[1])
+
+
+@dataclass
+class Diagnostic:
+    """One analyzer or linter finding."""
+
+    code: str  # stable: SEM*, TYP*, AGG*, WIN*, SRF*, APL*
+    severity: str  # ERROR | WARNING
+    message: str
+    span: Span | None = None
+    hint: str | None = None
+
+    def render(self, sql: str | None = None) -> str:
+        """Multi-line human form: header plus caret excerpt when possible."""
+        where = ""
+        if self.span is not None and sql is not None:
+            line, col = line_col(sql, self.span.start)
+            where = f" (line {line}:{col})"
+        out = f"{self.code} {self.severity}: {self.message}{where}"
+        if self.span is not None and sql is not None:
+            out += "\n" + caret_excerpt(sql, self.span.start, self.span.end)
+        if self.hint:
+            out += f"\n  hint: {self.hint}"
+        return out
+
+
+@dataclass
+class DiagnosticSink:
+    """Accumulator shared by the analysis passes."""
+
+    items: list[Diagnostic] = field(default_factory=list)
+
+    def error(self, code: str, message: str, node=None, hint: str | None = None) -> None:
+        self.items.append(
+            Diagnostic(code, ERROR, message, Span.of(node), hint)
+        )
+
+    def warning(self, code: str, message: str, node=None, hint: str | None = None) -> None:
+        self.items.append(
+            Diagnostic(code, WARNING, message, Span.of(node), hint)
+        )
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.items if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.items if d.severity == WARNING]

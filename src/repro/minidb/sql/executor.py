@@ -385,6 +385,8 @@ class Executor:
         for op, part in zip(query.set_ops, parts[1:]):
             with self._op(op.title()) as node:
                 if len(part.columns) != width:
+                    # Defense in depth: the analyzer rejects this statically
+                    # (TYP004) before any operand produces rows.
                     raise SQLError("UNION operands have different column counts")
                 rows.extend(part.rows)
                 if op == "UNION":
@@ -1051,6 +1053,8 @@ class Executor:
                 f"column {ref.table + '.' if ref.table else ''}{ref.name} not found"
             )
         if len(matches) > 1:
+            # Defense in depth: the analyzer reports SEM003 for this before
+            # execution; this path fires only with analysis opted out.
             raise SQLNameError(f"ambiguous column reference {ref.name!r}")
         return matches[0]
 

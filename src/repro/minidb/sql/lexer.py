@@ -4,6 +4,10 @@ Produces a flat token list consumed by the recursive-descent parser.
 Keywords are case-insensitive; identifiers are lower-cased (PostgreSQL's
 fold-to-lowercase behaviour). Supports ``--`` and ``/* ... */`` comments and
 ``$n`` positional parameters.
+
+Each token carries its byte offset (``pos``), the offset one past its last
+character (``end``) and a 1-based ``line``/``col``, so parser and analyzer
+diagnostics can point at the exact source location with a caret excerpt.
 """
 
 from __future__ import annotations
@@ -11,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SQLSyntaxError
+from repro.minidb.sql.diagnostics import caret_excerpt, line_col
 
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "OFFSET",
@@ -41,27 +46,54 @@ class Token:
     kind: str
     value: object
     pos: int
+    end: int = -1  # offset one past the last character; -1 = pos + 1
+    line: int = 1
+    col: int = 1
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Token({self.kind}, {self.value!r})"
 
 
+def _lex_error(sql: str, message: str, pos: int) -> SQLSyntaxError:
+    line, col = line_col(sql, pos)
+    return SQLSyntaxError(
+        f"{message} at line {line}:{col}\n{caret_excerpt(sql, pos, pos + 1)}"
+    )
+
+
 def tokenize(sql: str) -> list[Token]:
     tokens: list[Token] = []
     i, n = 0, len(sql)
+    line = 1
+    line_start = 0
+
+    def emit(kind: str, value: object, start: int, end: int) -> None:
+        tokens.append(
+            Token(kind, value, start, end, line, start - line_start + 1)
+        )
+
     while i < n:
         ch = sql[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
         if ch.isspace():
             i += 1
             continue
         if sql.startswith("--", i):
             end = sql.find("\n", i)
-            i = n if end == -1 else end + 1
+            i = n if end == -1 else end  # the newline is handled above
             continue
         if sql.startswith("/*", i):
             end = sql.find("*/", i + 2)
             if end == -1:
-                raise SQLSyntaxError(f"unterminated comment at offset {i}")
+                raise _lex_error(sql, "unterminated comment", i)
+            line += sql.count("\n", i, end + 2)
+            nl = sql.rfind("\n", i, end + 2)
+            if nl != -1:
+                line_start = nl + 1
             i = end + 2
             continue
         if ch == "'":
@@ -69,7 +101,7 @@ def tokenize(sql: str) -> list[Token]:
             parts = []
             while True:
                 if j >= n:
-                    raise SQLSyntaxError(f"unterminated string at offset {i}")
+                    raise _lex_error(sql, "unterminated string", i)
                 if sql[j] == "'":
                     if j + 1 < n and sql[j + 1] == "'":  # escaped quote
                         parts.append("'")
@@ -78,7 +110,12 @@ def tokenize(sql: str) -> list[Token]:
                     break
                 parts.append(sql[j])
                 j += 1
-            tokens.append(Token(STRING, "".join(parts), i))
+            emit(STRING, "".join(parts), i, j + 1)
+            # a string literal may span lines
+            line += sql.count("\n", i, j + 1)
+            nl = sql.rfind("\n", i, j + 1)
+            if nl != -1:
+                line_start = nl + 1
             i = j + 1
             continue
         if ch == "$":
@@ -86,8 +123,8 @@ def tokenize(sql: str) -> list[Token]:
             while j < n and sql[j].isdigit():
                 j += 1
             if j == i + 1:
-                raise SQLSyntaxError(f"bad parameter at offset {i}")
-            tokens.append(Token(PARAM, int(sql[i + 1 : j]), i))
+                raise _lex_error(sql, "bad parameter", i)
+            emit(PARAM, int(sql[i + 1 : j]), i, j)
             i = j
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
@@ -110,9 +147,9 @@ def tokenize(sql: str) -> list[Token]:
                     break
             text = sql[i:j]
             if seen_dot or seen_exp:
-                tokens.append(Token(NUMBER, float(text), i))
+                emit(NUMBER, float(text), i, j)
             else:
-                tokens.append(Token(NUMBER, int(text), i))
+                emit(NUMBER, int(text), i, j)
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -122,27 +159,27 @@ def tokenize(sql: str) -> list[Token]:
             word = sql[i:j]
             upper = word.upper()
             if upper in KEYWORDS:
-                tokens.append(Token(KEYWORD, upper, i))
+                emit(KEYWORD, upper, i, j)
             else:
-                tokens.append(Token(IDENT, word.lower(), i))
+                emit(IDENT, word.lower(), i, j)
             i = j
             continue
         if ch == '"':  # quoted identifier (case preserved)
             j = sql.find('"', i + 1)
             if j == -1:
-                raise SQLSyntaxError(f"unterminated quoted identifier at offset {i}")
-            tokens.append(Token(IDENT, sql[i + 1 : j], i))
+                raise _lex_error(sql, "unterminated quoted identifier", i)
+            emit(IDENT, sql[i + 1 : j], i, j + 1)
             i = j + 1
             continue
         two = sql[i : i + 2]
         if two in _TWO_CHAR_OPS:
-            tokens.append(Token(OP, two, i))
+            emit(OP, two, i, i + 2)
             i += 2
             continue
         if ch in _ONE_CHAR_OPS:
-            tokens.append(Token(OP, ch, i))
+            emit(OP, ch, i, i + 1)
             i += 1
             continue
-        raise SQLSyntaxError(f"unexpected character {ch!r} at offset {i}")
-    tokens.append(Token(EOF, None, n))
+        raise _lex_error(sql, f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, None, n, n, line, n - line_start + 1))
     return tokens

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.errors import SQLSyntaxError
 from repro.minidb.sql import ast
+from repro.minidb.sql.diagnostics import caret_excerpt
 from repro.minidb.sql.lexer import (
     EOF,
     IDENT,
@@ -30,6 +31,7 @@ _COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
 
 class Parser:
     def __init__(self, sql: str):
+        self.sql = sql
         self.tokens = tokenize(sql)
         self.pos = 0
 
@@ -43,6 +45,22 @@ class Parser:
             self.pos += 1
         return tok
 
+    def error(self, message: str, tok: Token | None = None) -> SQLSyntaxError:
+        """A syntax error pointing at *tok* (default: the current token)
+        with line:col position and a caret excerpt of the source line."""
+        tok = tok or self.peek()
+        where = f" at line {tok.line}:{tok.col}"
+        excerpt = caret_excerpt(self.sql, tok.pos, max(tok.end, tok.pos + 1))
+        return SQLSyntaxError(f"{message}{where}\n{excerpt}")
+
+    def _mark(self, node, start_tok: Token):
+        """Attach a (start, end) source span covering *start_tok* up to the
+        most recently consumed token. Spans are compare=False fields, so
+        this never affects structural equality."""
+        end = self.tokens[self.pos - 1].end if self.pos > 0 else start_tok.end
+        object.__setattr__(node, "span", (start_tok.pos, max(end, start_tok.end)))
+        return node
+
     def at_keyword(self, *words: str) -> bool:
         tok = self.peek()
         return tok.kind == KEYWORD and tok.value in words
@@ -55,7 +73,7 @@ class Parser:
 
     def expect_keyword(self, word: str) -> None:
         if not self.accept_keyword(word):
-            raise SQLSyntaxError(f"expected {word}, got {self.peek()}")
+            raise self.error(f"expected {word}, got {self.peek()}")
 
     def at_op(self, *ops: str) -> bool:
         tok = self.peek()
@@ -69,12 +87,12 @@ class Parser:
 
     def expect_op(self, op: str) -> None:
         if not self.accept_op(op):
-            raise SQLSyntaxError(f"expected {op!r}, got {self.peek()}")
+            raise self.error(f"expected {op!r}, got {self.peek()}")
 
     def expect_ident(self) -> str:
         tok = self.peek()
         if tok.kind != IDENT:
-            raise SQLSyntaxError(f"expected identifier, got {tok}")
+            raise self.error(f"expected identifier, got {tok}")
         self.next()
         return tok.value
 
@@ -100,10 +118,10 @@ class Parser:
             self.next()
             stmt = ast.Vacuum(self.expect_ident())
         else:
-            raise SQLSyntaxError(f"unexpected start of statement: {self.peek()}")
+            raise self.error(f"unexpected start of statement: {self.peek()}")
         self.accept_op(";")
         if self.peek().kind != EOF:
-            raise SQLSyntaxError(f"trailing input: {self.peek()}")
+            raise self.error(f"trailing input: {self.peek()}")
         return stmt
 
     # -- queries -------------------------------------------------------
@@ -182,13 +200,17 @@ class Parser:
             if self.accept_keyword("NULLS"):
                 # Accepted and ignored: minidb always sorts NULLS LAST.
                 if not (self.accept_keyword("FIRST") or self.accept_keyword("LAST")):
-                    raise SQLSyntaxError("expected FIRST or LAST after NULLS")
-            items.append(ast.OrderItem(expr, descending))
+                    raise self.error("expected FIRST or LAST after NULLS")
+            item = ast.OrderItem(expr, descending)
+            if getattr(expr, "span", None) is not None:
+                object.__setattr__(item, "span", expr.span)
+            items.append(item)
             if not self.accept_op(","):
                 break
         return items
 
     def _select_core(self) -> ast.SelectCore:
+        start = self.peek()
         self.expect_keyword("SELECT")
         distinct = False
         if self.accept_keyword("DISTINCT"):
@@ -214,19 +236,25 @@ class Parser:
                 group_by.append(self.parse_expr())
         if self.accept_keyword("HAVING"):
             having = self.parse_expr()
-        return ast.SelectCore(
-            items=tuple(items),
-            from_items=tuple(from_items),
-            where=where,
-            group_by=tuple(group_by),
-            having=having,
-            distinct=distinct,
+        return self._mark(
+            ast.SelectCore(
+                items=tuple(items),
+                from_items=tuple(from_items),
+                where=where,
+                group_by=tuple(group_by),
+                having=having,
+                distinct=distinct,
+            ),
+            start,
         )
 
     def _select_item(self) -> ast.SelectItem:
+        start = self.peek()
         if self.at_op("*"):
             self.next()
-            return ast.SelectItem(ast.Star(None))
+            return self._mark(
+                ast.SelectItem(self._mark(ast.Star(None), start)), start
+            )
         # alias.* form
         if (
             self.peek().kind == IDENT
@@ -238,14 +266,16 @@ class Parser:
             table = self.expect_ident()
             self.next()  # .
             self.next()  # *
-            return ast.SelectItem(ast.Star(table))
+            return self._mark(
+                ast.SelectItem(self._mark(ast.Star(table), start)), start
+            )
         expr = self.parse_expr()
         alias = None
         if self.accept_keyword("AS"):
             alias = self.expect_ident()
         elif self.peek().kind == IDENT:
             alias = self.expect_ident()
-        return ast.SelectItem(expr, alias)
+        return self._mark(ast.SelectItem(expr, alias), start)
 
     # -- FROM ------------------------------------------------------------
     def _from_item_with_joins(self):
@@ -260,7 +290,7 @@ class Parser:
             if self.accept_keyword("INNER"):
                 explicit = True
             elif self.accept_keyword("LEFT"):
-                raise SQLSyntaxError("LEFT JOIN is not supported by minidb")
+                raise self.error("LEFT JOIN is not supported by minidb")
             if self.at_keyword("JOIN"):
                 self.next()
                 right = self._from_item()
@@ -268,62 +298,67 @@ class Parser:
                 if self.accept_keyword("ON"):
                     condition = self.parse_expr()
                 elif explicit:
-                    raise SQLSyntaxError("INNER JOIN requires ON")
+                    raise self.error("INNER JOIN requires ON")
                 item = ast.Join(item, right, condition)
                 continue
             break
         return item
 
     def _from_item(self):
+        start = self.peek()
         if self.accept_op("("):
             query = self.parse_query()
             self.expect_op(")")
             self.accept_keyword("AS")
             alias = self.expect_ident()
-            return ast.SubqueryRef(query, alias)
+            return self._mark(ast.SubqueryRef(query, alias), start)
         name = self.expect_ident()
         alias = None
         if self.accept_keyword("AS"):
             alias = self.expect_ident()
         elif self.peek().kind == IDENT:
             alias = self.expect_ident()
-        return ast.TableRef(name, alias)
+        return self._mark(ast.TableRef(name, alias), start)
 
     # -- expressions -------------------------------------------------------
     def parse_expr(self) -> ast.Expr:
         return self._or_expr()
 
     def _or_expr(self) -> ast.Expr:
+        start = self.peek()
         left = self._and_expr()
         while self.accept_keyword("OR"):
-            left = ast.BinaryOp("OR", left, self._and_expr())
+            left = self._mark(ast.BinaryOp("OR", left, self._and_expr()), start)
         return left
 
     def _and_expr(self) -> ast.Expr:
+        start = self.peek()
         left = self._not_expr()
         while self.accept_keyword("AND"):
-            left = ast.BinaryOp("AND", left, self._not_expr())
+            left = self._mark(ast.BinaryOp("AND", left, self._not_expr()), start)
         return left
 
     def _not_expr(self) -> ast.Expr:
+        start = self.peek()
         if self.accept_keyword("NOT"):
-            return ast.UnaryOp("NOT", self._not_expr())
+            return self._mark(ast.UnaryOp("NOT", self._not_expr()), start)
         return self._comparison()
 
     def _comparison(self) -> ast.Expr:
+        start = self.peek()
         left = self._additive()
         while True:
             if self.peek().kind == OP and self.peek().value in _COMPARISONS:
                 op = self.next().value
                 if op == "!=":
                     op = "<>"
-                left = ast.BinaryOp(op, left, self._additive())
+                left = self._mark(ast.BinaryOp(op, left, self._additive()), start)
                 continue
             if self.at_keyword("IS"):
                 self.next()
                 negated = self.accept_keyword("NOT")
                 self.expect_keyword("NULL")
-                left = ast.IsNull(left, negated)
+                left = self._mark(ast.IsNull(left, negated), start)
                 continue
             if self.at_keyword("IN") or (
                 self.at_keyword("NOT") and self.peek(1).value == "IN"
@@ -335,7 +370,7 @@ class Parser:
                 while self.accept_op(","):
                     items.append(self.parse_expr())
                 self.expect_op(")")
-                left = ast.InList(left, tuple(items), negated)
+                left = self._mark(ast.InList(left, tuple(items), negated), start)
                 continue
             if self.at_keyword("BETWEEN") or (
                 self.at_keyword("NOT") and self.peek(1).value == "BETWEEN"
@@ -345,37 +380,50 @@ class Parser:
                 low = self._additive()
                 self.expect_keyword("AND")
                 high = self._additive()
-                between = ast.BinaryOp(
-                    "AND",
-                    ast.BinaryOp(">=", left, low),
-                    ast.BinaryOp("<=", left, high),
+                between = self._mark(
+                    ast.BinaryOp(
+                        "AND",
+                        ast.BinaryOp(">=", left, low),
+                        ast.BinaryOp("<=", left, high),
+                    ),
+                    start,
                 )
-                left = ast.UnaryOp("NOT", between) if negated else between
+                left = (
+                    self._mark(ast.UnaryOp("NOT", between), start)
+                    if negated
+                    else between
+                )
                 continue
             return left
 
     def _additive(self) -> ast.Expr:
+        start = self.peek()
         left = self._multiplicative()
         while self.at_op("+", "-", "||"):
             op = self.next().value
-            left = ast.BinaryOp(op, left, self._multiplicative())
+            left = self._mark(
+                ast.BinaryOp(op, left, self._multiplicative()), start
+            )
         return left
 
     def _multiplicative(self) -> ast.Expr:
+        start = self.peek()
         left = self._unary()
         while self.at_op("*", "/", "%"):
             op = self.next().value
-            left = ast.BinaryOp(op, left, self._unary())
+            left = self._mark(ast.BinaryOp(op, left, self._unary()), start)
         return left
 
     def _unary(self) -> ast.Expr:
+        start = self.peek()
         if self.accept_op("-"):
-            return ast.UnaryOp("-", self._unary())
+            return self._mark(ast.UnaryOp("-", self._unary()), start)
         if self.accept_op("+"):
             return self._unary()
         return self._postfix()
 
     def _postfix(self) -> ast.Expr:
+        start = self.peek()
         expr = self._primary()
         while self.at_op("["):
             self.next()
@@ -387,33 +435,33 @@ class Parser:
                 if not self.at_op("]"):
                     high = self.parse_expr()
                 self.expect_op("]")
-                expr = ast.ArraySlice(expr, low, high)
+                expr = self._mark(ast.ArraySlice(expr, low, high), start)
             else:
                 self.expect_op("]")
                 if low is None:
-                    raise SQLSyntaxError("empty array subscript")
-                expr = ast.ArrayIndex(expr, low)
+                    raise self.error("empty array subscript")
+                expr = self._mark(ast.ArrayIndex(expr, low), start)
         return expr
 
     def _primary(self) -> ast.Expr:
         tok = self.peek()
         if tok.kind == NUMBER:
             self.next()
-            return ast.Literal(tok.value)
+            return self._mark(ast.Literal(tok.value), tok)
         if tok.kind == STRING:
             self.next()
-            return ast.Literal(tok.value)
+            return self._mark(ast.Literal(tok.value), tok)
         if tok.kind == PARAM:
             self.next()
-            return ast.Param(tok.value)
+            return self._mark(ast.Param(tok.value), tok)
         if self.accept_keyword("NULL"):
-            return ast.Literal(None)
+            return self._mark(ast.Literal(None), tok)
         if self.accept_keyword("TRUE"):
-            return ast.Literal(True)
+            return self._mark(ast.Literal(True), tok)
         if self.accept_keyword("FALSE"):
-            return ast.Literal(False)
+            return self._mark(ast.Literal(False), tok)
         if self.at_keyword("CASE"):
-            return self._case()
+            return self._mark(self._case(), tok)
         if self.at_keyword("ARRAY"):
             self.next()
             self.expect_op("[")
@@ -423,7 +471,7 @@ class Parser:
                 while self.accept_op(","):
                     items.append(self.parse_expr())
             self.expect_op("]")
-            return ast.ArrayLiteral(tuple(items))
+            return self._mark(ast.ArrayLiteral(tuple(items)), tok)
         if self.accept_op("("):
             expr = self.parse_expr()
             self.expect_op(")")
@@ -431,12 +479,14 @@ class Parser:
         if tok.kind == IDENT:
             # function call?
             if self.peek(1).kind == OP and self.peek(1).value == "(":
-                return self._func_call()
+                return self._mark(self._func_call(), tok)
             name = self.expect_ident()
             if self.accept_op("."):
-                return ast.ColumnRef(name, self.expect_ident())
-            return ast.ColumnRef(None, name)
-        raise SQLSyntaxError(f"unexpected token in expression: {tok}")
+                return self._mark(
+                    ast.ColumnRef(name, self.expect_ident()), tok
+                )
+            return self._mark(ast.ColumnRef(None, name), tok)
+        raise self.error(f"unexpected token in expression: {tok}", tok)
 
     def _func_call(self) -> ast.Expr:
         name = self.expect_ident()
@@ -493,7 +543,7 @@ class Parser:
             default = self.parse_expr()
         self.expect_keyword("END")
         if not whens:
-            raise SQLSyntaxError("CASE requires at least one WHEN")
+            raise self.error("CASE requires at least one WHEN")
         return ast.CaseExpr(tuple(whens), default)
 
     # -- DDL / DML -----------------------------------------------------

@@ -70,10 +70,48 @@ class AuxTables:
         return f"knn_ld_naive_{self.tag}"
 
 
+# ---------------------------------------------------------------------------
+# DDL for every aux relation, shared with the static linter so the catalog
+# it analyzes against can never drift from what the builders create.
+# ---------------------------------------------------------------------------
+def targets_ddl(name: str) -> str:
+    return f"CREATE TABLE {name} (v BIGINT, PRIMARY KEY (v))"
+
+
+def hours_ddl(name: str) -> str:
+    return f"CREATE TABLE {name} (h BIGINT, PRIMARY KEY (h))"
+
+
+def naive_ea_ddl(name: str) -> str:
+    return f"""CREATE TABLE {name} (
+  hub BIGINT, td BIGINT, vs BIGINT[], tas BIGINT[], PRIMARY KEY (hub, td))"""
+
+
+def naive_ld_ddl(name: str) -> str:
+    return f"""CREATE TABLE {name} (
+  hub BIGINT, ta BIGINT, vs BIGINT[], tds BIGINT[], PRIMARY KEY (hub, ta))"""
+
+
+def grouped_ea_ddl(name: str) -> str:
+    return f"""CREATE TABLE {name} (
+  hub BIGINT, dephour BIGINT,
+  vs BIGINT[], tas BIGINT[],
+  tds_exp BIGINT[], vs_exp BIGINT[], tas_exp BIGINT[],
+  PRIMARY KEY (hub, dephour))"""
+
+
+def grouped_ld_ddl(name: str) -> str:
+    return f"""CREATE TABLE {name} (
+  hub BIGINT, arrhour BIGINT,
+  vs BIGINT[], tds BIGINT[],
+  tds_exp BIGINT[], vs_exp BIGINT[], tas_exp BIGINT[],
+  PRIMARY KEY (hub, arrhour))"""
+
+
 def create_targets_table(db: Database, tag: str, targets) -> str:
     name = f"tgt_{tag}"
     db.execute(f"DROP TABLE IF EXISTS {name}")
-    db.execute(f"CREATE TABLE {name} (v BIGINT, PRIMARY KEY (v))")
+    db.execute(targets_ddl(name))
     targets = sorted(set(targets))
     if not targets:
         raise DatabaseError("target set must not be empty")
@@ -86,7 +124,7 @@ def create_hours_table(db: Database, tag: str, low_hour: int, high_hour: int) ->
     """Stand-in for generate_series(low, high)."""
     name = f"hours_{tag}"
     db.execute(f"DROP TABLE IF EXISTS {name}")
-    db.execute(f"CREATE TABLE {name} (h BIGINT, PRIMARY KEY (h))")
+    db.execute(hours_ddl(name))
     values = ", ".join(f"({h})" for h in range(low_hour, high_hour + 1))
     db.execute(f"INSERT INTO {name} VALUES {values}")
     return name
@@ -98,10 +136,7 @@ def create_hours_table(db: Database, tag: str, low_hour: int, high_hour: int) ->
 def build_naive_ea(db: Database, aux: AuxTables) -> None:
     table = aux.knn_ea_naive
     db.execute(f"DROP TABLE IF EXISTS {table}")
-    db.execute(
-        f"""CREATE TABLE {table} (
-  hub BIGINT, td BIGINT, vs BIGINT[], tas BIGINT[], PRIMARY KEY (hub, td))"""
-    )
+    db.execute(naive_ea_ddl(table))
     db.execute(
         f"""
 INSERT INTO {table}
@@ -125,10 +160,7 @@ GROUP BY hub, td
 def build_naive_ld(db: Database, aux: AuxTables) -> None:
     table = aux.knn_ld_naive
     db.execute(f"DROP TABLE IF EXISTS {table}")
-    db.execute(
-        f"""CREATE TABLE {table} (
-  hub BIGINT, ta BIGINT, vs BIGINT[], tds BIGINT[], PRIMARY KEY (hub, ta))"""
-    )
+    db.execute(naive_ld_ddl(table))
     db.execute(
         f"""
 INSERT INTO {table}
@@ -155,13 +187,7 @@ GROUP BY hub, ta
 def _build_ea_grouped(db: Database, aux: AuxTables, table: str, top_k: int | None) -> None:
     """knn_ea (top_k = kmax) or otm_ea (top_k = None: best entry per target)."""
     db.execute(f"DROP TABLE IF EXISTS {table}")
-    db.execute(
-        f"""CREATE TABLE {table} (
-  hub BIGINT, dephour BIGINT,
-  vs BIGINT[], tas BIGINT[],
-  tds_exp BIGINT[], vs_exp BIGINT[], tas_exp BIGINT[],
-  PRIMARY KEY (hub, dephour))"""
-    )
+    db.execute(grouped_ea_ddl(table))
     interval = aux.interval_s
     hours = aux.hours_table
     if top_k is None:
@@ -229,13 +255,7 @@ GROUP BY u.hub, u.h
 def _build_ld_grouped(db: Database, aux: AuxTables, table: str, top_k: int | None) -> None:
     """knn_ld (top_k = kmax) or otm_ld (top_k = None)."""
     db.execute(f"DROP TABLE IF EXISTS {table}")
-    db.execute(
-        f"""CREATE TABLE {table} (
-  hub BIGINT, arrhour BIGINT,
-  vs BIGINT[], tds BIGINT[],
-  tds_exp BIGINT[], vs_exp BIGINT[], tas_exp BIGINT[],
-  PRIMARY KEY (hub, arrhour))"""
-    )
+    db.execute(grouped_ld_ddl(table))
     interval = aux.interval_s
     hours = aux.hours_table
     if top_k is None:

@@ -15,6 +15,8 @@ table per configuration too).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 
 # ---------------------------------------------------------------------------
 # Code 1 — vertex-to-vertex queries
@@ -289,3 +291,46 @@ def ld_knn_optimized(table: str) -> str:
 def ld_otm(table: str) -> str:
     """Code 4, one-to-many variant. Params: q, t', interval, min/max hour."""
     return _ld_body(table, knn=False)
+
+
+# ---------------------------------------------------------------------------
+# The canned query corpus — every paper query family, against a reference
+# set of table names. ``repro lint --corpus`` statically analyzes all of
+# these and checks the paper's page-access bounds (see
+# ``repro.minidb.sql.analyzer.check_paper_bounds``).
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CorpusQuery:
+    """One canned paper query: a name, its bound-check family, the SQL."""
+
+    name: str
+    family: str  # v2v_* | knn_* | otm_* | *_naive
+    sql: str
+
+
+#: Reference aux-table tag used by the corpus (matches what
+#: ``PTLDB.build_target_set(tag)`` would create).
+CORPUS_TAG = "lint"
+
+
+def corpus(tag: str = CORPUS_TAG) -> list[CorpusQuery]:
+    """All seven paper query families against the ``tag`` aux tables."""
+    return [
+        CorpusQuery("v2v_ea", "v2v_ea", V2V_EA),
+        CorpusQuery("v2v_ld", "v2v_ld", V2V_LD),
+        CorpusQuery("v2v_sd", "v2v_sd", V2V_SD),
+        CorpusQuery(
+            "ea_knn_naive", "knn_ea_naive", ea_knn_naive(f"knn_ea_naive_{tag}")
+        ),
+        CorpusQuery(
+            "ld_knn_naive", "knn_ld_naive", ld_knn_naive(f"knn_ld_naive_{tag}")
+        ),
+        CorpusQuery(
+            "ea_knn_optimized", "knn_ea", ea_knn_optimized(f"knn_ea_{tag}")
+        ),
+        CorpusQuery(
+            "ld_knn_optimized", "knn_ld", ld_knn_optimized(f"knn_ld_{tag}")
+        ),
+        CorpusQuery("ea_otm", "otm_ea", ea_otm(f"otm_ea_{tag}")),
+        CorpusQuery("ld_otm", "otm_ld", ld_otm(f"otm_ld_{tag}")),
+    ]

@@ -119,3 +119,41 @@ class TestBench:
         assert main(["bench", "--experiment", "table7", "--datasets", "Austin"]) == 0
         out = capsys.readouterr().out
         assert "HL_per_V" in out
+
+
+class TestLint:
+    def test_corpus_is_clean(self, capsys):
+        assert main(["lint", "--corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "9 statement(s) ok" in out
+        # every v2v family classified as exactly two PK point lookups
+        for family in ("v2v_ea", "v2v_ld", "v2v_sd"):
+            line = next(l for l in out.splitlines() if l.startswith(family))
+            assert line.count("pk-point") == 2
+            assert "seq-scan" not in line
+
+    def test_label_scan_fails(self, capsys):
+        code = main(["lint", "--sql", "SELECT COUNT(*) FROM lout"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "APL001" in out
+
+    def test_semantic_error_fails(self, capsys):
+        code = main(["lint", "--sql", "SELECT nope FROM lout WHERE v=1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "SEM002" in out
+        assert "^" in out  # caret excerpt rendered
+
+    def test_file_with_ddl(self, tmp_path, capsys):
+        script = tmp_path / "queries.sql"
+        script.write_text(
+            "CREATE TABLE scratch (x BIGINT, PRIMARY KEY (x));\n"
+            "SELECT x FROM scratch WHERE x = 1;\n"
+        )
+        assert main(["lint", "--file", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "pk-point on scratch" in out
+
+    def test_no_input_rejected(self, capsys):
+        assert main(["lint"]) == 2
