@@ -152,6 +152,59 @@ def experiment_v2v(
     return rows
 
 
+def experiment_prepared(
+    dataset: str = "Austin",
+    device: str = "hdd",
+    n_queries: int = 200,
+    scale: str = "small",
+    seed: int = 42,
+) -> list[dict]:
+    """Prepared-statement effect on the EA v2v batch.
+
+    The prepared batch runs through the framework's prepared handles, so
+    after the first execution every query is a plan-cache hit (zero parse /
+    analyze / plan work). The unprepared baseline clears the plan cache
+    before every call, forcing the full front half of the pipeline each
+    time. Page I/O is identical in both, so the CPU column isolates the
+    planning overhead."""
+    bundle = get_bundle(dataset, scale)
+    ptldb = get_ptldb(dataset, device, scale)
+    queries = v2v_workload(bundle.timetable, n=n_queries, seed=seed)
+    prepared = run_batch(
+        ptldb,
+        f"{dataset}/EA-prepared/{device}",
+        (
+            (lambda q=q: ptldb.earliest_arrival(q.source, q.goal, q.depart_at))
+            for q in queries
+        ),
+    )
+
+    def _unprepared_call(q):
+        ptldb.db._plan_cache.clear()
+        return ptldb.earliest_arrival(q.source, q.goal, q.depart_at)
+
+    unprepared = run_batch(
+        ptldb,
+        f"{dataset}/EA-unprepared/{device}",
+        ((lambda q=q: _unprepared_call(q)) for q in queries),
+    )
+    speedup = (
+        unprepared.avg_cpu_ms / prepared.avg_cpu_ms
+        if prepared.avg_cpu_ms
+        else 0.0
+    )
+    return [
+        {
+            "dataset": dataset,
+            "device": device,
+            "prepared_cpu_ms": round(prepared.avg_cpu_ms, 3),
+            "unprepared_cpu_ms": round(unprepared.avg_cpu_ms, 3),
+            "plan_cache_hit_rate": prepared.plan_cache.get("hit_rate", 0.0),
+            "cpu_speedup": round(speedup, 2),
+        }
+    ]
+
+
 # ---------------------------------------------------------------------------
 # kNN experiments (Figures 3, 4, 5, 8)
 # ---------------------------------------------------------------------------

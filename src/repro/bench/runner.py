@@ -45,6 +45,9 @@ class BenchResult:
     # analyzer, recorded once) — the *predicted* plan next to the measured
     # stages above
     access_paths: list = field(default_factory=list)
+    # plan-cache lookups attributable to this batch (hits / misses /
+    # invalidations deltas plus the resulting hit rate)
+    plan_cache: dict = field(default_factory=dict)
 
     @property
     def avg_cpu_ms(self) -> float:
@@ -129,6 +132,7 @@ class BenchResult:
             "stages": self.stage_rows(),
             "access_paths": self.access_paths,
             "plan_divergence": self.plan_divergence(),
+            "plan_cache": self.plan_cache,
         }
 
 
@@ -150,6 +154,7 @@ def run_batch(
     if cold_start:
         ptldb.restart()
     result = BenchResult(name=name, queries=0)
+    cache_before = ptldb.db.plan_cache_stats()
     for call in calls:
         started = time.perf_counter()
         value = call()
@@ -177,4 +182,16 @@ def run_batch(
         if value is None or value == [] or value == {}:
             result.empty_results += 1
         result.queries += 1
+    cache_after = ptldb.db.plan_cache_stats()
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    lookups = hits + misses
+    result.plan_cache = {
+        "hits": hits,
+        "misses": misses,
+        "invalidations": (
+            cache_after["invalidations"] - cache_before["invalidations"]
+        ),
+        "hit_rate": round(hits / lookups, 4) if lookups else 1.0,
+    }
     return result

@@ -27,10 +27,10 @@ EXPECTED_OPERATORS = {
     "v2v_ea": {"CTE", "Index Scan", "ProjectSet", "Hash Join", "Aggregate"},
     "v2v_ld": {"CTE", "Index Scan", "ProjectSet", "Hash Join", "Aggregate"},
     "v2v_sd": {"CTE", "Index Scan", "ProjectSet"},
-    "knn_ea_naive": {"Seq Scan", "Sort"},
-    "knn_ld_naive": {"Seq Scan", "Sort"},
-    "knn_ea": {"Index Nested Loop", "Sort"},
-    "knn_ld": {"Index Nested Loop", "Sort"},
+    "knn_ea_naive": {"Seq Scan", "Top-K Sort"},
+    "knn_ld_naive": {"Seq Scan", "Top-K Sort"},
+    "knn_ea": {"Index Nested Loop", "Top-K Sort"},
+    "knn_ld": {"Index Nested Loop", "Top-K Sort"},
     "otm_ea": {"Index Nested Loop", "GroupAggregate"},
     "otm_ld": {"Index Nested Loop", "GroupAggregate"},
 }
@@ -82,6 +82,26 @@ def check_trace(name: str, trace) -> list[str]:
     return problems
 
 
+def check_prepared(ptldb: PTLDB) -> list[str]:
+    """Plan-cache smoke: repeat v2v executions must be pure cache hits."""
+    noon = 12 * 3600
+    ptldb.earliest_arrival(2, 9, noon)  # ensure the entry is cached
+    before = ptldb.db.plan_cache_stats()
+    for _ in range(5):
+        ptldb.earliest_arrival(2, 9, noon)
+    after = ptldb.db.plan_cache_stats()
+    problems = []
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    if hits != 5:
+        problems.append(f"prepared: expected 5 plan-cache hits, got {hits}")
+    if misses:
+        problems.append(
+            f"prepared: repeat executions re-planned ({misses} misses)"
+        )
+    return problems
+
+
 def main(argv=None) -> int:
     args = list(argv or [])
     unknown = [a for a in args if a not in ("-q", "--quiet")]
@@ -109,6 +129,11 @@ def main(argv=None) -> int:
             print(f"{status:4s} {name:14s} {detail}")
             if not problems and trace is not None:
                 print(format_stage_breakdown(trace.stage_totals()))
+    prepared_problems = check_prepared(ptldb)
+    failures.extend(prepared_problems)
+    if verbose:
+        status = "FAIL" if prepared_problems else "ok"
+        print(f"{status:4s} {'prepared':14s} plan-cache hit batch")
     if failures:
         for failure in failures:
             print(f"error: {failure}", file=sys.stderr)

@@ -265,6 +265,11 @@ def cmd_lint(args) -> int:
             print(f"{name}: ok — {paths or 'no table access'}")
             for diag in analysis.warnings:
                 print(diag.render(sql))
+            if args.plan and analysis.plan is not None:
+                from repro.minidb.sql.plan import explain_lines
+
+                for line in explain_lines(analysis.plan):
+                    print(f"    {line}")
         # Apply DDL so later statements in the same script see the table.
         if isinstance(stmt, (ast.CreateTable, ast.DropTable)) and analysis.ok:
             db.execute(sql, analyze=False)
@@ -331,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--sql", help="ad-hoc SQL text (';'-separated)")
     p.add_argument("--file", help="path to a SQL script")
+    p.add_argument(
+        "--plan",
+        action="store_true",
+        help="print each clean statement's physical plan (planner output)",
+    )
     return parser
 
 

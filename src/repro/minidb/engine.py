@@ -18,21 +18,26 @@ from __future__ import annotations
 import json
 import struct
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import DatabaseError, StorageError
 from repro.minidb.buffer import BufferPool
 from repro.minidb.catalog import Catalog
 from repro.minidb.disk import DeviceModel, DiskManager, hdd_model, ram_model, ssd_model
-from repro.minidb.metrics import QueryTrace, TraceCollector
+from repro.minidb.metrics import REGISTRY, QueryTrace, TraceCollector
 from repro.minidb.page import HEADER_SIZE, KIND_META, PAGE_SIZE
 from repro.minidb.sql.analyzer import Analysis, analyze as analyze_stmt
 from repro.minidb.sql.executor import Executor, Result
 from repro.minidb.sql.parser import parse
+from repro.minidb.sql.planner import plan_statement
 
 _DEVICES = {"hdd": hdd_model, "ssd": ssd_model, "ram": ram_model}
 _META_LEN = struct.Struct("<I")
 _META_CAP = PAGE_SIZE - HEADER_SIZE - _META_LEN.size
+
+#: Upper bound on cached plans per :class:`Database` (LRU eviction beyond).
+PLAN_CACHE_CAP = 256
 
 
 @dataclass
@@ -43,6 +48,53 @@ class QueryCost:
     pool_hits: int
     simulated_io_ms: float
     pool_misses: int = 0
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry: everything derivable from the SQL text alone.
+
+    The entry is valid while the catalog version it was built against is
+    current; DDL bumps the version and the next execution re-analyzes and
+    re-plans transparently."""
+
+    sql: str
+    stmt: object
+    analysis: Analysis | None
+    plan: object  # physical plan (plan.Plan) or None when planning failed
+    version: int
+
+
+class PreparedStatement:
+    """A reusable handle for one SQL statement.
+
+    Thin by design: execution routes through :meth:`Database.execute`, so a
+    prepared statement's speed comes entirely from the shared plan cache —
+    repeat executions skip parse, analysis and planning (the cache hit
+    counter proves it) and stale entries re-plan automatically after DDL.
+    """
+
+    def __init__(self, db: "Database", sql: str, analyze: bool | None = None):
+        self.db = db
+        self.sql = sql
+        self.analyze = analyze
+
+    def execute(self, params: tuple | list = ()) -> Result:
+        return self.db.execute(self.sql, params, analyze=self.analyze)
+
+    def explain(self) -> list[str]:
+        """Static plan lines for this statement (no execution)."""
+        from repro.minidb.sql.plan import explain_lines
+
+        do_analyze = (
+            self.db.analyze if self.analyze is None else self.analyze
+        )
+        entry = self.db._ensure_cached(self.sql, do_analyze)
+        plan = entry.plan or plan_statement(entry.stmt, self.db.catalog)
+        return explain_lines(plan)
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.sql!r})"
 
 
 class Database:
@@ -64,7 +116,11 @@ class Database:
         self.disk = DiskManager(path=path, device=device)
         self.pool = BufferPool(self.disk, capacity=pool_pages)
         self.catalog = Catalog(self.pool)
-        self._plan_cache: dict[str, tuple[object, Analysis | None, int]] = {}
+        self._plan_cache: OrderedDict[str, CachedPlan] = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_evictions = 0
+        self.plan_cache_invalidations = 0
         self.last_cost: QueryCost | None = None
         self.last_trace: QueryTrace | None = None
         self.last_analysis: Analysis | None = None
@@ -99,29 +155,22 @@ class Database:
         read. Pass ``analyze=False`` (or set ``db.analyze = False``) to skip
         it; access-path warnings (``APL*``) never block execution."""
         do_analyze = self.analyze if analyze is None else analyze
-        cached = self._plan_cache.get(sql)
-        if cached is None:
-            stmt, analysis, version = parse(sql), None, -1
-        else:
-            stmt, analysis, version = cached
-        if do_analyze and (
-            analysis is None or version != self.catalog.version
-        ):
-            analysis = analyze_stmt(stmt, self.catalog, sql=sql)
-            version = self.catalog.version
-            cached = None  # entry changed — re-store below
-        if cached is None:
-            self._plan_cache[sql] = (stmt, analysis, version)
-        self.last_analysis = analysis
-        if do_analyze and analysis is not None:
-            analysis.raise_if_errors()
+        entry = self._ensure_cached(sql, do_analyze)
+        self.last_analysis = entry.analysis
+        if do_analyze and entry.analysis is not None:
+            entry.analysis.raise_if_errors()
+        plan = entry.plan
+        if plan is None:
+            # Planning failed (or was skipped) when the entry was built;
+            # re-plan per execution so the original error surfaces here.
+            plan = plan_statement(entry.stmt, self.catalog)
         disk_before = self.disk.stats.snapshot()
         pool_before = self.pool.stats.snapshot()
         collector = TraceCollector(self.pool) if self.tracing else None
         started = time.perf_counter()
         result = Executor(
             self.catalog, tuple(params), collector=collector
-        ).execute(stmt)
+        ).run(plan)
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         disk_delta = self.disk.stats.delta(disk_before)
         pool_delta = self.pool.stats.delta(pool_before)
@@ -156,6 +205,64 @@ class Database:
             self.execute(sql, params)
             count += 1
         return count
+
+    # -- plan cache ------------------------------------------------------
+    def _ensure_cached(self, sql: str, do_analyze: bool) -> CachedPlan:
+        """Return the (parse, analysis, plan) bundle for *sql*, reusing the
+        LRU cache when the catalog version still matches."""
+        entry = self._plan_cache.get(sql)
+        if (
+            entry is not None
+            and entry.version == self.catalog.version
+            and not (do_analyze and entry.analysis is None)
+        ):
+            self._plan_cache.move_to_end(sql)
+            self.plan_cache_hits += 1
+            REGISTRY.counter("plan_cache.hits").inc()
+            return entry
+        self.plan_cache_misses += 1
+        REGISTRY.counter("plan_cache.misses").inc()
+        if entry is not None and entry.version != self.catalog.version:
+            self.plan_cache_invalidations += 1
+            REGISTRY.counter("plan_cache.invalidations").inc()
+        stmt = entry.stmt if entry is not None else parse(sql)
+        if do_analyze:
+            analysis = analyze_stmt(stmt, self.catalog, sql=sql)
+            plan = analysis.plan  # None when analysis (or planning) failed
+        else:
+            analysis = None
+            plan = plan_statement(stmt, self.catalog)
+        entry = CachedPlan(sql, stmt, analysis, plan, self.catalog.version)
+        self._plan_cache[sql] = entry
+        self._plan_cache.move_to_end(sql)
+        while len(self._plan_cache) > PLAN_CACHE_CAP:
+            self._plan_cache.popitem(last=False)
+            self.plan_cache_evictions += 1
+            REGISTRY.counter("plan_cache.evictions").inc()
+        return entry
+
+    def prepare(self, sql: str, analyze: bool | None = None) -> PreparedStatement:
+        """Parse, analyze and plan *sql* once, returning a reusable handle.
+
+        Semantic errors raise here (when analysis is on), not at the first
+        ``execute``. The handle stays valid across DDL: a catalog-version
+        bump invalidates the cached plan and the next execution re-plans."""
+        do_analyze = self.analyze if analyze is None else analyze
+        entry = self._ensure_cached(sql, do_analyze)
+        if do_analyze and entry.analysis is not None:
+            entry.analysis.raise_if_errors()
+        return PreparedStatement(self, sql, analyze)
+
+    def plan_cache_stats(self) -> dict:
+        """Plan-cache effectiveness counters for this database."""
+        return {
+            "size": len(self._plan_cache),
+            "capacity": PLAN_CACHE_CAP,
+            "hits": self.plan_cache_hits,
+            "misses": self.plan_cache_misses,
+            "evictions": self.plan_cache_evictions,
+            "invalidations": self.plan_cache_invalidations,
+        }
 
     # ------------------------------------------------------------------
     def restart(self) -> None:

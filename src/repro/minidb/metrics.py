@@ -243,6 +243,20 @@ class TraceCollector:
         self.roots: list[OperatorStats] = []
         self._stack: list[OperatorStats] = []
 
+    def node(self, name: str, detail: str = "", parent=None):
+        """Create a stats node with explicit parentage (no scope stack).
+
+        The streaming executor attaches operators to the tree at plan-emit
+        time and accounts per-pull deltas itself; *parent* of ``None`` makes
+        the node a root.
+        """
+        node = OperatorStats(name=name, detail=detail)
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            self.roots.append(node)
+        return node
+
     @contextmanager
     def operator(self, name: str, detail: str = ""):
         node = OperatorStats(name=name, detail=detail)

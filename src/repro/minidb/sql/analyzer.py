@@ -15,12 +15,15 @@ front with a source location:
   arrays, numeric functions on numerics, aggregates neither nested nor in
   ``WHERE``/``GROUP BY``, ``GROUP BY`` validity, ``UNION`` arity and type
   compatibility, window-function and ``UNNEST`` placement.
-* **Pass 3 — access paths.** Replays the planner's source-ordering and
-  index-selection logic (`_run_from`/`_pk_probe`/`_inl_pin`) symbolically
-  and classifies every base-table reference as a PK point lookup, an
-  index-nested-loop probe, or a full scan — before reading a single page.
-  This is what lets PTLDB's paper bounds ("a v2v query touches exactly two
-  label rows") be checked statically; see :func:`check_paper_bounds`.
+* **Pass 3 — access paths.** Runs the real planner
+  (:func:`repro.minidb.sql.planner.plan_statement`) and reads the access
+  paths straight off the physical plan tree: :class:`PkLookup` nodes become
+  PK point lookups, :class:`IndexNestedLoop` nodes become per-row probes,
+  :class:`SeqScan` nodes full scans — before reading a single page. There
+  is no symbolic replay to drift out of sync: the plan that is classified
+  is the plan that executes. This is what lets PTLDB's paper bounds ("a
+  v2v query touches exactly two label rows") be checked statically; see
+  :func:`check_paper_bounds`.
 
 Diagnostics carry stable codes (see ``docs/ANALYZER.md``) and source spans,
 and render with a caret excerpt via :meth:`Diagnostic.render`.
@@ -195,6 +198,9 @@ class Analysis:
     diagnostics: list[Diagnostic] = field(default_factory=list)
     access_paths: list[AccessPath] = field(default_factory=list)
     output: list[tuple[str, object]] = field(default_factory=list)
+    #: the physical plan (repro.minidb.sql.plan.Plan) the access paths were
+    #: read from; None when analysis failed or planning was impossible
+    plan: object = None
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -302,19 +308,6 @@ def _contains_srf(expr) -> bool:
     if isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING:
         return True
     return any(_contains_srf(c) for c in _children(expr))
-
-
-def _is_constant(expr) -> bool:
-    """Mirror of ``Executor._is_constant`` — usable as a PK pin."""
-    if isinstance(expr, (ast.Literal, ast.Param)):
-        return True
-    if isinstance(expr, ast.UnaryOp):
-        return _is_constant(expr.operand)
-    if isinstance(expr, ast.BinaryOp):
-        return _is_constant(expr.left) and _is_constant(expr.right)
-    if isinstance(expr, ast.FuncCall) and expr.name not in AGGREGATE_FUNCTIONS:
-        return all(_is_constant(a) for a in expr.args)
-    return False
 
 
 def _output_name(item: ast.SelectItem) -> str:
@@ -446,10 +439,6 @@ class Analyzer:
             for conj in _flatten_and(where):
                 self._no_aggregates(conj, "WHERE")
                 self._infer(conj, scope, allow_agg=True)
-        # DELETE / UPDATE always scan the heap (Executor._matching_rows).
-        self.paths.append(
-            AccessPath(table, table, SEQ_SCAN, "(DML scan)", Span.of(stmt))
-        )
 
     def _update(self, stmt: ast.Update) -> None:
         scope = self._table_scope(stmt.table, stmt)
@@ -625,8 +614,7 @@ class Analyzer:
     # -- one SELECT core ---------------------------------------------------
     def _core(self, query, core: ast.SelectCore, env) -> list:
         conjuncts = _flatten_and(core.where)
-        used: set[int] = set()
-        scope, poisoned = self._from(core.from_items, env, conjuncts, used)
+        scope, poisoned = self._from(core.from_items, env)
         if poisoned:
             self._poison += 1
         try:
@@ -1180,50 +1168,26 @@ class Analyzer:
             return UNKNOWN
         return matches[0]
 
-    def _static_resolves(self, expr, frag) -> bool:
-        """Mirror of strict-names compilation: True iff every column ref in
-        *expr* resolves uniquely within the scope fragment *frag*."""
-        for node in _walk(expr):
-            if isinstance(node, ast.ColumnRef):
-                n = sum(
-                    1
-                    for qual, name, _ in frag
-                    if name == node.name
-                    and (node.table is None or qual == node.table)
-                )
-                if n != 1:
-                    return False
-        return True
+    # -- FROM clause (scope building) --------------------------------------
+    def _from(self, from_items, env):
+        """Build the core's name scope in syntactic source order.
 
-    # -- FROM clause / access paths (pass 3) -------------------------------
-    def _from(self, from_items, env, conjuncts, used):
-        """Build the core's scope while replaying the planner's join order
-        and access-path selection. Returns (scope, poisoned)."""
+        Access-path classification no longer happens here: the module-level
+        :func:`analyze` runs the real planner and reads the paths off the
+        plan tree. Returns (scope, poisoned).
+        """
         if not from_items:
             return [], False
         sources = []
         for item in from_items:
             self._flatten_joins(item, sources)
-        if len(sources) > 1 and all(not on for _, on in sources):
-            # Derived-first reorder (see Executor._run_from).
-            def _derived(source):
-                item = source[0]
-                if isinstance(item, ast.SubqueryRef):
-                    return True
-                return isinstance(item, ast.TableRef) and item.name in env
-
-            small = [s for s in sources if _derived(s)]
-            large = [s for s in sources if not _derived(s)]
-            sources = small + large
+        scope: list = []
         poisoned = False
-        scope, bad = self._load(sources[0], env, conjuncts, used, first=True)
-        poisoned = poisoned or bad
-        seen_aliases = {qual for qual, _, _ in scope}
-        for source in sources[1:]:
-            scope, bad = self._join(scope, source, env, conjuncts, used)
+        for item, on_conjuncts in sources:
+            frag, bad = self._load(item, env)
             poisoned = poisoned or bad
-            for qual, _, _ in scope:
-                seen_aliases.add(qual)
+            scope = scope + frag
+            self._bind_on(scope, on_conjuncts)
         return scope, poisoned
 
     def _flatten_joins(self, item, out, on_conjuncts=None):
@@ -1233,195 +1197,171 @@ class Analyzer:
             return
         out.append((item, on_conjuncts or []))
 
-    def _load(self, source, env, conjuncts, used, first=False):
-        """Scope fragment + access path for one relation; mirrors
-        ``Executor._load_source``. Returns (fragment, poisoned)."""
-        item, on_conjuncts = source
+    def _load(self, item, env):
+        """Typed scope fragment for one relation. Returns (frag, poisoned)."""
         if isinstance(item, ast.SubqueryRef):
             output = self._query(item.query, env)
-            frag = [(item.alias, name, ty) for name, ty in output]
-            self.paths.append(
-                AccessPath(
-                    item.alias, item.alias, SUBQUERY, span=Span.of(item)
-                )
-            )
-            self._mark_used(frag, conjuncts, used)
-            self._bind_on(frag, on_conjuncts)
-            return frag, False
+            return [(item.alias, name, ty) for name, ty in output], False
         alias = item.alias or item.name
         if item.name in env:
-            frag = [(alias, name, ty) for name, ty in env[item.name]]
-            self.paths.append(
-                AccessPath(item.name, alias, CTE_SCAN, span=Span.of(item))
-            )
-            self._mark_used(frag, conjuncts, used)
-            self._bind_on(frag, on_conjuncts)
-            return frag, False
+            return [(alias, name, ty) for name, ty in env[item.name]], False
         if not self.catalog.has(item.name):
             self._unknown_table(item.name, item)
             return [], True
         table = self.catalog.get(item.name)
-        schema = table.schema
         frag = [
             (alias, col.name, type_of_tag(col.type_tag))
-            for col in schema.columns
+            for col in table.schema.columns
         ]
-        pk = schema.primary_key
-        pinned = self._pk_probe(pk, alias, conjuncts, used)
-        if pinned is not None:
-            kind, detail = PK_POINT, f"pk ({', '.join(pk)}) pinned constant"
-        else:
-            kind, detail = SEQ_SCAN, ""
-            if is_label_table(item.name):
-                self.sink.warning(
-                    "APL001",
-                    f'full scan on label table "{item.name}" — the paper '
-                    "requires PK access on label data",
-                    item,
-                    hint="pin every primary-key column with an equality "
-                    "predicate, or join through an already-restricted "
-                    "relation",
-                )
-        self.paths.append(
-            AccessPath(item.name, alias, kind, detail, Span.of(item))
-        )
-        self._mark_used(frag, conjuncts, used)
-        self._bind_on(frag, on_conjuncts)
         return frag, False
-
-    def _pk_probe(self, pk, alias, conjuncts, used):
-        """Static ``Executor._pk_probe``: constants pinning every PK column.
-        Returns the consumed conjunct indexes (and marks them used), or
-        None if this is not a point lookup."""
-        if not pk:
-            return None
-        found = {}
-        consumed = []
-        for idx, conj in enumerate(conjuncts):
-            if idx in used:
-                continue
-            pin = self._pk_pin(conj, alias, pk)
-            if pin is not None and pin[0] not in found:
-                found[pin[0]] = pin[1]
-                consumed.append(idx)
-        if set(found) != set(pk):
-            return None
-        for value in found.values():
-            # A literal that is statically not an int can never probe the
-            # B+Tree (runtime falls back to a scan).
-            if isinstance(value, ast.Literal) and not isinstance(
-                value.value, int
-            ):
-                return None
-        used.update(consumed)
-        return consumed
-
-    @staticmethod
-    def _pk_pin(conj, alias, pk):
-        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
-            return None
-        for col_side, const_side in (
-            (conj.left, conj.right),
-            (conj.right, conj.left),
-        ):
-            if (
-                isinstance(col_side, ast.ColumnRef)
-                and col_side.name in pk
-                and col_side.table in (None, alias)
-                and _is_constant(const_side)
-            ):
-                return col_side.name, const_side
-        return None
-
-    def _mark_used(self, frag, conjuncts, used) -> None:
-        """Conjuncts that compile against this fragment alone are consumed
-        here (``Executor._apply_filters`` with strict names)."""
-        for idx, conj in enumerate(conjuncts):
-            if idx in used:
-                continue
-            if self._static_resolves(conj, frag):
-                used.add(idx)
 
     def _bind_on(self, scope, on_conjuncts) -> None:
         for conj in on_conjuncts:
             self._no_aggregates(conj, "JOIN ON")
             self._infer(conj, scope, allow_agg=True)
 
-    def _join(self, scope, source, env, conjuncts, used):
-        """Mirror of ``Executor._join``: try an index-nested-loop probe of a
-        base table's PK, else load the source and hash/nested-loop join."""
-        item, on_conjuncts = source
-        candidates = [
-            (i, c) for i, c in enumerate(conjuncts) if i not in used
-        ] + [(None, c) for c in on_conjuncts]
 
+# ---------------------------------------------------------------------------
+# Plan-derived access paths
+# ---------------------------------------------------------------------------
+def _paths_from_plan(plan) -> list[AccessPath]:
+    """Read access paths off a physical plan tree, in plan order (CTEs in
+    definition order first, then join-tree load order)."""
+    from repro.minidb.sql import plan as phys
+
+    paths: list[AccessPath] = []
+
+    def visit_query(qp) -> None:
+        for _name, sub in qp.ctes:
+            visit_query(sub)
+        visit(qp.root)
+
+    def visit(node) -> None:
+        if isinstance(node, phys.QueryPlan):
+            visit_query(node)
+            return
+        if isinstance(node, phys.ExplainPlan):
+            visit(node.inner.statement)
+            return
+        if isinstance(node, phys.SubqueryScan):
+            visit_query(node.subplan)
+            paths.append(
+                AccessPath(
+                    node.alias, node.alias, SUBQUERY,
+                    span=Span.of(node.ast_ref),
+                )
+            )
+            return
+        if isinstance(node, phys.CteScan):
+            paths.append(
+                AccessPath(
+                    node.cte_name, node.alias, CTE_SCAN,
+                    span=Span.of(node.ast_ref),
+                )
+            )
+            return
+        if isinstance(node, phys.PkLookup):
+            paths.append(
+                AccessPath(
+                    node.table,
+                    node.alias,
+                    PK_POINT,
+                    f"pk ({', '.join(node.pk)}) pinned constant",
+                    Span.of(node.ast_ref),
+                )
+            )
+            return
+        if isinstance(node, phys.SeqScan):
+            paths.append(
+                AccessPath(
+                    node.table, node.alias, SEQ_SCAN, "",
+                    span=Span.of(node.ast_ref),
+                )
+            )
+            return
+        if isinstance(node, phys.IndexNestedLoop):
+            visit(node.left)
+            paths.append(
+                AccessPath(
+                    node.table,
+                    node.alias,
+                    PK_PROBE,
+                    f"probed by ({', '.join(node.pk)}) per outer row",
+                    Span.of(node.ast_ref),
+                )
+            )
+            return
+        if isinstance(node, (phys.DeletePlan, phys.UpdatePlan)):
+            # DELETE / UPDATE always scan the heap (Executor._matching_rows).
+            paths.append(
+                AccessPath(
+                    node.table, node.table, SEQ_SCAN, "(DML scan)",
+                    Span.of(node.ast_ref),
+                )
+            )
+            return
+        if isinstance(node, phys.InsertPlan):
+            if node.select is not None:
+                visit_query(node.select)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(plan.statement)
+    return paths
+
+
+def _flag_label_scans(analysis: Analysis, paths) -> None:
+    """APL001: a full scan on a label table breaks the paper's bounds."""
+    from repro.minidb.sql.diagnostics import WARNING
+
+    for path in paths:
         if (
-            isinstance(item, ast.TableRef)
-            and item.name not in env
-            and self.catalog.has(item.name)
+            path.kind == SEQ_SCAN
+            and path.detail != "(DML scan)"
+            and is_label_table(path.table)
         ):
-            table = self.catalog.get(item.name)
-            alias = item.alias or item.name
-            pk = table.schema.primary_key
-            if pk:
-                pins: dict = {}
-                consumed = []
-                for idx, conj in candidates:
-                    pin = self._inl_pin(conj, alias, pk, scope)
-                    if pin is not None and pin not in pins:
-                        pins[pin] = True
-                        consumed.append(idx)
-                if set(pins) == set(pk):
-                    frag = [
-                        (alias, col.name, type_of_tag(col.type_tag))
-                        for col in table.schema.columns
-                    ]
-                    self.paths.append(
-                        AccessPath(
-                            item.name,
-                            alias,
-                            PK_PROBE,
-                            f"probed by ({', '.join(pk)}) per outer row",
-                            Span.of(item),
-                        )
-                    )
-                    for idx in consumed:
-                        if idx is not None:
-                            used.add(idx)
-                    joined = scope + frag
-                    self._mark_used(joined, conjuncts, used)
-                    self._bind_on(joined, on_conjuncts)
-                    return joined, False
-
-        frag, poisoned = self._load((item, []), env, conjuncts, used)
-        joined = scope + frag
-        self._mark_used(joined, conjuncts, used)
-        self._bind_on(joined, on_conjuncts)
-        return joined, poisoned
-
-    def _inl_pin(self, conj, alias, pk, left_scope):
-        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
-            return None
-        for col_side, other in (
-            (conj.left, conj.right),
-            (conj.right, conj.left),
-        ):
-            if (
-                isinstance(col_side, ast.ColumnRef)
-                and col_side.name in pk
-                and col_side.table == alias
-                and self._static_resolves(other, left_scope)
-            ):
-                return col_side.name
-        return None
+            analysis.diagnostics.append(
+                Diagnostic(
+                    "APL001",
+                    WARNING,
+                    f'full scan on label table "{path.table}" — the paper '
+                    "requires PK access on label data",
+                    path.span,
+                    hint="pin every primary-key column with an equality "
+                    "predicate, or join through an already-restricted "
+                    "relation",
+                )
+            )
 
 
 # ---------------------------------------------------------------------------
 # Public API
 # ---------------------------------------------------------------------------
 def analyze(stmt, catalog, sql: str | None = None) -> Analysis:
-    """Statically analyze a parsed statement against *catalog*."""
-    return Analyzer(catalog, sql=sql).analyze(stmt)
+    """Statically analyze a parsed statement against *catalog*.
+
+    When semantic analysis succeeds, the statement is also lowered by the
+    real planner and the physical plan is attached as ``analysis.plan``;
+    access paths are read off that plan, so the static classification is
+    the executed plan by construction.
+    """
+    from repro.errors import SQLError
+    from repro.minidb.catalog import CatalogError
+    from repro.minidb.sql.planner import plan_statement
+
+    analysis = Analyzer(catalog, sql=sql).analyze(stmt)
+    if analysis.ok:
+        try:
+            plan = plan_statement(stmt, catalog)
+        except (SQLError, CatalogError):
+            plan = None
+        if plan is not None:
+            analysis.plan = plan
+            paths = _paths_from_plan(plan)
+            analysis.access_paths.extend(paths)
+            _flag_label_scans(analysis, paths)
+    return analysis
 
 
 def analyze_sql(sql: str, catalog) -> Analysis:

@@ -262,3 +262,36 @@ class Explain:
     statement: object
     analyze: bool = False
     span: tuple | None = _span_field()
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal
+# ---------------------------------------------------------------------------
+def walk(node):
+    """Yield every AST dataclass reachable from *node*, depth-first.
+
+    Traversal is purely structural: it descends into dataclass fields and
+    tuple/list containers (CTE pairs, CASE whens, nested queries), skipping
+    ``span`` so positions never masquerade as children.
+    """
+    import dataclasses
+
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if dataclasses.is_dataclass(current):
+            yield current
+            for f in dataclasses.fields(current):
+                if f.name == "span":
+                    continue
+                stack.append(getattr(current, f.name))
+        elif isinstance(current, (tuple, list)):
+            stack.extend(current)
+
+
+def param_indices(node) -> tuple[int, ...]:
+    """Sorted, deduplicated ``$n`` indices appearing anywhere in *node*.
+
+    The planner stores these on the physical plan so the executor can
+    validate a parameter vector up front instead of failing mid-stream."""
+    return tuple(sorted({n.index for n in walk(node) if isinstance(n, Param)}))

@@ -1,47 +1,35 @@
-"""SQL execution engine.
+"""Streaming interpreter for physical plans.
 
-Evaluates parsed statements against the catalog. The planner is intentionally
-rule-based, but it implements the three access paths that matter for PTLDB's
-claims:
+The executor does no planning: it receives a
+:class:`~repro.minidb.sql.plan.Plan` (from the planner, usually via the
+engine's plan cache) and interprets each node as a generator. Rows stream
+between operators one pull at a time; the only operators that materialize
+their input are the blocking ones — Sort/Top-K, WindowAgg, Aggregate, the
+hash-join build side and the nested-loop inner side — plus CTEs, which are
+materialized once per execution as the paper's Codes 3-4 require.
 
-* **primary-key pushdown** — ``WHERE v = $1`` on a table becomes a single
-  B+Tree point lookup (the paper: "PTLDB needs to access exactly two rows"
-  per v2v query);
-* **index nested-loop join** — joining a small derived relation against a
-  table on its full primary key fetches at most one row per probe (the
-  paper: "the optimized EA-kNN query will always access at most
-  ``|Lout|/|V|`` rows from the ``knn_ea`` DB table");
-* **hash join** — any other equi-join.
-
-Set-returning ``UNNEST`` in the select list expands rows in parallel, padding
-with NULL, exactly like PostgreSQL's parallel unnesting that Code 1 relies
-on.
+Tracing wraps each operator's generator: every pull is timed and buffer/disk
+counter deltas are attributed to the operator whose ``next()`` triggered the
+I/O. Parent windows strictly contain child windows, so inclusive totals nest
+correctly and ``EXPLAIN ANALYZE`` renders the same tree shape as the static
+``EXPLAIN`` (which renders from the plan without executing anything).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+import time
+from dataclasses import dataclass, field
 
-from repro.errors import SQLError, SQLNameError, SQLSyntaxError, SQLTypeError
+from repro.errors import SQLError, SQLTypeError
 from repro.minidb.metrics import NULL_SCOPE, TraceCollector, render_plan
-from repro.minidb.sql import ast
-from repro.minidb.sql.functions import (
-    AGGREGATE_FUNCTIONS,
-    SET_RETURNING,
-    get_scalar,
-    is_aggregate,
+from repro.minidb.sql import plan as phys
+from repro.minidb.sql.planner import (
+    _hashable,
+    _sort_rows,
+    composite_key,
+    plan_statement,
 )
-
-
-@dataclass
-class Relation:
-    """A materialized intermediate result."""
-
-    columns: list[tuple[str | None, str]]  # (qualifier, name)
-    rows: list[tuple]
-
-    def requalify(self, alias: str) -> "Relation":
-        return Relation([(alias, name) for _, name in self.columns], self.rows)
 
 
 @dataclass
@@ -50,7 +38,7 @@ class Result:
 
     columns: list[str]
     rows: list[tuple]
-    trace: object | None = None  # QueryTrace, attached by Database.execute
+    trace: object = field(default=None, compare=False)
 
     def scalar(self):
         """Single value of a single-row, single-column result."""
@@ -67,1178 +55,655 @@ class Result:
         return len(self.rows)
 
 
-# ---------------------------------------------------------------------------
-# Expression helpers
-# ---------------------------------------------------------------------------
-def _flatten_and(expr: ast.Expr | None) -> list[ast.Expr]:
-    if expr is None:
-        return []
-    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
-        return _flatten_and(expr.left) + _flatten_and(expr.right)
-    return [expr]
+_DONE = object()
 
 
-def _contains_aggregate(expr) -> bool:
-    if isinstance(expr, ast.FuncCall):
-        if is_aggregate(expr.name):
-            return True
-        return any(_contains_aggregate(a) for a in expr.args)
-    if isinstance(expr, ast.BinaryOp):
-        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
-    if isinstance(expr, ast.UnaryOp):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.IsNull):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, ast.InList):
-        return _contains_aggregate(expr.operand) or any(
-            _contains_aggregate(i) for i in expr.items
-        )
-    if isinstance(expr, (ast.ArraySlice, ast.ArrayIndex)):
-        inner = [expr.base]
-        if isinstance(expr, ast.ArraySlice):
-            inner += [e for e in (expr.low, expr.high) if e is not None]
-        else:
-            inner.append(expr.index)
-        return any(_contains_aggregate(e) for e in inner)
-    if isinstance(expr, ast.CaseExpr):
-        parts = [e for pair in expr.whens for e in pair]
-        if expr.default is not None:
-            parts.append(expr.default)
-        return any(_contains_aggregate(p) for p in parts)
-    if isinstance(expr, ast.ArrayLiteral):
-        return any(_contains_aggregate(i) for i in expr.items)
-    return False
+def _traced_gen(stats, gen, collector):
+    """Wrap *gen* so each pull's time and I/O land on *stats*.
 
-
-def _contains_srf(expr) -> bool:
-    if isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING:
-        return True
-    return False
-
-
-def _is_true(value) -> bool:
-    return value is True
-
-
-def _cmp(op: str, a, b):
-    if a is None or b is None:
-        return None
-    if op == "=":
-        return a == b
-    if op == "<>":
-        return a != b
-    if op == "<":
-        return a < b
-    if op == "<=":
-        return a <= b
-    if op == ">":
-        return a > b
-    if op == ">=":
-        return a >= b
-    raise SQLError(f"unknown comparison {op}")
-
-
-def _arith(op: str, a, b):
-    if a is None or b is None:
-        return None
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "/":
-        if isinstance(a, int) and isinstance(b, int):
-            if b == 0:
-                raise SQLError("division by zero")
-            quotient = a // b
-            if quotient < 0 and quotient * b != a:
-                quotient += 1  # PostgreSQL truncates toward zero
-            return quotient
-        if b == 0:
-            raise SQLError("division by zero")
-        return a / b
-    if op == "%":
-        if b == 0:
-            raise SQLError("division by zero")
-        return a - b * int(a / b) if isinstance(a, int) and isinstance(b, int) else a % b
-    if op == "||":
-        if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
-            left = list(a) if isinstance(a, (list, tuple)) else [a]
-            right = list(b) if isinstance(b, (list, tuple)) else [b]
-            return left + right
-        return str(a) + str(b)
-    raise SQLError(f"unknown operator {op}")
-
-
-def _logic_and(a, b):
-    if a is False or b is False:
-        return False
-    if a is None or b is None:
-        return None
-    return True
-
-
-def _logic_or(a, b):
-    if a is True or b is True:
-        return True
-    if a is None or b is None:
-        return None
-    return False
-
-
-def _sort_rows(rows, key_fn_count: int, keys: list[tuple], descending: list[bool]):
-    """Stable multi-key sort with NULLS LAST, honoring per-key direction.
-
-    *rows* and *keys* are parallel lists; returns rows reordered.
+    Counter deltas are measured around every ``next()``: child operators
+    pulled inside that window accumulate into their own stats too, so a
+    parent's counters are inclusive of its children (the ``self_*``
+    properties on OperatorStats subtract them back out).
     """
-    order = list(range(len(rows)))
-    for key_index in range(key_fn_count - 1, -1, -1):
-        desc = descending[key_index]
-
-        def sort_key(i, _k=key_index, _d=desc):
-            value = keys[i][_k]
-            if value is None:
-                return (1, 0)
-            return (0, _Reversed(value) if _d else value)
-
-        order.sort(key=sort_key)
-    return [rows[i] for i in order]
-
-
-class _Reversed:
-    """Wrapper inverting comparisons, for DESC sort keys."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value):
-        self.value = value
-
-    def __lt__(self, other):
-        return other.value < self.value
-
-    def __eq__(self, other):
-        return self.value == other.value
+    pool = collector.pool
+    disk = collector.disk
+    pool_stats = pool.stats if pool is not None else None
+    disk_stats = disk.stats if disk is not None else None
+    while True:
+        pool_before = pool_stats.snapshot() if pool_stats is not None else None
+        disk_before = disk_stats.snapshot() if disk_stats is not None else None
+        started = time.perf_counter()
+        try:
+            row = next(gen, _DONE)
+        finally:
+            stats.time_ms += (time.perf_counter() - started) * 1000.0
+            if pool_before is not None:
+                delta = pool_stats.delta(pool_before)
+                stats.pool_hits += delta.hits
+                stats.pool_misses += delta.misses
+            if disk_before is not None:
+                delta = disk_stats.delta(disk_before)
+                stats.page_reads += delta.reads
+                stats.io_ms += delta.simulated_read_ms
+        if row is _DONE:
+            return
+        stats.rows += 1
+        yield row
 
 
-def _hashable(row: tuple) -> tuple:
-    return tuple(tuple(v) if isinstance(v, list) else v for v in row)
-
-
-# ---------------------------------------------------------------------------
-# Executor
-# ---------------------------------------------------------------------------
 class Executor:
-    def __init__(self, catalog, params: tuple = (), collector: TraceCollector | None = None):
+    """Interprets physical plans against a catalog."""
+
+    def __init__(self, catalog, params: tuple = (), collector=None):
         self.catalog = catalog
-        self.params = params
+        self.params = tuple(params)
         self.collector = collector
 
-    def _op(self, name: str, detail: str = ""):
-        """Operator scope: a context manager collecting lifecycle stats.
-
-        Returns a no-op scope when no collector is attached, so the
-        executor body reads the same either way.
-        """
-        if self.collector is not None:
-            return self.collector.operator(name, detail)
-        return NULL_SCOPE
-
-    # -- entry points ---------------------------------------------------
+    # -- public entry points --------------------------------------------
     def execute(self, stmt) -> Result:
-        if isinstance(stmt, ast.Explain):
-            collector = TraceCollector(getattr(self.catalog, "pool", None))
-            Executor(self.catalog, self.params, collector=collector).execute(
-                stmt.statement
-            )
-            lines = render_plan(collector.roots, analyze=stmt.analyze)
-            return Result(["plan"], [(line,) for line in lines])
-        if isinstance(stmt, ast.Query):
-            rel = self.run_query(stmt, {})
-            return Result([name for _, name in rel.columns], rel.rows)
-        if isinstance(stmt, ast.CreateTable):
-            return self._exec_create(stmt)
-        if isinstance(stmt, ast.DropTable):
-            self.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
-            return Result([], [])
-        if isinstance(stmt, ast.Insert):
-            return self._exec_insert(stmt)
-        if isinstance(stmt, ast.Delete):
-            return self._exec_delete(stmt)
-        if isinstance(stmt, ast.Update):
-            return self._exec_update(stmt)
-        if isinstance(stmt, ast.Vacuum):
-            table = self.catalog.get(stmt.table)
-            with self._op("Vacuum", stmt.table) as node:
-                live = table.vacuum()
-                node.rows = live
-            return Result(["rows"], [(live,)])
-        raise SQLError(f"cannot execute {type(stmt).__name__}")
+        """Compatibility shim: plan *stmt* ad hoc, then run it."""
+        return self.run(plan_statement(stmt, self.catalog))
 
-    # -- DDL / DML ------------------------------------------------------
-    def _exec_create(self, stmt: ast.CreateTable) -> Result:
+    def run(self, plan: phys.Plan) -> Result:
+        for index in plan.param_indices:
+            if not 1 <= index <= len(self.params):
+                raise SQLError(
+                    f"parameter ${index} not supplied "
+                    f"({len(self.params)} parameters given)"
+                )
+        node = plan.statement
+        if isinstance(node, phys.ExplainPlan):
+            return self._run_explain(node)
+        if isinstance(node, phys.QueryPlan):
+            rows = list(self._emit_query(node, {}, None))
+            return Result(list(node.columns), rows)
+        if isinstance(node, phys.CreateTablePlan):
+            return self._run_create(node)
+        if isinstance(node, phys.DropTablePlan):
+            self.catalog.drop_table(node.table, if_exists=node.if_exists)
+            return Result([], [])
+        if isinstance(node, phys.InsertPlan):
+            return self._run_insert(node)
+        if isinstance(node, phys.DeletePlan):
+            return self._run_delete(node)
+        if isinstance(node, phys.UpdatePlan):
+            return self._run_update(node)
+        if isinstance(node, phys.VacuumPlan):
+            return self._run_vacuum(node)
+        raise SQLError(f"cannot execute {type(node).__name__}")
+
+    # -- tracing helpers -------------------------------------------------
+    def _node(self, name, detail="", parent=None):
+        if self.collector is None:
+            return None
+        return self.collector.node(name, detail, parent)
+
+    def _traced(self, stats, gen):
+        if stats is None:
+            return gen
+        return _traced_gen(stats, gen, self.collector)
+
+    def _op(self, name, detail=""):
+        """Legacy scope API, still used for DML/Vacuum statements."""
+        if self.collector is None:
+            return NULL_SCOPE
+        return self.collector.operator(name, detail)
+
+    # -- utility statements ----------------------------------------------
+    def _run_explain(self, node: phys.ExplainPlan) -> Result:
+        if not node.analyze:
+            lines = phys.explain_lines(node.inner)
+            return Result(["plan"], [(line,) for line in lines])
+        collector = TraceCollector(getattr(self.catalog, "pool", None))
+        Executor(self.catalog, self.params, collector=collector).run(node.inner)
+        lines = render_plan(collector.roots, analyze=True)
+        return Result(["plan"], [(line,) for line in lines])
+
+    def _run_create(self, node: phys.CreateTablePlan) -> Result:
         from repro.minidb.catalog import TableSchema
         from repro.minidb.values import Column, type_from_name
 
-        columns = [Column(c.name, type_from_name(c.type_name)) for c in stmt.columns]
+        stmt = node.stmt
+        columns = [
+            Column(c.name, type_from_name(c.type_name)) for c in stmt.columns
+        ]
         schema = TableSchema(stmt.name, columns, stmt.primary_key)
         self.catalog.create_table(schema, if_not_exists=stmt.if_not_exists)
         return Result([], [])
 
-    def _exec_insert(self, stmt: ast.Insert) -> Result:
-        table = self.catalog.get(stmt.table)
-        schema = table.schema
-        if stmt.columns:
-            positions = [schema.column_index(c) for c in stmt.columns]
+    def _run_vacuum(self, node: phys.VacuumPlan) -> Result:
+        table = self.catalog.get(node.table)
+        with self._op("Vacuum", node.table) as op:
+            live = table.vacuum()
+            op.rows = live
+        return Result(["rows"], [(live,)])
+
+    # -- DML --------------------------------------------------------------
+    def _run_insert(self, node: phys.InsertPlan) -> Result:
+        table = self.catalog.get(node.table)
+        params = self.params
+        if node.select is not None:
+            source_rows = list(self._emit_query(node.select, {}, None))
         else:
-            positions = list(range(len(schema.columns)))
-        count = 0
-        if stmt.select is not None:
-            rel = self.run_query(stmt.select, {})
-            source_rows = rel.rows
-        else:
-            const_fn = lambda e: self._compile(e, [], grouped=False)  # noqa: E731
             source_rows = [
-                tuple(const_fn(e)(()) for e in row) for row in stmt.rows
+                tuple(fn((), params) for fn in fns) for fns in node.row_fns
             ]
-        with self._op("Insert", f"on {stmt.table}") as node:
+        count = 0
+        with self._op("Insert", f"on {node.table}") as op:
             for source in source_rows:
-                if len(source) != len(positions):
+                if len(source) != len(node.positions):
                     raise SQLError(
-                        f"INSERT expects {len(positions)} values, got {len(source)}"
+                        f"INSERT expects {len(node.positions)} values, "
+                        f"got {len(source)}"
                     )
-                row = [None] * len(schema.columns)
-                for pos, value in zip(positions, source):
-                    row[pos] = value
+                row = [None] * node.width
+                for position, value in zip(node.positions, source):
+                    row[position] = value
                 table.insert(tuple(row))
                 count += 1
-            node.rows = count
+            op.rows = count
         return Result(["count"], [(count,)])
 
-    def _exec_delete(self, stmt: ast.Delete) -> Result:
-        table = self.catalog.get(stmt.table)
-        with self._op("Delete", f"on {stmt.table}") as node:
-            victims = self._matching_rows(table, stmt.table, stmt.where)
+    def _run_delete(self, node: phys.DeletePlan) -> Result:
+        table = self.catalog.get(node.table)
+        with self._op("Delete", f"on {node.table}") as op:
+            victims = self._matching_rows(table, node.where_fn)
             for rid, row in victims:
                 table.delete_row(rid, row)
-            node.rows = len(victims)
+            op.rows = len(victims)
         return Result(["count"], [(len(victims),)])
 
-    def _exec_update(self, stmt: ast.Update) -> Result:
-        table = self.catalog.get(stmt.table)
-        schema = [(stmt.table, name) for name in table.schema.column_names]
-        positions = [table.schema.column_index(col) for col, _ in stmt.assignments]
-        value_fns = [
-            self._compile(expr, schema, grouped=False)
-            for _, expr in stmt.assignments
-        ]
-        with self._op("Update", f"on {stmt.table}") as node:
-            victims = self._matching_rows(table, stmt.table, stmt.where)
-            # Non-transactional: a failing reinsert (e.g. a duplicate key)
-            # aborts mid-way, like a storage engine without WAL would.
+    def _run_update(self, node: phys.UpdatePlan) -> Result:
+        table = self.catalog.get(node.table)
+        params = self.params
+        with self._op("Update", f"on {node.table}") as op:
+            victims = self._matching_rows(table, node.where_fn)
             for rid, row in victims:
                 new_row = list(row)
-                for position, fn in zip(positions, value_fns):
-                    new_row[position] = fn(row)
+                for position, fn in zip(node.positions, node.value_fns):
+                    new_row[position] = fn(row, params)  # sees the old row
                 table.update_row(rid, row, tuple(new_row))
-            node.rows = len(victims)
+            op.rows = len(victims)
         return Result(["count"], [(len(victims),)])
 
-    def _matching_rows(self, table, alias: str, where):
+    def _matching_rows(self, table, where_fn):
         from repro.minidb.values import decode_record
 
-        schema = [(alias, name) for name in table.schema.column_names]
-        predicate = None
-        if where is not None:
-            predicate = self._compile(where, schema, grouped=False)
+        params = self.params
         matches = []
         for rid, raw in table.heap.scan():
             row = decode_record(table.schema.types, raw)
-            if predicate is None or _is_true(predicate(row)):
+            if where_fn is None or where_fn(row, params) is True:
                 matches.append((rid, row))
         return matches
 
-    # -- queries -------------------------------------------------------
-    def run_query(self, query: ast.Query, env: dict) -> Relation:
+    # -- query interpretation ---------------------------------------------
+    def _emit_query(self, qplan: phys.QueryPlan, env: dict, parent):
+        """Materialize CTEs (once, lazily, on first pull), then stream the
+        root operator. CTE work runs inside this generator's enclosing trace
+        window, so I/O attribution stays exact."""
         env = dict(env)
-        for name, cte_query in query.ctes:
-            with self._op("CTE", name) as node:
-                env[name] = self.run_query(cte_query, env)
-                node.rows = len(env[name].rows)
 
-        if len(query.cores) == 1 and isinstance(query.cores[0], ast.SelectCore):
-            return self._run_single(query, query.cores[0], env)
-
-        # Set operation (or single parenthesized sub-query).
-        parts: list[Relation] = []
-        for core in query.cores:
-            if isinstance(core, ast.Query):
-                parts.append(self.run_query(core, env))
-            else:
-                parts.append(
-                    self._run_single(
-                        ast.Query(cores=(core,)), core, env
-                    )
+        def gen():
+            for name, sub in qplan.ctes:
+                stats = self._node("CTE", name, parent)
+                env[name] = list(
+                    self._traced(stats, self._emit_query(sub, env, stats))
                 )
-        width = len(parts[0].columns)
-        rows = list(parts[0].rows)
-        for op, part in zip(query.set_ops, parts[1:]):
-            with self._op(op.title()) as node:
-                if len(part.columns) != width:
-                    # Defense in depth: the analyzer rejects this statically
-                    # (TYP004) before any operand produces rows.
-                    raise SQLError("UNION operands have different column counts")
-                rows.extend(part.rows)
-                if op == "UNION":
-                    seen = set()
-                    deduped = []
-                    for row in rows:
-                        key = _hashable(row)
-                        if key not in seen:
-                            seen.add(key)
-                            deduped.append(row)
-                    rows = deduped
-                node.rows = len(rows)
-        columns = parts[0].columns
-        if query.order_by:
-            with self._op("Sort", f"({len(query.order_by)} keys)") as node:
-                schema = [(None, name) for _, name in columns]
-                key_fns = []
-                descending = []
-                for item in query.order_by:
-                    key_fns.append(self._order_key_fn(item.expr, schema, columns))
-                    descending.append(item.descending)
-                keys = [tuple(fn(row) for fn in key_fns) for row in rows]
-                rows = _sort_rows(rows, len(key_fns), keys, descending)
-                node.rows = len(rows)
-        rows = self._apply_limit(rows, query)
-        return Relation([(None, name) for _, name in columns], rows)
+            yield from self._emit(qplan.root, env, parent)
 
-    def _order_key_fn(self, expr, schema, columns):
-        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-            idx = expr.value - 1
-            return lambda row, _i=idx: row[_i]
-        if isinstance(expr, ast.ColumnRef) and expr.table is None:
-            for i, (_, name) in enumerate(columns):
-                if name == expr.name:
-                    return lambda row, _i=i: row[_i]
-        return self._compile(expr, schema, grouped=False)
+        return gen()
 
-    def _apply_limit(self, rows, query: ast.Query):
-        offset = 0
-        if query.offset is not None:
-            offset = self._const(query.offset)
-        if query.limit is not None:
-            limit = self._const(query.limit)
-            return rows[offset : offset + limit]
-        return rows[offset:] if offset else rows
+    def _emit(self, node, env, parent):
+        if isinstance(node, phys.QueryPlan):
+            return self._emit_query(node, env, parent)
+        return self._EMIT[type(node)](self, node, env, parent)
 
-    def _const(self, expr):
-        value = self._compile(expr, [], grouped=False)(())
-        if not isinstance(value, int) or value < 0:
-            raise SQLError(f"LIMIT/OFFSET must be a non-negative integer, got {value!r}")
-        return value
+    # -- scans -----------------------------------------------------------
+    def _emit_result0(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
 
-    # -- single SELECT core ----------------------------------------------
-    def _run_single(self, query: ast.Query, core: ast.SelectCore, env: dict) -> Relation:
-        conjuncts = _flatten_and(core.where)
-        used: set[int] = set()
-        schema, rows = self._run_from(core.from_items, env, conjuncts, used)
+        def gen():
+            yield ()
 
-        # Residual WHERE predicates.
-        residual = [c for i, c in enumerate(conjuncts) if i not in used]
-        if residual:
-            predicates = [self._compile(c, schema, grouped=False) for c in residual]
-            rows = [r for r in rows if all(_is_true(p(r)) for p in predicates)]
+        return self._traced(stats, gen())
 
-        items = self._expand_stars(core.items, schema)
+    def _emit_seq_scan(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        table = self.catalog.get(node.table)
+        params = self.params
+        filters = node.filters
 
-        # Set-returning functions (UNNEST) in the select list.
-        items, schema, rows = self._expand_srfs(items, schema, rows)
+        def gen():
+            for row in table.scan():
+                if all(p(row, params) is True for p in filters):
+                    yield row
 
-        # Window functions.
-        items, schema, rows = self._compute_windows(items, schema, rows)
+        return self._traced(stats, gen())
 
-        out_columns = [(None, self._output_name(item)) for item in items]
+    def _emit_pk_lookup(self, node, env, parent):
+        params = self.params
+        table = self.catalog.get(node.table)
+        key = tuple(fn((), params) for fn in node.key_fns)
+        if all(isinstance(k, int) for k in key):
+            stats = self._node(node.name, node.detail, parent)
+            filters = node.filters
 
-        grouped = bool(core.group_by) or any(
-            _contains_aggregate(item.expr) for item in items
-        )
-        order_items = query.order_by if len(query.cores) == 1 else ()
+            def gen():
+                row = table.lookup(key)
+                if row is None:
+                    return
+                if all(p(row, params) is True for p in filters):
+                    yield row
 
-        if grouped:
-            op_name, op_detail = (
-                ("GroupAggregate", f"({len(core.group_by)} keys)")
-                if core.group_by
-                else ("Aggregate", "")
-            )
-            with self._op(op_name, op_detail) as node:
-                out_rows, key_rows = self._run_grouped(
-                    core, items, schema, rows, order_items
-                )
-                node.rows = len(out_rows)
-        else:
-            item_fns = [self._compile(it.expr, schema, grouped=False) for it in items]
-            out_rows = [tuple(fn(row) for fn in item_fns) for row in rows]
-            key_rows = None
-            if order_items:
-                key_fns = [
-                    self._order_key_for_core(it.expr, schema, items, out_columns)
-                    for it in order_items
-                ]
-                key_rows = [
-                    tuple(
-                        fn(row) if callable(fn) else out_rows[i][fn]
-                        for fn in key_fns
-                    )
-                    for i, row in enumerate(rows)
-                ]
+            return self._traced(stats, gen())
+        # A parameter bound to a non-integer can never match a B+Tree key:
+        # degrade to a scan applying the pin predicates (the plan said Index
+        # Scan; the trace tells the truth).
+        stats = self._node("Seq Scan", f"on {node.table}", parent)
+        predicates = list(node.pin_fns) + list(node.filters)
 
-        if core.distinct:
-            pairs = []
-            seen = set()
-            for i, row in enumerate(out_rows):
-                key = _hashable(row)
-                if key not in seen:
-                    seen.add(key)
-                    pairs.append((row, key_rows[i] if key_rows else None))
-            out_rows = [p[0] for p in pairs]
-            key_rows = [p[1] for p in pairs] if order_items else None
+        def scan_gen():
+            for row in table.scan():
+                if all(p(row, params) is True for p in predicates):
+                    yield row
 
-        if order_items and key_rows is not None:
-            with self._op("Sort", f"({len(order_items)} keys)") as node:
-                descending = [it.descending for it in order_items]
-                out_rows = _sort_rows(
-                    out_rows, len(order_items), key_rows, descending
-                )
-                node.rows = len(out_rows)
+        return self._traced(stats, scan_gen())
 
-        if len(query.cores) == 1:
-            out_rows = self._apply_limit(out_rows, query)
-        return Relation(out_columns, out_rows)
+    def _emit_cte_scan(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        params = self.params
+        filters = node.filters
 
-    def _order_key_for_core(self, expr, schema, items, out_columns):
-        """Order key in a non-grouped core: alias, position, or expression."""
-        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-            return expr.value - 1  # positional: index into output row
-        if isinstance(expr, ast.ColumnRef) and expr.table is None:
-            for i, item in enumerate(items):
-                if self._output_name(item) == expr.name:
-                    # Prefer the already-computed output if the name is an
-                    # alias not present in the input schema.
-                    if not self._name_in_schema(schema, expr.name):
-                        return i
-        return self._compile(expr, schema, grouped=False)
+        def gen():
+            # env is read inside the generator: the enclosing query's CTE
+            # loop has populated it by the time the first row is pulled.
+            for row in env[node.cte_name]:
+                if all(p(row, params) is True for p in filters):
+                    yield row
 
-    @staticmethod
-    def _name_in_schema(schema, name) -> bool:
-        return any(col_name == name for _, col_name in schema)
+        return self._traced(stats, gen())
 
-    # -- grouping ---------------------------------------------------------
-    def _run_grouped(self, core, items, schema, rows, order_items):
-        group_fns = [
-            self._group_key_fn(expr, schema, items) for expr in core.group_by
-        ]
-        groups: dict = {}
-        for row in rows:
-            key = _hashable(tuple(fn(row) for fn in group_fns))
-            bucket = groups.get(key)
-            if bucket is None:
-                groups[key] = [row]
-            else:
-                bucket.append(row)
-        if not core.group_by:
-            # Aggregation over the whole input: exactly one group, possibly
-            # empty (SELECT MIN(x) FROM nothing -> one NULL row).
-            group_list = [rows]
-        else:
-            group_list = list(groups.values())
+    def _emit_subquery_scan(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        inner = self._emit_query(node.subplan, env, stats)
+        params = self.params
+        filters = node.filters
 
-        item_fns = [self._compile(it.expr, schema, grouped=True) for it in items]
-        having_fn = None
-        if core.having is not None:
-            having_fn = self._compile(core.having, schema, grouped=True)
+        def gen():
+            for row in inner:
+                if all(p(row, params) is True for p in filters):
+                    yield row
 
-        out_rows = []
-        key_rows = [] if order_items else None
-        order_fns = None
-        if order_items:
-            order_fns = [
-                self._grouped_order_key(it.expr, schema, items)
-                for it in order_items
-            ]
-        for group_rows in group_list:
-            if having_fn is not None and not _is_true(having_fn(group_rows)):
-                continue
-            out = tuple(fn(group_rows) for fn in item_fns)
-            out_rows.append(out)
-            if order_fns is not None:
-                keys = []
-                for fn in order_fns:
-                    if callable(fn):
-                        keys.append(fn(group_rows))
-                    else:
-                        keys.append(out[fn])
-                key_rows.append(tuple(keys))
-        return out_rows, key_rows
+        return self._traced(stats, gen())
 
-    def _group_key_fn(self, expr, schema, items):
-        # GROUP BY may name a select alias (PostgreSQL extension).
-        if isinstance(expr, ast.ColumnRef) and expr.table is None:
-            if not self._name_in_schema(schema, expr.name):
-                for item in items:
-                    if self._output_name(item) == expr.name:
-                        return self._compile(item.expr, schema, grouped=False)
-        return self._compile(expr, schema, grouped=False)
+    # -- joins -----------------------------------------------------------
+    def _emit_inl(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        if stats is not None:
+            stats.loops = 0
+        left = self._emit(node.left, env, stats)
+        table = self.catalog.get(node.table)
+        params = self.params
+        key_fns = node.key_fns
+        filters = node.filters
 
-    def _grouped_order_key(self, expr, schema, items):
-        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
-            return expr.value - 1
-        if isinstance(expr, ast.ColumnRef) and expr.table is None:
-            for i, item in enumerate(items):
-                if self._output_name(item) == expr.name:
-                    return i
-        return self._compile(expr, schema, grouped=True)
+        def gen():
+            probe_cache: dict = {}
+            for left_row in left:
+                if stats is not None:
+                    stats.loops += 1
+                key = tuple(fn(left_row, params) for fn in key_fns)
+                if any(not isinstance(k, int) for k in key):
+                    continue
+                if key in probe_cache:
+                    match = probe_cache[key]
+                else:
+                    match = table.lookup(key)
+                    probe_cache[key] = match
+                if match is None:
+                    continue
+                row = left_row + match
+                if all(p(row, params) is True for p in filters):
+                    yield row
 
-    # -- select-list machinery ---------------------------------------------
-    @staticmethod
-    def _output_name(item: ast.SelectItem) -> str:
-        if item.alias:
-            return item.alias
-        expr = item.expr
-        if isinstance(expr, ast.ColumnRef):
-            return expr.name
-        if isinstance(expr, ast.FuncCall):
-            return expr.name
-        if isinstance(expr, ast.WindowFunc):
-            return expr.name
-        return "?column?"
+        return self._traced(stats, gen())
 
-    def _expand_stars(self, items, schema):
-        out = []
-        for item in items:
-            if isinstance(item.expr, ast.Star):
-                table = item.expr.table
-                matched = False
-                for qual, name in schema:
-                    if table is None or qual == table:
-                        out.append(
-                            ast.SelectItem(ast.ColumnRef(qual, name), alias=name)
-                        )
-                        matched = True
-                if not matched:
-                    raise SQLNameError(f"no columns match {table or ''}.*")
-            else:
-                out.append(item)
-        return out
+    def _emit_hash_join(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        left = self._emit(node.left, env, stats)
+        right = self._emit(node.right, env, stats)
+        params = self.params
+        left_key = node.left_key
+        right_key = node.right_key
+        filters = node.filters
 
-    def _expand_srfs(self, items, schema, rows):
-        srf_positions = [
-            i for i, item in enumerate(items) if _contains_srf(item.expr)
-        ]
-        if not srf_positions:
-            return items, schema, rows
-        with self._op("ProjectSet", f"(UNNEST x {len(srf_positions)})") as node:
-            # Compile each SRF argument; non-SRF items stay as-is but will be
-            # evaluated against the extended rows (original columns preserved).
-            srf_fns = {}
-            for i in srf_positions:
-                expr = items[i].expr
-                if not (
-                    isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING
-                ):
-                    raise SQLSyntaxError(
-                        "UNNEST must be the whole select expression in minidb"
-                    )
-                if len(expr.args) != 1:
-                    raise SQLSyntaxError("UNNEST takes exactly one argument")
-                srf_fns[i] = self._compile(expr.args[0], schema, grouped=False)
+        def gen():
+            buckets: dict = {}
+            for row in right:  # build side
+                key = right_key(row, params)
+                if key is None:
+                    continue
+                buckets.setdefault(key, []).append(row)
+            for row in left:  # probe side
+                key = left_key(row, params)
+                if key is None:
+                    continue
+                for match in buckets.get(key, ()):
+                    out = row + match
+                    if all(p(out, params) is True for p in filters):
+                        yield out
 
-            new_schema = list(schema)
-            synth_names = {}
-            for i in srf_positions:
-                synth = f"__srf_{i}"
-                synth_names[i] = synth
-                new_schema.append((None, synth))
+        return self._traced(stats, gen())
 
-            new_rows = []
-            for row in rows:
-                arrays = {}
+    def _emit_nested_loop(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        left = self._emit(node.left, env, stats)
+        right = self._emit(node.right, env, stats)
+        params = self.params
+        filters = node.filters
+
+        def gen():
+            right_rows = list(right)
+            for left_row in left:
+                for right_row in right_rows:
+                    out = left_row + right_row
+                    if all(p(out, params) is True for p in filters):
+                        yield out
+
+        return self._traced(stats, gen())
+
+    # -- row pipeline ------------------------------------------------------
+    def _emit_filter(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        params = self.params
+        predicates = node.predicates
+
+        def gen():
+            for row in child:
+                if all(p(row, params) is True for p in predicates):
+                    yield row
+
+        return self._traced(stats, gen())
+
+    def _emit_unnest(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        params = self.params
+        srf_fns = node.srf_fns
+
+        def gen():
+            for row in child:
+                arrays = []
                 max_len = 0
-                for i, fn in srf_fns.items():
-                    value = fn(row)
+                for fn in srf_fns:
+                    value = fn(row, params)
                     if value is None:
                         value = []
                     elif not isinstance(value, (list, tuple)):
                         raise SQLTypeError(
                             f"UNNEST expects an array, got {value!r}"
                         )
-                    arrays[i] = value
+                    arrays.append(value)
                     max_len = max(max_len, len(value))
                 for j in range(max_len):
-                    extra = tuple(
-                        arrays[i][j] if j < len(arrays[i]) else None
-                        for i in srf_positions
+                    yield row + tuple(
+                        arr[j] if j < len(arr) else None for arr in arrays
                     )
-                    new_rows.append(row + extra)
-            node.rows = len(new_rows)
 
-        new_items = []
-        for i, item in enumerate(items):
-            if i in srf_positions:
-                ref = ast.ColumnRef(None, synth_names[i])
-                new_items.append(
-                    ast.SelectItem(ref, alias=item.alias or "unnest")
-                )
-            else:
-                new_items.append(item)
-        return new_items, new_schema, new_rows
+        return self._traced(stats, gen())
 
-    def _compute_windows(self, items, schema, rows):
-        win_positions = [
-            i for i, item in enumerate(items) if isinstance(item.expr, ast.WindowFunc)
-        ]
-        if not win_positions:
-            return items, schema, rows
-        with self._op("WindowAgg") as node:
-            new_schema = list(schema)
-            extras: list[list] = [[] for _ in rows]
-            new_items = list(items)
-            for i in win_positions:
-                win = items[i].expr
-                if win.name != "row_number":
-                    raise SQLError(f"unsupported window function {win.name!r}")
-                part_fns = [
-                    self._compile(e, schema, grouped=False)
-                    for e in win.partition_by
-                ]
-                order_fns = [
-                    self._compile(it.expr, schema, grouped=False)
-                    for it in win.order_by
-                ]
-                descending = [it.descending for it in win.order_by]
-                # Stable sort indices within partitions.
-                indexed = list(range(len(rows)))
-                keys = [
-                    tuple(fn(rows[idx]) for fn in order_fns) for idx in indexed
-                ]
-                ordered = _sort_rows(indexed, len(order_fns), keys, descending)
-                counters: dict = {}
-                numbers = [0] * len(rows)
-                for idx in ordered:
-                    part = _hashable(tuple(fn(rows[idx]) for fn in part_fns))
-                    counters[part] = counters.get(part, 0) + 1
-                    numbers[idx] = counters[part]
-                synth = f"__win_{i}"
-                new_schema.append((None, synth))
-                for row_idx in range(len(rows)):
-                    extras[row_idx].append(numbers[row_idx])
-                new_items[i] = ast.SelectItem(
-                    ast.ColumnRef(None, synth),
-                    alias=items[i].alias or "row_number",
-                )
-            new_rows = [row + tuple(extra) for row, extra in zip(rows, extras)]
-            node.rows = len(new_rows)
-        return new_items, new_schema, new_rows
-
-    # -- FROM clause --------------------------------------------------------
-    def _run_from(self, from_items, env, conjuncts, used):
-        if not from_items:
-            return [], [()]
-        sources = []  # (item, on_conjuncts)
-        for item in from_items:
-            self._flatten_joins(item, sources)
-        # Join-order heuristic: derived relations (CTEs, subqueries) first so
-        # base tables can be probed by index nested-loop instead of scanned —
-        # this is what makes "FROM knn_ea n1bb, n1" touch only |n1| rows of
-        # knn_ea, as the paper requires. Comma joins only (ON pins order).
-        if len(sources) > 1 and all(not on for _, on in sources):
-            def _derived(source):
-                item = source[0]
-                if isinstance(item, ast.SubqueryRef):
-                    return True
-                return isinstance(item, ast.TableRef) and item.name in env
-
-            small = [s for s in sources if _derived(s)]
-            large = [s for s in sources if not _derived(s)]
-            sources = small + large
-        schema, rows = self._load_source(sources[0], env, conjuncts, used)
-        for source in sources[1:]:
-            schema, rows = self._join(schema, rows, source, env, conjuncts, used)
-        return schema, rows
-
-    def _flatten_joins(self, item, out, on_conjuncts=None):
-        if isinstance(item, ast.Join):
-            self._flatten_joins(item.left, out)
-            self._flatten_joins(
-                item.right, out, _flatten_and(item.condition)
-            )
-            return
-        out.append((item, on_conjuncts or []))
-
-    def _load_source(self, source, env, conjuncts, used):
-        item, on_conjuncts = source
-        all_conj = list(enumerate(conjuncts))
-        if isinstance(item, ast.SubqueryRef):
-            with self._op("Subquery Scan", item.alias) as node:
-                rel = self.run_query(item.query, env)
-                rel = rel.requalify(item.alias)
-                schema, rows = rel.columns, rel.rows
-                rows = self._filter_source(
-                    schema, rows, all_conj, on_conjuncts, used
-                )
-                node.rows = len(rows)
-            return schema, rows
-        alias = item.alias or item.name
-        if item.name in env:
-            with self._op("CTE Scan", f"on {item.name}") as node:
-                rel = env[item.name].requalify(alias)
-                schema, rows = rel.columns, rel.rows
-                rows = self._filter_source(
-                    schema, rows, all_conj, on_conjuncts, used
-                )
-                node.rows = len(rows)
-            return schema, rows
-        table = self.catalog.get(item.name)
-        schema = [(alias, n) for n in table.schema.column_names]
-        key = self._pk_probe(table, alias, all_conj, used)
-        if key is not None:
-            with self._op(
-                "Index Scan",
-                f"using {item.name}_pkey on {item.name} (point lookup)",
-            ) as node:
-                row = table.lookup(key)
-                rows = [row] if row is not None else []
-                rows = self._filter_source(
-                    schema, rows, all_conj, on_conjuncts, used
-                )
-                node.rows = len(rows)
-        else:
-            with self._op("Seq Scan", f"on {item.name}") as node:
-                rows = list(table.scan())
-                rows = self._filter_source(
-                    schema, rows, all_conj, on_conjuncts, used
-                )
-                node.rows = len(rows)
-        return schema, rows
-
-    def _filter_source(self, schema, rows, all_conj, on_conjuncts, used):
-        """Push down single-source filters (WHERE, then mandatory ON)."""
-        rows = self._apply_filters(schema, rows, all_conj, used)
-        return self._apply_filters(
-            schema, rows, list(enumerate(on_conjuncts, start=-1000)), set(),
-            always=True,
-        )
-
-    def _pk_probe(self, table, alias, indexed_conjuncts, used):
-        """If conjuncts pin every PK column to a constant, return the key."""
-        pk = table.schema.primary_key
-        if not pk:
-            return None
-        found = {}
-        consumed = []
-        for idx, conj in indexed_conjuncts:
-            if idx in used:
-                continue
-            pin = self._pk_pin(conj, alias, pk)
-            if pin is not None and pin[0] not in found:
-                found[pin[0]] = pin[1]
-                consumed.append(idx)
-        if set(found) != set(pk):
-            return None
-        key = []
-        for col in pk:
-            value = self._compile(found[col], [], grouped=False)(())
-            if value is None or not isinstance(value, int):
-                return None
-            key.append(value)
-        used.update(consumed)
-        return tuple(key)
-
-    def _pk_pin(self, conj, alias, pk):
-        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
-            return None
-        for col_side, const_side in ((conj.left, conj.right), (conj.right, conj.left)):
-            if (
-                isinstance(col_side, ast.ColumnRef)
-                and col_side.name in pk
-                and col_side.table in (None, alias)
-                and self._is_constant(const_side)
-            ):
-                return col_side.name, const_side
-        return None
-
-    def _is_constant(self, expr) -> bool:
-        if isinstance(expr, (ast.Literal, ast.Param)):
-            return True
-        if isinstance(expr, ast.UnaryOp):
-            return self._is_constant(expr.operand)
-        if isinstance(expr, ast.BinaryOp):
-            return self._is_constant(expr.left) and self._is_constant(expr.right)
-        if isinstance(expr, ast.FuncCall) and not is_aggregate(expr.name):
-            return all(self._is_constant(a) for a in expr.args)
-        return False
-
-    def _apply_filters(self, schema, rows, indexed_conjuncts, used, always=False):
-        predicates = []
-        for idx, conj in indexed_conjuncts:
-            if not always and idx in used:
-                continue
-            try:
-                fn = self._compile(conj, schema, grouped=False, strict_names=True)
-            except SQLNameError:
-                continue
-            predicates.append(fn)
-            if not always:
-                used.add(idx)
-        if not predicates:
-            return rows
-        return [r for r in rows if all(_is_true(p(r)) for p in predicates)]
-
-    def _join(self, left_schema, left_rows, source, env, conjuncts, used):
-        item, on_conjuncts = source
-        candidates = [
-            (i, c) for i, c in enumerate(conjuncts) if i not in used
-        ] + [(None, c) for c in on_conjuncts]
-
-        # --- index nested-loop join against a base table's primary key ----
-        if isinstance(item, ast.TableRef) and item.name not in env:
-            table = self.catalog.get(item.name)
-            alias = item.alias or item.name
-            pk = table.schema.primary_key
-            if pk:
-                pins: dict = {}
-                consumed = []
-                for idx, conj in candidates:
-                    pin = self._inl_pin(conj, alias, pk, left_schema)
-                    if pin is not None and pin[0] not in pins:
-                        pins[pin[0]] = pin[1]
-                        consumed.append(idx)
-                if set(pins) == set(pk):
-                    with self._op(
-                        "Index Nested Loop",
-                        f"probe {item.name} by primary key ({', '.join(pk)})",
-                    ) as node:
-                        key_fns = [pins[col] for col in pk]
-                        right_schema = [
-                            (alias, n) for n in table.schema.column_names
-                        ]
-                        joined = []
-                        probe_cache: dict = {}  # duplicate probes hit memory
-                        for row in left_rows:
-                            key = tuple(fn(row) for fn in key_fns)
-                            if any(not isinstance(k, int) for k in key):
-                                continue
-                            if key in probe_cache:
-                                match = probe_cache[key]
-                            else:
-                                match = table.lookup(key)
-                                probe_cache[key] = match
-                            if match is not None:
-                                joined.append(row + match)
-                        for idx in consumed:
-                            if idx is not None:
-                                used.add(idx)
-                        schema = left_schema + right_schema
-                        rows = self._apply_post_join_filters(
-                            schema, joined, conjuncts, used, on_conjuncts
-                        )
-                        node.rows = len(rows)
-                        node.loops = len(left_rows)
-                    return schema, rows
-
-        # --- materialize right side ---------------------------------------
-        right_schema, right_rows = self._load_source(
-            (item, []), env, conjuncts, used
-        )
-        schema = left_schema + right_schema
-
-        # --- hash join ------------------------------------------------------
-        hash_pair = None
-        for idx, conj in candidates:
-            if idx in used:
-                continue
-            pair = self._equi_pair(conj, left_schema, right_schema)
-            if pair is not None:
-                hash_pair = (idx, pair)
-                break
-        if hash_pair is not None:
-            with self._op("Hash Join") as node:
-                idx, (left_fn, right_fn) = hash_pair
-                buckets: dict = {}
-                for row in right_rows:
-                    key = right_fn(row)
-                    if key is None:
-                        continue
-                    buckets.setdefault(key, []).append(row)
-                joined = []
-                for row in left_rows:
-                    key = left_fn(row)
-                    if key is None:
-                        continue
-                    for right in buckets.get(key, ()):
-                        joined.append(row + right)
-                if idx is not None:
-                    used.add(idx)
-                rows = self._apply_post_join_filters(
-                    schema, joined, conjuncts, used, on_conjuncts
-                )
-                node.rows = len(rows)
-            return schema, rows
-
-        # --- nested loop (cross product) -----------------------------------
-        with self._op("Nested Loop", "(cross product)") as node:
-            joined = [l + r for l in left_rows for r in right_rows]
-            rows = self._apply_post_join_filters(
-                schema, joined, conjuncts, used, on_conjuncts
-            )
-            node.rows = len(rows)
-        return schema, rows
-
-    def _apply_post_join_filters(self, schema, rows, conjuncts, used, on_conjuncts):
-        rows = self._apply_filters(
-            schema, rows, list(enumerate(conjuncts)), used
-        )
-        # ON conjuncts are mandatory on the joined schema (re-checking a
-        # conjunct already used to drive the join is harmless).
-        predicates = [
-            self._compile(conj, schema, grouped=False) for conj in on_conjuncts
-        ]
-        if predicates:
-            rows = [r for r in rows if all(_is_true(p(r)) for p in predicates)]
-        return rows
-
-    def _inl_pin(self, conj, alias, pk, left_schema):
-        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
-            return None
-        for col_side, other in ((conj.left, conj.right), (conj.right, conj.left)):
-            if (
-                isinstance(col_side, ast.ColumnRef)
-                and col_side.name in pk
-                and col_side.table == alias
-            ):
-                try:
-                    fn = self._compile(other, left_schema, grouped=False, strict_names=True)
-                except SQLNameError:
-                    continue
-                return col_side.name, fn
-        return None
-
-    def _equi_pair(self, conj, left_schema, right_schema):
-        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
-            return None
-        for a, b in ((conj.left, conj.right), (conj.right, conj.left)):
-            try:
-                left_fn = self._compile(a, left_schema, grouped=False, strict_names=True)
-            except SQLNameError:
-                continue
-            try:
-                right_fn = self._compile(b, right_schema, grouped=False, strict_names=True)
-            except SQLNameError:
-                continue
-            # Ensure sides do not also resolve on the opposite schema in a
-            # way that makes the conjunct single-sided; good enough here.
-            return left_fn, right_fn
-        return None
-
-    # -- expression compilation ---------------------------------------------
-    def _resolve(self, schema, ref: ast.ColumnRef) -> int:
-        matches = [
-            i
-            for i, (qual, name) in enumerate(schema)
-            if name == ref.name and (ref.table is None or qual == ref.table)
-        ]
-        if not matches:
-            raise SQLNameError(
-                f"column {ref.table + '.' if ref.table else ''}{ref.name} not found"
-            )
-        if len(matches) > 1:
-            # Defense in depth: the analyzer reports SEM003 for this before
-            # execution; this path fires only with analysis opted out.
-            raise SQLNameError(f"ambiguous column reference {ref.name!r}")
-        return matches[0]
-
-    def _compile(self, expr, schema, grouped: bool, strict_names: bool = False):
-        """Compile *expr* into ``fn(row)`` (or ``fn(group_rows)`` if grouped)."""
+    def _emit_window(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
         params = self.params
 
-        if isinstance(expr, ast.Literal):
-            value = expr.value
-            return (lambda _ctx, _v=value: _v)
-        if isinstance(expr, ast.Param):
-            if not 1 <= expr.index <= len(params):
-                raise SQLError(
-                    f"parameter ${expr.index} not supplied "
-                    f"({len(params)} parameters given)"
+        def gen():
+            rows = list(child)
+            extras = [[] for _ in rows]
+            for spec in node.specs:
+                indexed = list(range(len(rows)))
+                keys = [
+                    tuple(fn(rows[i], params) for fn in spec.order_fns)
+                    for i in indexed
+                ]
+                ordered = _sort_rows(
+                    indexed, len(spec.order_fns), keys, spec.descending
                 )
-            value = params[expr.index - 1]
-            return (lambda _ctx, _v=value: _v)
-        if isinstance(expr, ast.ColumnRef):
-            idx = self._resolve(schema, expr)
-            if grouped:
-                return lambda rows, _i=idx: rows[0][_i] if rows else None
-            return lambda row, _i=idx: row[_i]
-        if isinstance(expr, ast.BinaryOp):
-            left = self._compile(expr.left, schema, grouped, strict_names)
-            right = self._compile(expr.right, schema, grouped, strict_names)
-            op = expr.op
-            if op == "AND":
-                return lambda ctx: _logic_and(left(ctx), right(ctx))
-            if op == "OR":
-                return lambda ctx: _logic_or(left(ctx), right(ctx))
-            if op in ("=", "<>", "<", "<=", ">", ">="):
-                return lambda ctx, _op=op: _cmp(_op, left(ctx), right(ctx))
-            return lambda ctx, _op=op: _arith(_op, left(ctx), right(ctx))
-        if isinstance(expr, ast.UnaryOp):
-            operand = self._compile(expr.operand, schema, grouped, strict_names)
-            if expr.op == "-":
-                return lambda ctx: None if operand(ctx) is None else -operand(ctx)
-            if expr.op == "NOT":
-                def _not(ctx):
-                    value = operand(ctx)
-                    return None if value is None else not value
-                return _not
-            raise SQLError(f"unknown unary operator {expr.op}")
-        if isinstance(expr, ast.IsNull):
-            operand = self._compile(expr.operand, schema, grouped, strict_names)
-            if expr.negated:
-                return lambda ctx: operand(ctx) is not None
-            return lambda ctx: operand(ctx) is None
-        if isinstance(expr, ast.InList):
-            operand = self._compile(expr.operand, schema, grouped, strict_names)
-            item_fns = [
-                self._compile(i, schema, grouped, strict_names) for i in expr.items
-            ]
-            negated = expr.negated
+                counters: dict = {}
+                numbers = [0] * len(rows)
+                for i in ordered:
+                    part = _hashable(
+                        tuple(fn(rows[i], params) for fn in spec.part_fns)
+                    )
+                    counters[part] = counters.get(part, 0) + 1
+                    numbers[i] = counters[part]
+                for i in range(len(rows)):
+                    extras[i].append(numbers[i])
+            for row, extra in zip(rows, extras):
+                yield row + tuple(extra)
 
-            def _in(ctx):
-                value = operand(ctx)
-                if value is None:
-                    return None
-                hit = any(value == fn(ctx) for fn in item_fns)
-                return (not hit) if negated else hit
+        return self._traced(stats, gen())
 
-            return _in
-        if isinstance(expr, ast.ArraySlice):
-            base = self._compile(expr.base, schema, grouped, strict_names)
-            low = (
-                self._compile(expr.low, schema, grouped, strict_names)
-                if expr.low is not None
-                else None
+    def _emit_project(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        params = self.params
+        item_fns = node.item_fns
+        specs = node.key_specs
+
+        def gen():
+            if specs is None:
+                for row in child:
+                    yield tuple(fn(row, params) for fn in item_fns)
+            else:
+                for row in child:
+                    out = tuple(fn(row, params) for fn in item_fns)
+                    key = tuple(
+                        out[s] if isinstance(s, int) else s(row, params)
+                        for s in specs
+                    )
+                    yield (out, key)
+
+        return self._traced(stats, gen())
+
+    def _emit_aggregate(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        params = self.params
+
+        def gen():
+            rows = list(child)
+            if node.group_fns:
+                groups: dict = {}
+                for row in rows:
+                    key = _hashable(
+                        tuple(fn(row, params) for fn in node.group_fns)
+                    )
+                    groups.setdefault(key, []).append(row)
+                group_list = list(groups.values())
+            else:
+                group_list = [rows]  # one group, possibly empty
+            for group_rows in group_list:
+                if (
+                    node.having_fn is not None
+                    and node.having_fn(group_rows, params) is not True
+                ):
+                    continue
+                out = tuple(fn(group_rows, params) for fn in node.item_fns)
+                if node.key_specs is None:
+                    yield out
+                else:
+                    key = tuple(
+                        out[s] if isinstance(s, int) else s(group_rows, params)
+                        for s in node.key_specs
+                    )
+                    yield (out, key)
+
+        return self._traced(stats, gen())
+
+    def _emit_distinct(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+
+        def gen():
+            seen = set()
+            if node.keyed:
+                for row, key in child:
+                    h = _hashable(row)
+                    if h not in seen:
+                        seen.add(h)
+                        yield (row, key)
+            else:
+                for row in child:
+                    h = _hashable(row)
+                    if h not in seen:
+                        seen.add(h)
+                        yield row
+
+        return self._traced(stats, gen())
+
+    def _emit_sort(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        params = self.params
+
+        def gen():
+            if node.keyed:
+                pairs = list(child)
+                rows = [pair[0] for pair in pairs]
+                keys = [pair[1] for pair in pairs]
+            else:
+                rows = list(child)
+                keys = [
+                    tuple(fn(row, params) for fn in node.key_fns)
+                    for row in rows
+                ]
+            yield from _sort_rows(
+                rows, len(node.descending), keys, node.descending
             )
-            high = (
-                self._compile(expr.high, schema, grouped, strict_names)
-                if expr.high is not None
-                else None
-            )
 
-            def _slice(ctx):
-                arr = base(ctx)
-                if arr is None:
-                    return None
-                lo = low(ctx) if low is not None else 1
-                hi = high(ctx) if high is not None else len(arr)
-                if lo is None or hi is None:
-                    return None
-                lo = max(lo, 1)
-                return list(arr[lo - 1 : hi])
+        return self._traced(stats, gen())
 
-            return _slice
-        if isinstance(expr, ast.ArrayIndex):
-            base = self._compile(expr.base, schema, grouped, strict_names)
-            index = self._compile(expr.index, schema, grouped, strict_names)
+    def _emit_topk(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        params = self.params
+        limit = self._const_int(node.limit_fn)
+        offset = (
+            self._const_int(node.offset_fn)
+            if node.offset_fn is not None
+            else 0
+        )
+        descending = node.descending
 
-            def _index(ctx):
-                arr = base(ctx)
-                i = index(ctx)
-                if arr is None or i is None:
-                    return None
-                if not 1 <= i <= len(arr):
-                    return None  # PostgreSQL: out-of-range subscript is NULL
-                return arr[i - 1]
-
-            return _index
-        if isinstance(expr, ast.ArrayLiteral):
-            item_fns = [
-                self._compile(i, schema, grouped, strict_names) for i in expr.items
-            ]
-            return lambda ctx: [fn(ctx) for fn in item_fns]
-        if isinstance(expr, ast.CaseExpr):
-            when_fns = [
-                (
-                    self._compile(cond, schema, grouped, strict_names),
-                    self._compile(result, schema, grouped, strict_names),
+        def gen():
+            if node.keyed:
+                entries = (
+                    (composite_key(key, descending), row) for row, key in child
                 )
-                for cond, result in expr.whens
-            ]
-            default_fn = (
-                self._compile(expr.default, schema, grouped, strict_names)
-                if expr.default is not None
-                else None
-            )
-
-            def _case(ctx):
-                for cond_fn, result_fn in when_fns:
-                    if _is_true(cond_fn(ctx)):
-                        return result_fn(ctx)
-                return default_fn(ctx) if default_fn is not None else None
-
-            return _case
-        if isinstance(expr, ast.FuncCall):
-            if is_aggregate(expr.name):
-                return self._compile_aggregate(expr, schema, grouped)
-            if expr.name in SET_RETURNING:
-                raise SQLSyntaxError(
-                    "UNNEST is only allowed as a top-level select item"
+            else:
+                entries = (
+                    (
+                        composite_key(
+                            tuple(fn(row, params) for fn in node.key_fns),
+                            descending,
+                        ),
+                        row,
+                    )
+                    for row in child
                 )
-            fn = get_scalar(expr.name)
-            arg_fns = [
-                self._compile(a, schema, grouped, strict_names) for a in expr.args
-            ]
-            return lambda ctx, _f=fn: _f(*[a(ctx) for a in arg_fns])
-        if isinstance(expr, ast.WindowFunc):
-            raise SQLSyntaxError(
-                "window functions are only allowed as top-level select items"
-            )
-        if isinstance(expr, ast.Star):
-            raise SQLSyntaxError("* is only allowed in the select list")
-        raise SQLError(f"cannot compile {type(expr).__name__}")
+            # nsmallest is stable (documented as equivalent to a sorted()
+            # prefix), so ties keep input order exactly like the full Sort.
+            best = heapq.nsmallest(offset + limit, entries, key=lambda e: e[0])
+            for _key, row in best[offset:]:
+                yield row
 
-    def _compile_aggregate(self, expr: ast.FuncCall, schema, grouped: bool):
-        if not grouped:
-            raise SQLSyntaxError(
-                f"aggregate {expr.name}() used outside of aggregation context"
-            )
-        agg = AGGREGATE_FUNCTIONS[expr.name]
-        if expr.star:
-            if expr.name != "count":
-                raise SQLSyntaxError(f"{expr.name}(*) is not valid")
-            return lambda rows: len(rows)
-        if len(expr.args) != 1:
-            raise SQLSyntaxError(f"{expr.name}() takes exactly one argument")
-        arg_fn = self._compile(expr.args[0], schema, grouped=False)
-        order_fns = [
-            self._compile(item.expr, schema, grouped=False)
-            for item in expr.agg_order_by
-        ]
-        descending = [item.descending for item in expr.agg_order_by]
-        distinct = expr.distinct
+        return self._traced(stats, gen())
 
-        def _agg(rows):
-            use_rows = rows
-            if order_fns:
-                keys = [tuple(fn(r) for fn in order_fns) for r in rows]
-                use_rows = _sort_rows(list(rows), len(order_fns), keys, descending)
-            values = [arg_fn(r) for r in use_rows]
-            if distinct:
+    def _emit_limit(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        child = self._emit(node.child, env, stats)
+        limit = (
+            self._const_int(node.limit_fn)
+            if node.limit_fn is not None
+            else None
+        )
+        offset = (
+            self._const_int(node.offset_fn)
+            if node.offset_fn is not None
+            else 0
+        )
+
+        def gen():
+            iterator = iter(child)
+            for _ in range(offset):
+                if next(iterator, _DONE) is _DONE:
+                    return
+            if limit is None:
+                yield from iterator
+                return
+            count = 0
+            while count < limit:
+                row = next(iterator, _DONE)
+                if row is _DONE:
+                    return
+                yield row
+                count += 1
+
+        return self._traced(stats, gen())
+
+    def _const_int(self, fn):
+        value = fn((), self.params)
+        if not isinstance(value, int) or value < 0:
+            raise SQLError(
+                f"LIMIT/OFFSET must be a non-negative integer, got {value!r}"
+            )
+        return value
+
+    def _emit_union(self, node, env, parent):
+        stats = self._node(node.name, node.detail, parent)
+        left = self._emit(node.left, env, stats)
+        right = self._emit(node.right, env, stats)
+
+        def gen():
+            if node.op == "UNION":
                 seen = set()
-                deduped = []
-                for v in values:
-                    key = tuple(v) if isinstance(v, list) else v
+                for row in left:
+                    key = _hashable(row)
                     if key not in seen:
                         seen.add(key)
-                        deduped.append(v)
-                values = deduped
-            return agg(values)
+                        yield row
+                for row in right:
+                    key = _hashable(row)
+                    if key not in seen:
+                        seen.add(key)
+                        yield row
+            else:  # UNION ALL
+                yield from left
+                yield from right
 
-        return _agg
+        return self._traced(stats, gen())
+
+    _EMIT = {
+        phys.Result0: _emit_result0,
+        phys.SeqScan: _emit_seq_scan,
+        phys.PkLookup: _emit_pk_lookup,
+        phys.CteScan: _emit_cte_scan,
+        phys.SubqueryScan: _emit_subquery_scan,
+        phys.IndexNestedLoop: _emit_inl,
+        phys.HashJoin: _emit_hash_join,
+        phys.NestedLoop: _emit_nested_loop,
+        phys.Filter: _emit_filter,
+        phys.Unnest: _emit_unnest,
+        phys.Window: _emit_window,
+        phys.Project: _emit_project,
+        phys.Aggregate: _emit_aggregate,
+        phys.Distinct: _emit_distinct,
+        phys.Sort: _emit_sort,
+        phys.TopK: _emit_topk,
+        phys.Limit: _emit_limit,
+        phys.Union: _emit_union,
+    }

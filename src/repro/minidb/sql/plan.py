@@ -1,0 +1,475 @@
+"""Physical plan tree: the contract between the planner and the executor.
+
+The planner (:mod:`repro.minidb.sql.planner`) lowers an analyzed AST into a
+tree of the node classes below; the executor interprets that tree as a
+pipeline of streaming generators. Nothing in this module touches storage —
+a plan is a pure description with every column reference resolved to a slot
+and every expression compiled to a ``fn(ctx, params)`` closure, so the same
+plan object can be cached and re-executed with different parameter vectors
+(prepared statements).
+
+Each node carries:
+
+* ``name`` / ``detail`` — the operator label, identical to what the runtime
+  trace shows, so ``EXPLAIN`` (static, via :func:`explain_lines`) and
+  ``EXPLAIN ANALYZE`` (runtime, via the trace tree) render the same shape;
+* ``ast_ref`` — the AST node the operator was lowered from, used by the
+  analyzer to attach diagnostics spans to plan-derived access paths.
+
+The access-path story (the paper's Codes 1-4) is readable straight off the
+node types: :class:`PkLookup` is a single B+Tree point lookup ("exactly two
+rows" per v2v query), :class:`IndexNestedLoop` probes a table by its full
+primary key once per outer row ("at most ``|Lout|/|V|`` rows" per kNN
+query), and :class:`SeqScan` is the full-scan fallback the label tables
+must never take.
+"""
+
+from __future__ import annotations
+
+
+class PlanNode:
+    """Base class for physical operators."""
+
+    name = "?"
+    detail = ""
+    ast_ref = None
+
+    def children(self):
+        """Child operators in display order (sub-plans included)."""
+        return ()
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} {self.detail}".rstrip()
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label!r}>"
+
+
+class QueryPlan:
+    """One SELECT (or set operation): CTE sub-plans plus an operator tree.
+
+    ``columns`` is the ordered list of output column names; the executor
+    materializes each CTE once per execution, in definition order, before
+    pulling from ``root``.
+    """
+
+    def __init__(self, ctes, root, columns, ast_ref=None):
+        self.ctes = ctes  # list[(name, QueryPlan)]
+        self.root = root
+        self.columns = columns  # list[str]
+        self.ast_ref = ast_ref
+
+
+class Plan:
+    """A fully planned statement, ready to execute (and to cache).
+
+    ``param_indices`` lists every ``$n`` the statement references so the
+    executor can reject a short parameter vector before producing rows.
+    """
+
+    def __init__(self, statement, param_indices=()):
+        self.statement = statement  # QueryPlan or a DML/utility node
+        self.param_indices = tuple(param_indices)
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+class Result0(PlanNode):
+    """Empty FROM clause: one zero-column row (PostgreSQL's Result)."""
+
+    name = "Result"
+
+
+class SeqScan(PlanNode):
+    name = "Seq Scan"
+
+    def __init__(self, table, alias, filters, ast_ref=None):
+        self.table = table
+        self.alias = alias
+        self.filters = filters  # list[fn(row, params)]
+        self.ast_ref = ast_ref
+        self.detail = f"on {table}"
+
+
+class PkLookup(PlanNode):
+    """Point lookup: every PK column pinned to a constant/parameter.
+
+    ``key_fns`` produce the key from the parameter vector. If a parameter
+    turns out not to be an integer at runtime the executor degrades to a
+    sequential scan applying ``pin_fns`` (the consumed pin predicates) plus
+    ``filters`` — same rows, different access path, and the trace says so.
+    """
+
+    name = "Index Scan"
+
+    def __init__(self, table, alias, pk, key_fns, pin_fns, filters, ast_ref=None):
+        self.table = table
+        self.alias = alias
+        self.pk = pk
+        self.key_fns = key_fns
+        self.pin_fns = pin_fns
+        self.filters = filters
+        self.ast_ref = ast_ref
+        self.detail = f"using {table}_pkey on {table} (point lookup)"
+
+
+class CteScan(PlanNode):
+    name = "CTE Scan"
+
+    def __init__(self, cte_name, alias, filters, ast_ref=None):
+        self.cte_name = cte_name
+        self.alias = alias
+        self.filters = filters
+        self.ast_ref = ast_ref
+        self.detail = f"on {cte_name}"
+
+
+class SubqueryScan(PlanNode):
+    name = "Subquery Scan"
+
+    def __init__(self, alias, subplan, filters, ast_ref=None):
+        self.alias = alias
+        self.subplan = subplan  # QueryPlan
+        self.filters = filters
+        self.ast_ref = ast_ref
+        self.detail = alias
+
+    def children(self):
+        return (self.subplan,)
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+class IndexNestedLoop(PlanNode):
+    """Probe a base table by its full primary key, once per outer row."""
+
+    name = "Index Nested Loop"
+
+    def __init__(self, left, table, alias, pk, key_fns, filters, ast_ref=None):
+        self.left = left
+        self.table = table
+        self.alias = alias
+        self.pk = pk
+        self.key_fns = key_fns  # evaluated against the left row
+        self.filters = filters  # post-join predicates on the joined schema
+        self.ast_ref = ast_ref
+        self.detail = f"probe {table} by primary key ({', '.join(pk)})"
+
+    def children(self):
+        return (self.left,)
+
+
+class HashJoin(PlanNode):
+    name = "Hash Join"
+
+    def __init__(self, left, right, left_key, right_key, filters):
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+        self.filters = filters
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class NestedLoop(PlanNode):
+    name = "Nested Loop"
+    detail = "(cross product)"
+
+    def __init__(self, left, right, filters):
+        self.left = left
+        self.right = right
+        self.filters = filters
+
+    def children(self):
+        return (self.left, self.right)
+
+
+# ---------------------------------------------------------------------------
+# Row pipeline
+# ---------------------------------------------------------------------------
+class Filter(PlanNode):
+    name = "Filter"
+
+    def __init__(self, child, predicates, detail=""):
+        self.child = child
+        self.predicates = predicates
+        self.detail = detail
+
+    def children(self):
+        return (self.child,)
+
+
+class Unnest(PlanNode):
+    """Parallel set-returning expansion (PostgreSQL's ProjectSet)."""
+
+    name = "ProjectSet"
+
+    def __init__(self, child, srf_fns):
+        self.child = child
+        self.srf_fns = srf_fns
+        self.detail = f"(UNNEST x {len(srf_fns)})"
+
+    def children(self):
+        return (self.child,)
+
+
+class WindowSpec:
+    """One row_number() column: partition keys plus an ordering."""
+
+    __slots__ = ("part_fns", "order_fns", "descending")
+
+    def __init__(self, part_fns, order_fns, descending):
+        self.part_fns = part_fns
+        self.order_fns = order_fns
+        self.descending = descending
+
+
+class Window(PlanNode):
+    name = "WindowAgg"
+
+    def __init__(self, child, specs):
+        self.child = child
+        self.specs = specs  # list[WindowSpec]
+
+    def children(self):
+        return (self.child,)
+
+
+class Project(PlanNode):
+    """Evaluate the select list.
+
+    When ``key_specs`` is set (the query has ORDER BY), each output row is
+    paired with its sort key so the Sort/TopK above never recomputes
+    expressions. A spec is either an int (index into the output row — a
+    positional or alias reference) or a ``fn(input_row, params)``.
+    """
+
+    name = "Project"
+
+    def __init__(self, child, item_fns, key_specs=None):
+        self.child = child
+        self.item_fns = item_fns
+        self.key_specs = key_specs
+
+    def children(self):
+        return (self.child,)
+
+
+class Aggregate(PlanNode):
+    """Grouped evaluation; blocking. Same key_specs contract as Project,
+    except callables receive the group's row list."""
+
+    def __init__(self, child, group_fns, item_fns, having_fn, key_specs, group_key_count):
+        self.child = child
+        self.group_fns = group_fns
+        self.item_fns = item_fns
+        self.having_fn = having_fn
+        self.key_specs = key_specs
+        self.group_key_count = group_key_count
+        if group_key_count:
+            self.name = "GroupAggregate"
+            self.detail = f"({group_key_count} keys)"
+        else:
+            self.name = "Aggregate"
+
+    def children(self):
+        return (self.child,)
+
+
+class Distinct(PlanNode):
+    name = "Unique"
+
+    def __init__(self, child, keyed):
+        self.child = child
+        self.keyed = keyed  # True when the stream is (row, sort_key) pairs
+
+    def children(self):
+        return (self.child,)
+
+
+class Sort(PlanNode):
+    """Full sort; blocking. ``keyed`` streams are (row, key) pairs from the
+    operator below; otherwise ``key_fns`` compute keys from the row (the
+    set-operation path, where ORDER BY applies to the combined output)."""
+
+    name = "Sort"
+
+    def __init__(self, child, descending, keyed, key_fns=None):
+        self.child = child
+        self.descending = descending
+        self.keyed = keyed
+        self.key_fns = key_fns
+        self.detail = f"({len(descending)} keys)"
+
+    def children(self):
+        return (self.child,)
+
+
+class TopK(PlanNode):
+    """ORDER BY + LIMIT fused into a bounded heap (heapq.nsmallest): keeps
+    offset+limit candidates instead of sorting the whole input."""
+
+    name = "Top-K Sort"
+
+    def __init__(self, child, descending, keyed, key_fns, limit_fn, offset_fn):
+        self.child = child
+        self.descending = descending
+        self.keyed = keyed
+        self.key_fns = key_fns
+        self.limit_fn = limit_fn
+        self.offset_fn = offset_fn
+        self.detail = f"({len(descending)} keys)"
+
+    def children(self):
+        return (self.child,)
+
+
+class Limit(PlanNode):
+    name = "Limit"
+
+    def __init__(self, child, limit_fn, offset_fn):
+        self.child = child
+        self.limit_fn = limit_fn
+        self.offset_fn = offset_fn
+
+    def children(self):
+        return (self.child,)
+
+
+class Union(PlanNode):
+    """One binary set-operation step; chains left-deep. Children are
+    :class:`QueryPlan` (parenthesized operands) or plain operator nodes."""
+
+    def __init__(self, left, right, op):
+        self.left = left
+        self.right = right
+        self.op = op  # "UNION" | "UNION ALL"
+        self.name = op.title()
+
+    def children(self):
+        return (self.left, self.right)
+
+
+# ---------------------------------------------------------------------------
+# DML / utility statements
+# ---------------------------------------------------------------------------
+class CreateTablePlan(PlanNode):
+    def __init__(self, stmt):
+        self.stmt = stmt
+        self.ast_ref = stmt
+
+
+class DropTablePlan(PlanNode):
+    def __init__(self, table, if_exists, ast_ref=None):
+        self.table = table
+        self.if_exists = if_exists
+        self.ast_ref = ast_ref
+
+
+class InsertPlan(PlanNode):
+    name = "Insert"
+
+    def __init__(self, table, positions, width, row_fns, select, ast_ref=None):
+        self.table = table
+        self.positions = positions  # target slot per supplied value
+        self.width = width  # total columns in the table
+        self.row_fns = row_fns  # list[list[fn]] for VALUES
+        self.select = select  # QueryPlan for INSERT ... SELECT
+        self.ast_ref = ast_ref
+        self.detail = f"on {table}"
+
+
+class DeletePlan(PlanNode):
+    name = "Delete"
+
+    def __init__(self, table, where_fn, ast_ref=None):
+        self.table = table
+        self.where_fn = where_fn
+        self.ast_ref = ast_ref
+        self.detail = f"on {table}"
+
+
+class UpdatePlan(PlanNode):
+    name = "Update"
+
+    def __init__(self, table, positions, value_fns, where_fn, ast_ref=None):
+        self.table = table
+        self.positions = positions
+        self.value_fns = value_fns
+        self.where_fn = where_fn
+        self.ast_ref = ast_ref
+        self.detail = f"on {table}"
+
+
+class VacuumPlan(PlanNode):
+    name = "Vacuum"
+
+    def __init__(self, table, ast_ref=None):
+        self.table = table
+        self.detail = table
+        self.ast_ref = ast_ref
+
+
+class ExplainPlan(PlanNode):
+    """EXPLAIN renders ``inner`` statically (no execution, no I/O);
+    EXPLAIN ANALYZE executes it under a fresh trace collector."""
+
+    def __init__(self, analyze, inner):
+        self.analyze = analyze
+        self.inner = inner  # Plan
+
+
+# ---------------------------------------------------------------------------
+# Static rendering (EXPLAIN without ANALYZE)
+# ---------------------------------------------------------------------------
+def explain_lines(plan: Plan) -> list[str]:
+    """Indented operator labels, mirroring the runtime trace tree shape."""
+    lines: list[str] = []
+
+    def visit(node, depth):
+        if isinstance(node, QueryPlan):
+            for name, sub in node.ctes:
+                lines.append("  " * depth + f"CTE {name}")
+                visit(sub, depth + 1)
+            visit(node.root, depth)
+            return
+        if isinstance(node, (CreateTablePlan, DropTablePlan)):
+            return  # DDL has no operator tree, matching the runtime trace
+        lines.append("  " * depth + node.label)
+        if isinstance(node, InsertPlan) and node.select is not None:
+            visit(node.select, depth + 1)
+        for child in node.children():
+            visit(child, depth + 1)
+
+    node = plan.statement
+    if isinstance(node, ExplainPlan):
+        node = node.inner.statement
+    visit(node, 0)
+    return lines
+
+
+def walk_plan(plan: Plan):
+    """Yield every operator node (descending into sub-plans), preorder."""
+
+    def visit(node):
+        if isinstance(node, QueryPlan):
+            for _name, sub in node.ctes:
+                yield from visit(sub)
+            yield from visit(node.root)
+            return
+        if isinstance(node, ExplainPlan):
+            yield node
+            yield from visit(node.inner.statement)
+            return
+        yield node
+        if isinstance(node, InsertPlan) and node.select is not None:
+            yield from visit(node.select)
+        for child in node.children():
+            yield from visit(child)
+
+    yield from visit(plan.statement)

@@ -1,0 +1,1062 @@
+"""Logical-to-physical planner: lowers a parsed statement into a plan tree.
+
+This is the planning half of what used to be a fused plan+execute monolith
+in ``executor.py``. Planning is pure — no pages are read — and produces a
+:class:`~repro.minidb.sql.plan.Plan` whose expressions are compiled to
+``fn(ctx, params)`` closures with **deferred** parameter binding, so one
+plan serves every parameter vector (the prepared-statement contract).
+
+The access-path heuristics implement the three paths PTLDB's claims rest
+on, in this order of preference:
+
+* **primary-key pushdown** (:class:`PkLookup`) — conjuncts pinning every PK
+  column of a table to a constant or parameter become a single B+Tree
+  point lookup ("PTLDB needs to access exactly two rows" per v2v query);
+* **index nested-loop join** (:class:`IndexNestedLoop`) — joining a derived
+  relation against a base table on its full primary key probes at most one
+  row per outer row (the optimized kNN/OTM queries);
+* **hash join**, then a nested-loop cross product, for everything else.
+
+Comma joins are reordered derived-first (CTEs and subqueries before base
+tables) so the big label-side table ends up on the probed side — this is
+what makes ``FROM knn_ea n1bb, n1`` touch only ``|n1|`` rows of ``knn_ea``,
+as the paper requires.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError, SQLNameError, SQLSyntaxError
+from repro.minidb.sql import ast
+from repro.minidb.sql import plan as phys
+from repro.minidb.sql.functions import (
+    AGGREGATE_FUNCTIONS,
+    SET_RETURNING,
+    get_scalar,
+    is_aggregate,
+)
+from repro.minidb.sql.printer import render_expr
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers (shared with the executor)
+# ---------------------------------------------------------------------------
+def _flatten_and(expr: ast.Expr | None) -> list[ast.Expr]:
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _contains_aggregate(expr) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if is_aggregate(expr.name):
+            return True
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.IsNull):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.InList):
+        return _contains_aggregate(expr.operand) or any(
+            _contains_aggregate(i) for i in expr.items
+        )
+    if isinstance(expr, (ast.ArraySlice, ast.ArrayIndex)):
+        inner = [expr.base]
+        if isinstance(expr, ast.ArraySlice):
+            inner += [e for e in (expr.low, expr.high) if e is not None]
+        else:
+            inner.append(expr.index)
+        return any(_contains_aggregate(e) for e in inner)
+    if isinstance(expr, ast.CaseExpr):
+        parts = [e for pair in expr.whens for e in pair]
+        if expr.default is not None:
+            parts.append(expr.default)
+        return any(_contains_aggregate(p) for p in parts)
+    if isinstance(expr, ast.ArrayLiteral):
+        return any(_contains_aggregate(i) for i in expr.items)
+    return False
+
+
+def _contains_srf(expr) -> bool:
+    """Top-level set-returning call only: nested UNNEST is a compile error."""
+    if isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING:
+        return True
+    return False
+
+
+def _is_true(value) -> bool:
+    return value is True
+
+
+def _cmp(op: str, a, b):
+    if a is None or b is None:
+        return None
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise SQLError(f"unknown comparison {op}")
+
+
+def _arith(op: str, a, b):
+    if a is None or b is None:
+        return None
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            if b == 0:
+                raise SQLError("division by zero")
+            quotient = a // b
+            if quotient < 0 and quotient * b != a:
+                quotient += 1  # PostgreSQL truncates toward zero
+            return quotient
+        if b == 0:
+            raise SQLError("division by zero")
+        return a / b
+    if op == "%":
+        if b == 0:
+            raise SQLError("division by zero")
+        return a - b * int(a / b) if isinstance(a, int) and isinstance(b, int) else a % b
+    if op == "||":
+        if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
+            left = list(a) if isinstance(a, (list, tuple)) else [a]
+            right = list(b) if isinstance(b, (list, tuple)) else [b]
+            return left + right
+        return str(a) + str(b)
+    raise SQLError(f"unknown operator {op}")
+
+
+def _logic_and(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def _logic_or(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def _sort_rows(rows, key_fn_count: int, keys: list[tuple], descending: list[bool]):
+    """Stable multi-key sort with NULLS LAST, honoring per-key direction.
+
+    *rows* and *keys* are parallel lists; returns rows reordered.
+    """
+    order = list(range(len(rows)))
+    for key_index in range(key_fn_count - 1, -1, -1):
+        desc = descending[key_index]
+
+        def sort_key(i, _k=key_index, _d=desc):
+            value = keys[i][_k]
+            if value is None:
+                return (1, 0)
+            return (0, _Reversed(value) if _d else value)
+
+        order.sort(key=sort_key)
+    return [rows[i] for i in order]
+
+
+class _Reversed:
+    """Wrapper inverting comparisons, for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other):
+        return other.value < self.value
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+def composite_key(key: tuple, descending: list[bool]) -> tuple:
+    """One totally-ordered sort key (NULLS LAST, per-key direction) — the
+    single-pass equivalent of :func:`_sort_rows`, used by Top-K."""
+    return tuple(
+        (1, 0) if value is None else (0, _Reversed(value) if desc else value)
+        for value, desc in zip(key, descending)
+    )
+
+
+def _hashable(row: tuple) -> tuple:
+    return tuple(tuple(v) if isinstance(v, list) else v for v in row)
+
+
+# ---------------------------------------------------------------------------
+# Expression compilation
+# ---------------------------------------------------------------------------
+def _resolve(schema, ref: ast.ColumnRef) -> int:
+    matches = [
+        i
+        for i, (qual, name) in enumerate(schema)
+        if name == ref.name and (ref.table is None or qual == ref.table)
+    ]
+    if not matches:
+        raise SQLNameError(
+            f"column {ref.table + '.' if ref.table else ''}{ref.name} not found"
+        )
+    if len(matches) > 1:
+        # Defense in depth: the analyzer reports SEM003 for this before
+        # execution; this path fires only with analysis opted out.
+        raise SQLNameError(f"ambiguous column reference {ref.name!r}")
+    return matches[0]
+
+
+def compile_expr(expr, schema, grouped: bool, strict_names: bool = False):
+    """Compile *expr* into ``fn(ctx, params)``.
+
+    ``ctx`` is a row tuple, or the group's row list when ``grouped``.
+    Parameters are *deferred*: the closure indexes into the vector passed at
+    execution time, so compiled plans are parameter-independent and
+    cacheable. A short vector is caught up front by the executor via the
+    plan's ``param_indices``.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda _ctx, _params, _v=value: _v
+    if isinstance(expr, ast.Param):
+        idx = expr.index - 1
+        return lambda _ctx, params, _i=idx: params[_i]
+    if isinstance(expr, ast.ColumnRef):
+        idx = _resolve(schema, expr)
+        if grouped:
+            return lambda rows, _params, _i=idx: rows[0][_i] if rows else None
+        return lambda row, _params, _i=idx: row[_i]
+    if isinstance(expr, ast.BinaryOp):
+        left = compile_expr(expr.left, schema, grouped, strict_names)
+        right = compile_expr(expr.right, schema, grouped, strict_names)
+        op = expr.op
+        if op == "AND":
+            return lambda ctx, params: _logic_and(left(ctx, params), right(ctx, params))
+        if op == "OR":
+            return lambda ctx, params: _logic_or(left(ctx, params), right(ctx, params))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda ctx, params, _op=op: _cmp(
+                _op, left(ctx, params), right(ctx, params)
+            )
+        return lambda ctx, params, _op=op: _arith(
+            _op, left(ctx, params), right(ctx, params)
+        )
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand, schema, grouped, strict_names)
+        if expr.op == "-":
+            def _neg(ctx, params):
+                value = operand(ctx, params)
+                return None if value is None else -value
+
+            return _neg
+        if expr.op == "NOT":
+            def _not(ctx, params):
+                value = operand(ctx, params)
+                return None if value is None else not value
+
+            return _not
+        raise SQLError(f"unknown unary operator {expr.op}")
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expr(expr.operand, schema, grouped, strict_names)
+        if expr.negated:
+            return lambda ctx, params: operand(ctx, params) is not None
+        return lambda ctx, params: operand(ctx, params) is None
+    if isinstance(expr, ast.InList):
+        operand = compile_expr(expr.operand, schema, grouped, strict_names)
+        item_fns = [
+            compile_expr(i, schema, grouped, strict_names) for i in expr.items
+        ]
+        negated = expr.negated
+
+        def _in(ctx, params):
+            value = operand(ctx, params)
+            if value is None:
+                return None
+            hit = any(value == fn(ctx, params) for fn in item_fns)
+            return (not hit) if negated else hit
+
+        return _in
+    if isinstance(expr, ast.ArraySlice):
+        base = compile_expr(expr.base, schema, grouped, strict_names)
+        low = (
+            compile_expr(expr.low, schema, grouped, strict_names)
+            if expr.low is not None
+            else None
+        )
+        high = (
+            compile_expr(expr.high, schema, grouped, strict_names)
+            if expr.high is not None
+            else None
+        )
+
+        def _slice(ctx, params):
+            arr = base(ctx, params)
+            if arr is None:
+                return None
+            lo = low(ctx, params) if low is not None else 1
+            hi = high(ctx, params) if high is not None else len(arr)
+            if lo is None or hi is None:
+                return None
+            lo = max(lo, 1)
+            return list(arr[lo - 1 : hi])
+
+        return _slice
+    if isinstance(expr, ast.ArrayIndex):
+        base = compile_expr(expr.base, schema, grouped, strict_names)
+        index = compile_expr(expr.index, schema, grouped, strict_names)
+
+        def _index(ctx, params):
+            arr = base(ctx, params)
+            i = index(ctx, params)
+            if arr is None or i is None:
+                return None
+            if not 1 <= i <= len(arr):
+                return None  # PostgreSQL: out-of-range subscript is NULL
+            return arr[i - 1]
+
+        return _index
+    if isinstance(expr, ast.ArrayLiteral):
+        item_fns = [
+            compile_expr(i, schema, grouped, strict_names) for i in expr.items
+        ]
+        return lambda ctx, params: [fn(ctx, params) for fn in item_fns]
+    if isinstance(expr, ast.CaseExpr):
+        when_fns = [
+            (
+                compile_expr(cond, schema, grouped, strict_names),
+                compile_expr(result, schema, grouped, strict_names),
+            )
+            for cond, result in expr.whens
+        ]
+        default_fn = (
+            compile_expr(expr.default, schema, grouped, strict_names)
+            if expr.default is not None
+            else None
+        )
+
+        def _case(ctx, params):
+            for cond_fn, result_fn in when_fns:
+                if _is_true(cond_fn(ctx, params)):
+                    return result_fn(ctx, params)
+            return default_fn(ctx, params) if default_fn is not None else None
+
+        return _case
+    if isinstance(expr, ast.FuncCall):
+        if is_aggregate(expr.name):
+            return _compile_aggregate(expr, schema, grouped)
+        if expr.name in SET_RETURNING:
+            raise SQLSyntaxError(
+                "UNNEST is only allowed as a top-level select item"
+            )
+        fn = get_scalar(expr.name)
+        arg_fns = [
+            compile_expr(a, schema, grouped, strict_names) for a in expr.args
+        ]
+        return lambda ctx, params, _f=fn: _f(*[a(ctx, params) for a in arg_fns])
+    if isinstance(expr, ast.WindowFunc):
+        raise SQLSyntaxError(
+            "window functions are only allowed as top-level select items"
+        )
+    if isinstance(expr, ast.Star):
+        raise SQLSyntaxError("* is only allowed in the select list")
+    raise SQLError(f"cannot compile {type(expr).__name__}")
+
+
+def _compile_aggregate(expr: ast.FuncCall, schema, grouped: bool):
+    if not grouped:
+        raise SQLSyntaxError(
+            f"aggregate {expr.name}() used outside of aggregation context"
+        )
+    agg = AGGREGATE_FUNCTIONS[expr.name]
+    if expr.star:
+        if expr.name != "count":
+            raise SQLSyntaxError(f"{expr.name}(*) is not valid")
+        return lambda rows, _params: len(rows)
+    if len(expr.args) != 1:
+        raise SQLSyntaxError(f"{expr.name}() takes exactly one argument")
+    arg_fn = compile_expr(expr.args[0], schema, grouped=False)
+    order_fns = [
+        compile_expr(item.expr, schema, grouped=False)
+        for item in expr.agg_order_by
+    ]
+    descending = [item.descending for item in expr.agg_order_by]
+    distinct = expr.distinct
+
+    def _agg(rows, params):
+        use_rows = rows
+        if order_fns:
+            keys = [tuple(fn(r, params) for fn in order_fns) for r in rows]
+            use_rows = _sort_rows(list(rows), len(order_fns), keys, descending)
+        values = [arg_fn(r, params) for r in use_rows]
+        if distinct:
+            seen = set()
+            deduped = []
+            for v in values:
+                key = tuple(v) if isinstance(v, list) else v
+                if key not in seen:
+                    seen.add(key)
+                    deduped.append(v)
+            values = deduped
+        return agg(values)
+
+    return _agg
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+def plan_statement(stmt, catalog) -> phys.Plan:
+    """Lower one parsed statement into an executable physical plan."""
+    node = Planner(catalog).plan(stmt)
+    return phys.Plan(node, ast.param_indices(stmt))
+
+
+class Planner:
+    def __init__(self, catalog):
+        self.catalog = catalog
+
+    # -- statements -----------------------------------------------------
+    def plan(self, stmt):
+        if isinstance(stmt, ast.Explain):
+            inner = phys.Plan(
+                self.plan(stmt.statement), ast.param_indices(stmt.statement)
+            )
+            return phys.ExplainPlan(stmt.analyze, inner)
+        if isinstance(stmt, ast.Query):
+            return self.plan_query(stmt, {})
+        if isinstance(stmt, ast.CreateTable):
+            return phys.CreateTablePlan(stmt)
+        if isinstance(stmt, ast.DropTable):
+            return phys.DropTablePlan(stmt.name, stmt.if_exists, ast_ref=stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._plan_insert(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._plan_delete(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._plan_update(stmt)
+        if isinstance(stmt, ast.Vacuum):
+            return phys.VacuumPlan(stmt.table, ast_ref=stmt)
+        raise SQLError(f"cannot execute {type(stmt).__name__}")
+
+    def _plan_insert(self, stmt: ast.Insert):
+        table = self.catalog.get(stmt.table)
+        schema = table.schema
+        if stmt.columns:
+            positions = [schema.column_index(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(schema.columns)))
+        select = None
+        row_fns = []
+        if stmt.select is not None:
+            select = self.plan_query(stmt.select, {})
+        else:
+            row_fns = [
+                [compile_expr(e, [], grouped=False) for e in row]
+                for row in stmt.rows
+            ]
+        return phys.InsertPlan(
+            stmt.table, positions, len(schema.columns), row_fns, select,
+            ast_ref=stmt,
+        )
+
+    def _plan_delete(self, stmt: ast.Delete):
+        table = self.catalog.get(stmt.table)
+        schema = [(stmt.table, n) for n in table.schema.column_names]
+        where_fn = (
+            compile_expr(stmt.where, schema, grouped=False)
+            if stmt.where is not None
+            else None
+        )
+        return phys.DeletePlan(stmt.table, where_fn, ast_ref=stmt)
+
+    def _plan_update(self, stmt: ast.Update):
+        table = self.catalog.get(stmt.table)
+        schema = [(stmt.table, n) for n in table.schema.column_names]
+        positions = [
+            table.schema.column_index(col) for col, _ in stmt.assignments
+        ]
+        value_fns = [
+            compile_expr(expr, schema, grouped=False)
+            for _, expr in stmt.assignments
+        ]
+        where_fn = (
+            compile_expr(stmt.where, schema, grouped=False)
+            if stmt.where is not None
+            else None
+        )
+        return phys.UpdatePlan(stmt.table, positions, value_fns, where_fn, ast_ref=stmt)
+
+    # -- queries --------------------------------------------------------
+    def plan_query(self, query: ast.Query, env: dict) -> phys.QueryPlan:
+        """Plan one query. ``env`` maps visible CTE names to their output
+        column lists (plan-time only; rows exist only at execution)."""
+        env = dict(env)
+        ctes = []
+        for name, cte_query in query.ctes:
+            sub = self.plan_query(cte_query, env)
+            ctes.append((name, sub))
+            env[name] = sub.columns
+
+        if len(query.cores) == 1 and isinstance(query.cores[0], ast.SelectCore):
+            node, columns = self._plan_single(query, query.cores[0], env)
+            return phys.QueryPlan(ctes, node, columns, ast_ref=query)
+
+        # Set operation (or single parenthesized sub-query).
+        parts = []
+        for core in query.cores:
+            if isinstance(core, ast.Query):
+                parts.append(self.plan_query(core, env))
+            else:
+                bare = ast.Query(cores=(core,))
+                node, columns = self._plan_single(bare, core, env)
+                parts.append(phys.QueryPlan([], node, columns, ast_ref=core))
+        width = len(parts[0].columns)
+        for part in parts[1:]:
+            if len(part.columns) != width:
+                # Defense in depth: the analyzer rejects this statically
+                # (TYP004) before any operand produces rows.
+                raise SQLError("UNION operands have different column counts")
+        node = parts[0]
+        for op, part in zip(query.set_ops, parts[1:]):
+            node = phys.Union(node, part, op)
+        columns = parts[0].columns
+        if query.order_by:
+            schema = [(None, name) for name in columns]
+            key_fns = [
+                self._order_key_fn(item.expr, schema, columns)
+                for item in query.order_by
+            ]
+            node = self._plan_order_limit(
+                node, query, keyed=False, key_fns=key_fns
+            )
+        else:
+            node = self._plan_order_limit(node, query, keyed=False, key_fns=None)
+        return phys.QueryPlan(ctes, node, columns, ast_ref=query)
+
+    def _order_key_fn(self, expr, schema, columns):
+        """ORDER BY over set-operation output: position, name, or expr."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            idx = expr.value - 1
+            return lambda row, _params, _i=idx: row[_i]
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for i, name in enumerate(columns):
+                if name == expr.name:
+                    return lambda row, _params, _i=i: row[_i]
+        return compile_expr(expr, schema, grouped=False)
+
+    def _plan_order_limit(self, node, query: ast.Query, keyed, key_fns):
+        limit_fn = (
+            compile_expr(query.limit, [], grouped=False)
+            if query.limit is not None
+            else None
+        )
+        offset_fn = (
+            compile_expr(query.offset, [], grouped=False)
+            if query.offset is not None
+            else None
+        )
+        if query.order_by:
+            descending = [item.descending for item in query.order_by]
+            if limit_fn is not None:
+                # The paper's kNN hot case: ORDER BY + LIMIT k keeps a
+                # bounded heap instead of sorting everything.
+                return phys.TopK(
+                    node, descending, keyed, key_fns, limit_fn, offset_fn
+                )
+            node = phys.Sort(node, descending, keyed, key_fns)
+            if offset_fn is not None:
+                node = phys.Limit(node, None, offset_fn)
+            return node
+        if limit_fn is not None or offset_fn is not None:
+            return phys.Limit(node, limit_fn, offset_fn)
+        return node
+
+    # -- single SELECT core ---------------------------------------------
+    def _plan_single(self, query: ast.Query, core: ast.SelectCore, env: dict):
+        conjuncts = _flatten_and(core.where)
+        used: set[int] = set()
+        node, schema = self._plan_from(core.from_items, env, conjuncts, used)
+
+        # Residual WHERE predicates not pushed into a scan or join.
+        residual = [c for i, c in enumerate(conjuncts) if i not in used]
+        if residual:
+            predicates = [
+                compile_expr(c, schema, grouped=False) for c in residual
+            ]
+            node = phys.Filter(node, predicates, _predicate_detail(residual))
+
+        items = self._expand_stars(core.items, schema)
+        items, schema, node = self._plan_srfs(items, schema, node)
+        items, schema, node = self._plan_windows(items, schema, node)
+
+        columns = [_output_name(item) for item in items]
+        grouped = bool(core.group_by) or any(
+            _contains_aggregate(item.expr) for item in items
+        )
+        order_items = query.order_by if len(query.cores) == 1 else ()
+
+        if grouped:
+            group_fns = [
+                self._group_key_fn(expr, schema, items) for expr in core.group_by
+            ]
+            item_fns = [
+                compile_expr(it.expr, schema, grouped=True) for it in items
+            ]
+            having_fn = (
+                compile_expr(core.having, schema, grouped=True)
+                if core.having is not None
+                else None
+            )
+            key_specs = [
+                self._grouped_order_key(it.expr, schema, items)
+                for it in order_items
+            ] or None
+            node = phys.Aggregate(
+                node, group_fns, item_fns, having_fn, key_specs,
+                len(core.group_by),
+            )
+        else:
+            item_fns = [
+                compile_expr(it.expr, schema, grouped=False) for it in items
+            ]
+            key_specs = [
+                self._order_key_for_core(it.expr, schema, items)
+                for it in order_items
+            ] or None
+            node = phys.Project(node, item_fns, key_specs)
+
+        if core.distinct:
+            node = phys.Distinct(node, keyed=bool(order_items))
+
+        if len(query.cores) == 1:
+            node = self._plan_order_limit(node, query, keyed=True, key_fns=None)
+        return node, columns
+
+    def _order_key_for_core(self, expr, schema, items):
+        """Order key in a non-grouped core: alias, position, or expression.
+
+        Returns an int (index into the output row) or ``fn(row, params)``
+        over the input schema."""
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            return expr.value - 1  # positional: index into output row
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for i, item in enumerate(items):
+                if _output_name(item) == expr.name:
+                    # Prefer the already-computed output if the name is an
+                    # alias not present in the input schema.
+                    if not _name_in_schema(schema, expr.name):
+                        return i
+        return compile_expr(expr, schema, grouped=False)
+
+    def _grouped_order_key(self, expr, schema, items):
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            return expr.value - 1
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            for i, item in enumerate(items):
+                if _output_name(item) == expr.name:
+                    return i
+        return compile_expr(expr, schema, grouped=True)
+
+    def _group_key_fn(self, expr, schema, items):
+        # GROUP BY may name a select alias (PostgreSQL extension).
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            if not _name_in_schema(schema, expr.name):
+                for item in items:
+                    if _output_name(item) == expr.name:
+                        return compile_expr(item.expr, schema, grouped=False)
+        return compile_expr(expr, schema, grouped=False)
+
+    # -- select-list machinery ------------------------------------------
+    def _expand_stars(self, items, schema):
+        out = []
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                table = item.expr.table
+                matched = False
+                for qual, name in schema:
+                    if table is None or qual == table:
+                        out.append(
+                            ast.SelectItem(ast.ColumnRef(qual, name), alias=name)
+                        )
+                        matched = True
+                if not matched:
+                    raise SQLNameError(f"no columns match {table or ''}.*")
+            else:
+                out.append(item)
+        return out
+
+    def _plan_srfs(self, items, schema, node):
+        srf_positions = [
+            i for i, item in enumerate(items) if _contains_srf(item.expr)
+        ]
+        if not srf_positions:
+            return items, schema, node
+        srf_fns = []
+        for i in srf_positions:
+            expr = items[i].expr
+            if not (
+                isinstance(expr, ast.FuncCall) and expr.name in SET_RETURNING
+            ):
+                raise SQLSyntaxError(
+                    "UNNEST must be the whole select expression in minidb"
+                )
+            if len(expr.args) != 1:
+                raise SQLSyntaxError("UNNEST takes exactly one argument")
+            srf_fns.append(compile_expr(expr.args[0], schema, grouped=False))
+
+        new_schema = list(schema)
+        new_items = list(items)
+        for i in srf_positions:
+            synth = f"__srf_{i}"
+            new_schema.append((None, synth))
+            new_items[i] = ast.SelectItem(
+                ast.ColumnRef(None, synth), alias=items[i].alias or "unnest"
+            )
+        return new_items, new_schema, phys.Unnest(node, srf_fns)
+
+    def _plan_windows(self, items, schema, node):
+        win_positions = [
+            i
+            for i, item in enumerate(items)
+            if isinstance(item.expr, ast.WindowFunc)
+        ]
+        if not win_positions:
+            return items, schema, node
+        new_schema = list(schema)
+        new_items = list(items)
+        specs = []
+        for i in win_positions:
+            win = items[i].expr
+            if win.name != "row_number":
+                raise SQLError(f"unsupported window function {win.name!r}")
+            specs.append(
+                phys.WindowSpec(
+                    [
+                        compile_expr(e, schema, grouped=False)
+                        for e in win.partition_by
+                    ],
+                    [
+                        compile_expr(it.expr, schema, grouped=False)
+                        for it in win.order_by
+                    ],
+                    [it.descending for it in win.order_by],
+                )
+            )
+            synth = f"__win_{i}"
+            new_schema.append((None, synth))
+            new_items[i] = ast.SelectItem(
+                ast.ColumnRef(None, synth),
+                alias=items[i].alias or "row_number",
+            )
+        return new_items, new_schema, phys.Window(node, specs)
+
+    # -- FROM clause ----------------------------------------------------
+    def _plan_from(self, from_items, env, conjuncts, used):
+        if not from_items:
+            return phys.Result0(), []
+        sources = []  # (item, on_conjuncts)
+        for item in from_items:
+            self._flatten_joins(item, sources)
+        # Join-order heuristic: derived relations (CTEs, subqueries) first so
+        # base tables can be probed by index nested-loop instead of scanned —
+        # this is what makes "FROM knn_ea n1bb, n1" touch only |n1| rows of
+        # knn_ea, as the paper requires. Comma joins only (ON pins order).
+        if len(sources) > 1 and all(not on for _, on in sources):
+            def _derived(source):
+                item = source[0]
+                if isinstance(item, ast.SubqueryRef):
+                    return True
+                return isinstance(item, ast.TableRef) and item.name in env
+
+            small = [s for s in sources if _derived(s)]
+            large = [s for s in sources if not _derived(s)]
+            sources = small + large
+        node, schema = self._plan_source(sources[0], env, conjuncts, used)
+        for source in sources[1:]:
+            node, schema = self._plan_join(
+                node, schema, source, env, conjuncts, used
+            )
+        return node, schema
+
+    def _flatten_joins(self, item, out, on_conjuncts=None):
+        if isinstance(item, ast.Join):
+            self._flatten_joins(item.left, out)
+            self._flatten_joins(item.right, out, _flatten_and(item.condition))
+            return
+        out.append((item, on_conjuncts or []))
+
+    def _plan_source(self, source, env, conjuncts, used):
+        item, on_conjuncts = source
+        all_conj = list(enumerate(conjuncts))
+        if isinstance(item, ast.SubqueryRef):
+            subplan = self.plan_query(item.query, env)
+            schema = [(item.alias, n) for n in subplan.columns]
+            filters = self._source_filters(schema, all_conj, on_conjuncts, used)
+            return (
+                phys.SubqueryScan(item.alias, subplan, filters, ast_ref=item),
+                schema,
+            )
+        alias = item.alias or item.name
+        if item.name in env:
+            schema = [(alias, n) for n in env[item.name]]
+            filters = self._source_filters(schema, all_conj, on_conjuncts, used)
+            return phys.CteScan(item.name, alias, filters, ast_ref=item), schema
+        table = self.catalog.get(item.name)
+        schema = [(alias, n) for n in table.schema.column_names]
+        probe = self._pk_probe(table.schema.primary_key, alias, all_conj, used)
+        if probe is not None:
+            found, consumed = probe
+            pk = table.schema.primary_key
+            key_fns = [
+                compile_expr(found[col], [], grouped=False) for col in pk
+            ]
+            # Pin predicates, recompiled against the row schema: the runtime
+            # fallback path (non-integer parameter) scans and applies these.
+            pin_fns = [
+                compile_expr(conjuncts[idx], schema, grouped=False)
+                for idx in consumed
+            ]
+            filters = self._source_filters(schema, all_conj, on_conjuncts, used)
+            return (
+                phys.PkLookup(
+                    item.name, alias, pk, key_fns, pin_fns, filters,
+                    ast_ref=item,
+                ),
+                schema,
+            )
+        filters = self._source_filters(schema, all_conj, on_conjuncts, used)
+        return phys.SeqScan(item.name, alias, filters, ast_ref=item), schema
+
+    def _source_filters(self, schema, all_conj, on_conjuncts, used):
+        """Push down single-source filters (WHERE, then mandatory ON)."""
+        predicates = self._filters(schema, all_conj, used)
+        predicates += self._filters(
+            schema, list(enumerate(on_conjuncts, start=-1000)), set(),
+            always=True,
+        )
+        return predicates
+
+    def _filters(self, schema, indexed_conjuncts, used, always=False):
+        predicates = []
+        for idx, conj in indexed_conjuncts:
+            if not always and idx in used:
+                continue
+            try:
+                fn = compile_expr(conj, schema, grouped=False, strict_names=True)
+            except SQLNameError:
+                continue
+            predicates.append(fn)
+            if not always:
+                used.add(idx)
+        return predicates
+
+    def _pk_probe(self, pk, alias, indexed_conjuncts, used):
+        """If conjuncts pin every PK column to a constant, claim them.
+
+        Static classification only — a parameter's runtime value is not
+        inspected here. Non-integer *literals* are rejected (they can never
+        match an integer key), matching what the analyzer used to prove
+        symbolically; a non-integer *parameter* degrades at execution.
+        """
+        if not pk:
+            return None
+        found = {}
+        consumed = []
+        for idx, conj in indexed_conjuncts:
+            if idx in used:
+                continue
+            pin = self._pk_pin(conj, alias, pk)
+            if pin is not None and pin[0] not in found:
+                found[pin[0]] = pin[1]
+                consumed.append(idx)
+        if set(found) != set(pk):
+            return None
+        for col in pk:
+            value = found[col]
+            if isinstance(value, ast.Literal) and not isinstance(value.value, int):
+                return None
+        used.update(consumed)
+        return found, consumed
+
+    def _pk_pin(self, conj, alias, pk):
+        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
+            return None
+        for col_side, const_side in (
+            (conj.left, conj.right),
+            (conj.right, conj.left),
+        ):
+            if (
+                isinstance(col_side, ast.ColumnRef)
+                and col_side.name in pk
+                and col_side.table in (None, alias)
+                and self._is_constant(const_side)
+            ):
+                return col_side.name, const_side
+        return None
+
+    def _is_constant(self, expr) -> bool:
+        if isinstance(expr, (ast.Literal, ast.Param)):
+            return True
+        if isinstance(expr, ast.UnaryOp):
+            return self._is_constant(expr.operand)
+        if isinstance(expr, ast.BinaryOp):
+            return self._is_constant(expr.left) and self._is_constant(expr.right)
+        if isinstance(expr, ast.FuncCall) and not is_aggregate(expr.name):
+            return all(self._is_constant(a) for a in expr.args)
+        return False
+
+    def _plan_join(self, left_node, left_schema, source, env, conjuncts, used):
+        item, on_conjuncts = source
+        candidates = [
+            (i, c) for i, c in enumerate(conjuncts) if i not in used
+        ] + [(None, c) for c in on_conjuncts]
+
+        # --- index nested-loop join against a base table's primary key ----
+        if isinstance(item, ast.TableRef) and item.name not in env:
+            table = self.catalog.get(item.name)
+            alias = item.alias or item.name
+            pk = table.schema.primary_key
+            if pk:
+                pins: dict = {}
+                consumed = []
+                for idx, conj in candidates:
+                    pin = self._inl_pin(conj, alias, pk, left_schema)
+                    if pin is not None and pin[0] not in pins:
+                        pins[pin[0]] = pin[1]
+                        consumed.append(idx)
+                if set(pins) == set(pk):
+                    key_fns = [pins[col] for col in pk]
+                    for idx in consumed:
+                        if idx is not None:
+                            used.add(idx)
+                    schema = left_schema + [
+                        (alias, n) for n in table.schema.column_names
+                    ]
+                    filters = self._post_join_filters(
+                        schema, conjuncts, used, on_conjuncts
+                    )
+                    return (
+                        phys.IndexNestedLoop(
+                            left_node, item.name, alias, pk, key_fns, filters,
+                            ast_ref=item,
+                        ),
+                        schema,
+                    )
+
+        # --- plan the right side, then hash or cross join -------------------
+        right_node, right_schema = self._plan_source(
+            (item, []), env, conjuncts, used
+        )
+        schema = left_schema + right_schema
+        hash_pair = None
+        for idx, conj in candidates:
+            if idx in used:
+                continue
+            pair = self._equi_pair(conj, left_schema, right_schema)
+            if pair is not None:
+                hash_pair = (idx, pair)
+                break
+        if hash_pair is not None:
+            idx, (left_fn, right_fn) = hash_pair
+            if idx is not None:
+                used.add(idx)
+            filters = self._post_join_filters(
+                schema, conjuncts, used, on_conjuncts
+            )
+            return (
+                phys.HashJoin(left_node, right_node, left_fn, right_fn, filters),
+                schema,
+            )
+        filters = self._post_join_filters(schema, conjuncts, used, on_conjuncts)
+        return phys.NestedLoop(left_node, right_node, filters), schema
+
+    def _post_join_filters(self, schema, conjuncts, used, on_conjuncts):
+        predicates = self._filters(schema, list(enumerate(conjuncts)), used)
+        # ON conjuncts are mandatory on the joined schema (re-checking a
+        # conjunct already used to drive the join is harmless).
+        predicates += [
+            compile_expr(conj, schema, grouped=False) for conj in on_conjuncts
+        ]
+        return predicates
+
+    def _inl_pin(self, conj, alias, pk, left_schema):
+        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
+            return None
+        for col_side, other in ((conj.left, conj.right), (conj.right, conj.left)):
+            if (
+                isinstance(col_side, ast.ColumnRef)
+                and col_side.name in pk
+                and col_side.table == alias
+            ):
+                try:
+                    fn = compile_expr(
+                        other, left_schema, grouped=False, strict_names=True
+                    )
+                except SQLNameError:
+                    continue
+                return col_side.name, fn
+        return None
+
+    def _equi_pair(self, conj, left_schema, right_schema):
+        if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
+            return None
+        for a, b in ((conj.left, conj.right), (conj.right, conj.left)):
+            try:
+                left_fn = compile_expr(
+                    a, left_schema, grouped=False, strict_names=True
+                )
+            except SQLNameError:
+                continue
+            try:
+                right_fn = compile_expr(
+                    b, right_schema, grouped=False, strict_names=True
+                )
+            except SQLNameError:
+                continue
+            # Ensure sides do not also resolve on the opposite schema in a
+            # way that makes the conjunct single-sided; good enough here.
+            return left_fn, right_fn
+        return None
+
+
+def _name_in_schema(schema, name) -> bool:
+    return any(col_name == name for _, col_name in schema)
+
+
+def _output_name(item: ast.SelectItem) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FuncCall):
+        return expr.name
+    if isinstance(expr, ast.WindowFunc):
+        return expr.name
+    return "?column?"
+
+
+def _predicate_detail(conjuncts) -> str:
+    try:
+        return "(" + " AND ".join(render_expr(c) for c in conjuncts) + ")"
+    except SQLError:  # pragma: no cover - cosmetic only
+        return ""

@@ -55,6 +55,20 @@ class PTLDB:
         self.time_low, self.time_high = label_time_range(labels)
         self._handles: dict[str, TargetSetHandle] = {}
         load_labels(db, labels, compressed=compressed)
+        # Every query family runs through a prepared statement: the vertex-
+        # to-vertex texts are known up front, the per-target-set texts are
+        # prepared on first use. Repeat queries hit the engine's plan cache
+        # and skip parse/analyze/plan entirely.
+        self._prepared: dict[str, object] = {}
+        for sql in (sqltext.V2V_EA, sqltext.V2V_LD, sqltext.V2V_SD):
+            self._prepared[sql] = db.prepare(sql)
+
+    def _exec(self, sql: str, params: tuple):
+        """Execute *sql* through its (lazily created) prepared statement."""
+        stmt = self._prepared.get(sql)
+        if stmt is None:
+            stmt = self._prepared[sql] = self.db.prepare(sql)
+        return stmt.execute(params)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -94,13 +108,13 @@ class PTLDB:
         """EA(s, g, t) via SQL; ``None`` when no journey qualifies."""
         self._check_stop(source)
         self._check_stop(goal)
-        return self.db.execute(sqltext.V2V_EA, (source, goal, depart_at)).scalar()
+        return self._exec(sqltext.V2V_EA, (source, goal, depart_at)).scalar()
 
     def latest_departure(self, source: int, goal: int, arrive_by: int) -> int | None:
         """LD(s, g, t') via SQL."""
         self._check_stop(source)
         self._check_stop(goal)
-        return self.db.execute(sqltext.V2V_LD, (source, goal, arrive_by)).scalar()
+        return self._exec(sqltext.V2V_LD, (source, goal, arrive_by)).scalar()
 
     def shortest_duration(
         self, source: int, goal: int, depart_at: int, arrive_by: int
@@ -108,7 +122,7 @@ class PTLDB:
         """SD(s, g, t, t') via SQL."""
         self._check_stop(source)
         self._check_stop(goal)
-        return self.db.execute(
+        return self._exec(
             sqltext.V2V_SD, (source, goal, depart_at, arrive_by)
         ).scalar()
 
@@ -190,7 +204,7 @@ class PTLDB:
         if k > handle.aux.kmax:
             raise DatabaseError(f"k={k} exceeds kmax={handle.aux.kmax} of {tag!r}")
         sql = sqltext.ea_knn_optimized(handle.aux.knn_ea)
-        rows = self.db.execute(
+        rows = self._exec(
             sql,
             (
                 source,
@@ -211,7 +225,7 @@ class PTLDB:
         if k > handle.aux.kmax:
             raise DatabaseError(f"k={k} exceeds kmax={handle.aux.kmax} of {tag!r}")
         sql = sqltext.ld_knn_optimized(handle.aux.knn_ld)
-        rows = self.db.execute(
+        rows = self._exec(
             sql,
             (
                 source,
@@ -232,7 +246,7 @@ class PTLDB:
         if k > handle.aux.kmax:
             raise DatabaseError(f"k={k} exceeds kmax={handle.aux.kmax} of {tag!r}")
         sql = sqltext.ea_knn_naive(handle.aux.knn_ea_naive)
-        rows = self.db.execute(sql, (source, depart_at, k)).rows
+        rows = self._exec(sql, (source, depart_at, k)).rows
         return [(v, value) for v, value in rows]
 
     def ld_knn_naive(
@@ -243,7 +257,7 @@ class PTLDB:
         if k > handle.aux.kmax:
             raise DatabaseError(f"k={k} exceeds kmax={handle.aux.kmax} of {tag!r}")
         sql = sqltext.ld_knn_naive(handle.aux.knn_ld_naive)
-        rows = self.db.execute(sql, (source, arrive_by, k)).rows
+        rows = self._exec(sql, (source, arrive_by, k)).rows
         return [(v, value) for v, value in rows]
 
     # ------------------------------------------------------------------
@@ -255,7 +269,7 @@ class PTLDB:
         """EA-OTM(q, T, t): earliest arrival for every reachable target."""
         handle = self._require(tag, "otm_ea")
         sql = sqltext.ea_otm(handle.aux.otm_ea)
-        rows = self.db.execute(
+        rows = self._exec(
             sql,
             (
                 source,
@@ -273,7 +287,7 @@ class PTLDB:
         """LD-OTM(q, T, t'): latest departure for every reachable target."""
         handle = self._require(tag, "otm_ld")
         sql = sqltext.ld_otm(handle.aux.otm_ld)
-        rows = self.db.execute(
+        rows = self._exec(
             sql,
             (
                 source,

@@ -1,0 +1,149 @@
+"""Planner output, the LRU plan cache and prepared statements."""
+
+import pytest
+
+from repro.errors import SQLAnalysisError
+from repro.minidb.engine import PLAN_CACHE_CAP, Database
+
+
+@pytest.fixture()
+def db():
+    db = Database()
+    db.execute("CREATE TABLE t (a BIGINT, b BIGINT, PRIMARY KEY (a))")
+    for i in range(10):
+        db.execute("INSERT INTO t VALUES ($1, $2)", (i, (i * 7) % 5))
+    return db
+
+
+class TestPlanCache:
+    def test_repeat_execution_is_a_hit(self, db):
+        sql = "SELECT b FROM t WHERE a = $1"
+        db.execute(sql, (3,))
+        before = db.plan_cache_stats()
+        db.execute(sql, (4,))
+        after = db.plan_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_hit_reuses_the_same_plan_object(self, db):
+        sql = "SELECT b FROM t WHERE a = $1"
+        db.execute(sql, (1,))
+        first = db._plan_cache[sql].plan
+        db.execute(sql, (2,))
+        assert db._plan_cache[sql].plan is first
+
+    def test_lru_eviction_bounds_the_cache(self, db):
+        for i in range(PLAN_CACHE_CAP + 10):
+            db.execute(f"SELECT b FROM t WHERE a = {i}")
+        stats = db.plan_cache_stats()
+        assert len(db._plan_cache) <= PLAN_CACHE_CAP
+        assert stats["evictions"] >= 10
+
+    def test_lru_evicts_least_recently_used_first(self, db):
+        keep = "SELECT b FROM t WHERE a = $1"
+        db.execute(keep, (0,))
+        for i in range(PLAN_CACHE_CAP - 1):
+            db.execute(f"SELECT a FROM t WHERE a = {i}")
+            db.execute(keep, (0,))  # refresh recency every round
+        assert keep in db._plan_cache
+
+    def test_ddl_invalidates_cached_plans(self, db):
+        sql = "SELECT COUNT(*) FROM t"
+        db.execute(sql)
+        before = db.plan_cache_stats()
+        db.execute("CREATE TABLE other (x BIGINT, PRIMARY KEY (x))")
+        assert db.execute(sql).scalar() == 10
+        after = db.plan_cache_stats()
+        assert after["invalidations"] > before["invalidations"]
+        # the refreshed entry is a hit again
+        db.execute(sql)
+        assert db.plan_cache_stats()["hits"] == after["hits"] + 1
+
+    def test_error_statement_cached_and_reraised(self, db):
+        sql = "SELECT nope FROM t"
+        with pytest.raises(SQLAnalysisError):
+            db.execute(sql)
+        before = db.plan_cache_stats()
+        with pytest.raises(SQLAnalysisError):
+            db.execute(sql)
+        assert db.plan_cache_stats()["hits"] == before["hits"] + 1
+
+    def test_analysis_added_on_demand(self, db):
+        sql = "SELECT b FROM t WHERE a = 1"
+        db.execute(sql, analyze=False)
+        assert db._plan_cache[sql].analysis is None
+        db.execute(sql)  # analyze=True must not reuse the bare entry
+        assert db._plan_cache[sql].analysis is not None
+
+
+class TestPreparedStatement:
+    def test_repeat_executions_do_zero_planning_work(self, db):
+        stmt = db.prepare("SELECT b FROM t WHERE a = $1")
+        before = db.plan_cache_stats()
+        for i in range(5):
+            assert stmt.execute((i,)).rows == [((i * 7) % 5,)]
+        after = db.plan_cache_stats()
+        assert after["hits"] == before["hits"] + 5
+        assert after["misses"] == before["misses"]
+
+    def test_prepare_raises_semantic_errors_eagerly(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.prepare("SELECT nope FROM t")
+
+    def test_stale_handle_transparently_replans(self, db):
+        stmt = db.prepare("SELECT COUNT(*) FROM t WHERE b = $1")
+        assert stmt.execute((0,)).scalar() == 2
+        before = db.plan_cache_stats()
+        db.execute("CREATE TABLE bump (x BIGINT, PRIMARY KEY (x))")
+        db.execute("INSERT INTO t VALUES (100, 0)")
+        assert stmt.execute((0,)).scalar() == 3
+        after = db.plan_cache_stats()
+        assert after["invalidations"] > before["invalidations"]
+        # and the re-planned entry is cached again
+        assert stmt.execute((0,)).scalar() == 3
+        assert db.plan_cache_stats()["hits"] > after["hits"]
+
+    def test_explain_shows_the_pk_lookup(self, db):
+        stmt = db.prepare("SELECT b FROM t WHERE a = $1")
+        lines = stmt.explain()
+        assert any("Index Scan using t_pkey on t" in line for line in lines)
+
+
+class TestTopK:
+    def test_matches_full_sort_prefix(self, db):
+        full = db.execute("SELECT a, b FROM t ORDER BY b, a").rows
+        for k in (1, 3, 7, 10, 15):
+            got = db.execute(f"SELECT a, b FROM t ORDER BY b, a LIMIT {k}").rows
+            assert got == full[:k]
+
+    def test_offset_and_desc(self, db):
+        full = db.execute("SELECT a FROM t ORDER BY b DESC, a DESC").rows
+        got = db.execute(
+            "SELECT a FROM t ORDER BY b DESC, a DESC LIMIT 4 OFFSET 3"
+        ).rows
+        assert got == full[3:7]
+
+    def test_ties_are_stable(self, db):
+        # b has duplicates; a tie-free total order must not be required
+        full = db.execute("SELECT a, b FROM t ORDER BY b").rows
+        got = db.execute("SELECT a, b FROM t ORDER BY b LIMIT 6").rows
+        assert got == full[:6]
+
+    def test_nulls_sort_last(self, db):
+        db.execute("INSERT INTO t VALUES (100, NULL)")
+        rows = db.execute("SELECT a FROM t ORDER BY b DESC LIMIT 11").rows
+        assert rows[-1] == (100,)
+
+    def test_trace_and_explain_show_topk(self, db):
+        db.execute("SELECT a FROM t ORDER BY b LIMIT 2")
+        assert db.last_trace.find("Top-K Sort")
+        lines = [
+            row[0]
+            for row in db.execute("EXPLAIN SELECT a FROM t ORDER BY b LIMIT 2")
+        ]
+        assert any(line.strip().startswith("Top-K Sort") for line in lines)
+        # plain ORDER BY (no LIMIT) still plans a full Sort
+        lines = [
+            row[0] for row in db.execute("EXPLAIN SELECT a FROM t ORDER BY b")
+        ]
+        assert any(line.strip().startswith("Sort") for line in lines)

@@ -1,0 +1,84 @@
+"""Plan-vs-trace agreement for every paper query family.
+
+The analyzer's access paths are now read off the physical plan the executor
+interprets, so ``BenchResult.plan_divergence()`` — predicted operators that
+never show up in measured traces — must be exactly empty for each of the
+nine corpus families. Divergence here would mean the planner's static story
+and the executor's runtime behavior have drifted apart.
+"""
+
+import pytest
+
+from repro.bench.runner import run_batch
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+
+NOON = 12 * 3600
+
+
+@pytest.fixture(scope="module")
+def ptldb():
+    timetable = random_timetable(18, 160, seed=11)
+    labels, _ = build_labels(timetable, add_dummies=True)
+    db = PTLDB.from_timetable(timetable, device="hdd", labels=labels)
+    db.build_target_set(
+        "div",
+        targets={1, 4, 9, 13, 16},
+        kmax=4,
+        families=(
+            "knn_ea", "knn_ld", "otm_ea", "otm_ld", "naive_ea", "naive_ld",
+        ),
+    )
+    return db
+
+
+def family_calls(ptldb):
+    """One representative zero-arg call per corpus query family."""
+    return {
+        "v2v_ea": lambda: ptldb.earliest_arrival(2, 9, NOON),
+        "v2v_ld": lambda: ptldb.latest_departure(2, 9, 2 * NOON),
+        "v2v_sd": lambda: ptldb.shortest_duration(2, 9, 0, 2 * NOON),
+        "knn_ea_naive": lambda: ptldb.ea_knn_naive("div", 2, NOON, 2),
+        "knn_ld_naive": lambda: ptldb.ld_knn_naive("div", 2, 2 * NOON, 2),
+        "knn_ea": lambda: ptldb.ea_knn("div", 2, NOON, 2),
+        "knn_ld": lambda: ptldb.ld_knn("div", 2, 2 * NOON, 2),
+        "otm_ea": lambda: ptldb.ea_one_to_many("div", 2, NOON),
+        "otm_ld": lambda: ptldb.ld_one_to_many("div", 2, 2 * NOON),
+    }
+
+
+def test_nine_families_covered(ptldb):
+    assert len(family_calls(ptldb)) == 9
+
+
+@pytest.mark.parametrize("family", [
+    "v2v_ea", "v2v_ld", "v2v_sd",
+    "knn_ea_naive", "knn_ld_naive",
+    "knn_ea", "knn_ld",
+    "otm_ea", "otm_ld",
+])
+def test_zero_plan_divergence(ptldb, family):
+    call = family_calls(ptldb)[family]
+    result = run_batch(ptldb, family, [call, call], registry=None)
+    assert result.access_paths, f"{family}: no access paths recorded"
+    assert result.plan_divergence() == []
+
+
+def test_v2v_prepared_path_touches_two_label_rows(ptldb):
+    """The paper's Code 1 bound survives the prepared-statement path:
+    exactly two PK point lookups, one label row each."""
+    ptldb.restart()
+    assert ptldb.earliest_arrival(2, 9, NOON) is not None
+    scans = ptldb.last_trace.find("Index Scan")
+    assert len(scans) == 2
+    assert [scan.rows for scan in scans] == [1, 1]
+
+
+def test_v2v_batch_is_all_plan_cache_hits(ptldb):
+    calls = [lambda: ptldb.earliest_arrival(2, 9, NOON)] * 5
+    ptldb.earliest_arrival(2, 9, NOON)  # ensure the entry is warm
+    result = run_batch(ptldb, "v2v_warm", calls, registry=None)
+    assert result.plan_cache["hits"] == 5
+    assert result.plan_cache["misses"] == 0
+    assert result.plan_cache["hit_rate"] == 1.0
