@@ -1,0 +1,375 @@
+"""Concurrent query serving: the paper's multi-client experiment.
+
+The paper serves PTLDB from an unmodified PostgreSQL server, so many clients
+can query one database concurrently. This harness reproduces that setup on
+minidb: N worker threads, each with its own :class:`~repro.ptldb.framework.
+PTLDBClient` (private session, prepared handles, cost attribution), replay a
+mixed v2v / kNN / one-to-many workload against one shared database, and the
+report gives per-thread latency percentiles plus aggregate throughput per
+thread count — the Figure 6 throughput-vs-clients shape.
+
+Time model: wall-clock alone would understate concurrency benefits (the
+simulated device never sleeps) and the GIL serializes CPU anyway, so each
+thread accumulates a *simulated clock* = measured CPU + simulated I/O per
+query. Threads overlap I/O freely (a real disk queue would reorder across
+connections), while CPU contention shows up naturally in the measured part;
+the run's makespan is the slowest thread's clock and throughput is total
+queries over that makespan.
+
+The harness is also the concurrency *correctness* tripwire CI runs:
+
+* every answer is checked against a sequential reference (lost or torn
+  results fail the run),
+* per-thread I/O counters must sum exactly to the global counters (a lost
+  increment fails the run),
+* a concurrent-insert check writes disjoint keys from every thread and
+  verifies none were lost.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.experiment_concurrency \
+        --threads 1,2,4,8 --queries 25 --out concurrency.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.bench.workload import batch_workload, random_targets, v2v_workload
+from repro.labeling.ttl import build_labels
+from repro.minidb.metrics import Histogram
+from repro.ptldb.framework import PTLDB
+
+TAG = "serving"
+FAMILIES = ("v2v_ea", "v2v_ld", "knn_ea", "otm_ea")
+
+
+def build_fixture(
+    dataset: str,
+    device: str,
+    scale: str,
+    density: float,
+    kmax: int,
+    timetable=None,
+):
+    """A loaded PTLDB with the serving target set, plus its timetable."""
+    if timetable is None:
+        from repro.bench.experiments import get_bundle
+
+        bundle = get_bundle(dataset, scale)
+        timetable, labels = bundle.timetable, bundle.labels
+    else:
+        labels, _ = build_labels(timetable, add_dummies=True)
+    ptldb = PTLDB.from_timetable(timetable, device=device, labels=labels)
+    targets = random_targets(timetable, density=density, seed=7)
+    ptldb.build_target_set(
+        TAG, targets, kmax=kmax, families=("knn_ea", "otm_ea")
+    )
+    return ptldb, timetable
+
+
+def build_workload(timetable, total: int, k: int, seed: int) -> list[tuple]:
+    """``total`` (family, query) items, families round-robin interleaved."""
+    v2v = v2v_workload(timetable, n=total, seed=seed)
+    batch = batch_workload(timetable, n=total, seed=seed + 1)
+    items = []
+    for i in range(total):
+        family = FAMILIES[i % len(FAMILIES)]
+        query = v2v[i] if family.startswith("v2v") else batch[i]
+        items.append((family, query, k))
+    return items
+
+
+def run_query(api, item):
+    """Run one workload item through *api* (a PTLDB or a PTLDBClient)."""
+    family, query, k = item
+    if family == "v2v_ea":
+        return api.earliest_arrival(query.source, query.goal, query.depart_at)
+    if family == "v2v_ld":
+        return api.latest_departure(query.source, query.goal, query.arrive_by)
+    if family == "knn_ea":
+        return api.ea_knn(TAG, query.source, query.depart_at, k)
+    if family == "otm_ea":
+        return api.ea_one_to_many(TAG, query.source, query.depart_at)
+    raise ValueError(f"unknown family {family!r}")
+
+
+def _serve(client, items, reference):
+    """One worker thread: replay *items*, checking against *reference*.
+
+    Returns this thread's latency histogram, simulated clock, I/O counter
+    deltas and mismatch/error tallies.
+    """
+    latencies = Histogram("latency_ms")
+    disk_stats = client.db.disk.thread_stats()
+    pool_stats = client.db.pool.thread_stats()
+    disk_before = disk_stats.snapshot()
+    pool_before = pool_stats.snapshot()
+    clock_ms = 0.0
+    mismatches = 0
+    errors = []
+    for index, item in items:
+        try:
+            started = time.perf_counter()
+            answer = run_query(client, item)
+            cpu_ms = (time.perf_counter() - started) * 1000.0
+            io_ms = client.last_cost.simulated_io_ms
+        except Exception as exc:  # noqa: BLE001 - reported, fails the run
+            errors.append(f"{item[0]}[{index}]: {type(exc).__name__}: {exc}")
+            continue
+        if answer != reference[index]:
+            mismatches += 1
+        latency = cpu_ms + io_ms
+        latencies.observe(latency)
+        clock_ms += latency
+    disk_delta = disk_stats.delta(disk_before)
+    pool_delta = pool_stats.delta(pool_before)
+    return {
+        "queries": latencies.count,
+        "clock_ms": clock_ms,
+        "latencies": latencies,
+        "page_reads": disk_delta.reads,
+        "pool_hits": pool_delta.hits,
+        "pool_misses": pool_delta.misses,
+        "mismatches": mismatches,
+        "errors": errors,
+    }
+
+
+def run_thread_count(ptldb: PTLDB, items, reference, threads: int) -> dict:
+    """One serving run at a fixed thread count, from a cold cache."""
+    ptldb.restart()
+    disk_before = ptldb.db.disk.stats.snapshot()
+    pool_before = ptldb.db.pool.stats.snapshot()
+    clients = [ptldb.client(tracing=False) for _ in range(threads)]
+    shards = [
+        [(i, item) for i, item in enumerate(items) if i % threads == worker]
+        for worker in range(threads)
+    ]
+    with ThreadPoolExecutor(max_workers=threads) as executor:
+        outcomes = list(
+            executor.map(_serve, clients, shards, [reference] * threads)
+        )
+    disk_delta = ptldb.db.disk.stats.delta(disk_before)
+    pool_delta = ptldb.db.pool.stats.delta(pool_before)
+    # Lost-increment check: per-thread counters must sum to the global ones.
+    stats_consistent = (
+        sum(o["page_reads"] for o in outcomes) == disk_delta.reads
+        and sum(o["pool_hits"] for o in outcomes) == pool_delta.hits
+        and sum(o["pool_misses"] for o in outcomes) == pool_delta.misses
+    )
+    makespan_ms = max((o["clock_ms"] for o in outcomes), default=0.0)
+    total_queries = sum(o["queries"] for o in outcomes)
+    errors = [err for o in outcomes for err in o["errors"]]
+    mismatches = sum(o["mismatches"] for o in outcomes)
+    return {
+        "threads": threads,
+        "total_queries": total_queries,
+        "makespan_ms": round(makespan_ms, 3),
+        "throughput_qps": round(
+            total_queries / makespan_ms * 1000.0 if makespan_ms else 0.0, 3
+        ),
+        "errors": errors,
+        "mismatches": mismatches,
+        "stats_consistent": stats_consistent,
+        "pool_hit_rate": round(
+            pool_delta.hits / pool_delta.accesses if pool_delta.accesses else 0.0,
+            4,
+        ),
+        "per_thread": [
+            {
+                "thread": worker,
+                "queries": o["queries"],
+                "clock_ms": round(o["clock_ms"], 3),
+                "p50_ms": round(o["latencies"].percentile(50), 3),
+                "p95_ms": round(o["latencies"].percentile(95), 3),
+                "page_reads": o["page_reads"],
+            }
+            for worker, o in enumerate(outcomes)
+        ],
+    }
+
+
+def run_insert_check(ptldb: PTLDB, threads: int, rows_per_thread: int = 20) -> dict:
+    """Concurrent disjoint inserts from one session per thread.
+
+    Every (thread, i) key must be present afterwards: a lost update means a
+    writer observed a stale page image despite the single-writer latch.
+    """
+    db = ptldb.db
+    db.execute(
+        "CREATE TABLE serving_scratch (k BIGINT, v BIGINT, PRIMARY KEY (k))"
+    )
+
+    def writer(worker: int) -> None:
+        session = db.session(tracing=False)
+        for i in range(rows_per_thread):
+            key = worker * rows_per_thread + i
+            session.execute(
+                "INSERT INTO serving_scratch VALUES ($1, $2)", (key, worker)
+            )
+
+    try:
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            list(executor.map(writer, range(threads)))
+        rows = db.execute("SELECT k, v FROM serving_scratch").rows
+        expected = {
+            (w * rows_per_thread + i, w)
+            for w in range(threads)
+            for i in range(rows_per_thread)
+        }
+        lost = sorted(k for k, _ in expected - set(rows))
+        return {
+            "threads": threads,
+            "rows_expected": len(expected),
+            "rows_found": len(rows),
+            "lost_keys": lost,
+            "ok": not lost and len(rows) == len(expected),
+        }
+    finally:
+        db.execute("DROP TABLE serving_scratch")
+
+
+def run_serving_experiment(
+    dataset: str = "Austin",
+    device: str = "hdd",
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8),
+    queries_per_thread: int = 25,
+    k: int = 2,
+    density: float = 0.1,
+    scale: str = "small",
+    seed: int = 17,
+    timetable=None,
+) -> dict:
+    """The full experiment: one serving run per thread count + insert check.
+
+    The workload is sized to the *largest* thread count and identical for
+    every run (smaller counts just spread it across fewer threads), so the
+    throughput column is an apples-to-apples Figure 6 curve."""
+    ptldb, timetable = build_fixture(
+        dataset, device, scale, density, kmax=max(k, 1), timetable=timetable
+    )
+    total = queries_per_thread * max(thread_counts)
+    items = build_workload(timetable, total, k, seed)
+    # Sequential reference answers — ground truth for the lost-result check.
+    reference = [run_query(ptldb, item) for item in items]
+    runs = [
+        run_thread_count(ptldb, items, reference, threads)
+        for threads in thread_counts
+    ]
+    insert_check = run_insert_check(ptldb, max(thread_counts))
+    ok = (
+        all(
+            not run["errors"]
+            and run["mismatches"] == 0
+            and run["stats_consistent"]
+            and run["total_queries"] == total
+            for run in runs
+        )
+        and insert_check["ok"]
+    )
+    return {
+        "experiment": "concurrency",
+        "dataset": dataset,
+        "device": device,
+        "queries_per_thread": queries_per_thread,
+        "total_queries": total,
+        "k": k,
+        "density": density,
+        "runs": runs,
+        "insert_check": insert_check,
+        "ok": ok,
+    }
+
+
+def experiment_concurrency(
+    datasets=None,
+    device: str = "hdd",
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8),
+    queries_per_thread: int = 25,
+    scale: str = "small",
+) -> list[dict]:
+    """CLI-table rows: one per (dataset, thread count)."""
+    rows = []
+    for name in datasets or ["Austin"]:
+        report = run_serving_experiment(
+            name,
+            device=device,
+            thread_counts=thread_counts,
+            queries_per_thread=queries_per_thread,
+            scale=scale,
+        )
+        for run in report["runs"]:
+            rows.append(
+                {
+                    "dataset": name,
+                    "device": device,
+                    "threads": run["threads"],
+                    "queries": run["total_queries"],
+                    "throughput_qps": run["throughput_qps"],
+                    "makespan_ms": run["makespan_ms"],
+                    "p95_ms": max(t["p95_ms"] for t in run["per_thread"]),
+                    "ok": (
+                        not run["errors"]
+                        and run["mismatches"] == 0
+                        and run["stats_consistent"]
+                    ),
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent serving experiment (Figure 6 shape)"
+    )
+    parser.add_argument("--dataset", default="Austin")
+    parser.add_argument("--device", default="hdd", choices=["hdd", "ssd", "ram"])
+    parser.add_argument(
+        "--threads",
+        default="1,2,4,8",
+        help="comma-separated thread counts (default 1,2,4,8)",
+    )
+    parser.add_argument("--queries", type=int, default=25, help="per thread")
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    thread_counts = tuple(int(part) for part in args.threads.split(","))
+    report = run_serving_experiment(
+        args.dataset,
+        device=args.device,
+        thread_counts=thread_counts,
+        queries_per_thread=args.queries,
+        scale=args.scale,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    for run in report["runs"]:
+        print(
+            f"threads={run['threads']:2d} queries={run['total_queries']} "
+            f"throughput={run['throughput_qps']:.1f} q/s "
+            f"makespan={run['makespan_ms']:.1f} ms "
+            f"errors={len(run['errors'])} mismatches={run['mismatches']} "
+            f"stats_consistent={run['stats_consistent']}"
+        )
+        for err in run["errors"]:
+            print(f"  ERROR {err}", file=sys.stderr)
+    check = report["insert_check"]
+    print(
+        f"insert check: {check['rows_found']}/{check['rows_expected']} rows, "
+        f"lost={check['lost_keys']}"
+    )
+    if not report["ok"]:
+        print("concurrency experiment FAILED", file=sys.stderr)
+        return 1
+    print("concurrency experiment OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,6 +151,7 @@ def cmd_bench(args) -> int:
             datasets, args.device, (0.01, 0.1), args.queries
         ),
         "storage": lambda: exp.experiment_storage(datasets),
+        "concurrency": lambda: _run_concurrency(datasets, args),
     }
     if args.experiment not in runners:
         raise ReproError(
@@ -167,6 +168,14 @@ def cmd_bench(args) -> int:
             )
         )
     return 0
+
+
+def _run_concurrency(datasets, args):
+    from repro.bench.experiment_concurrency import experiment_concurrency
+
+    return experiment_concurrency(
+        datasets, device=args.device, queries_per_thread=args.queries
+    )
 
 
 def _lint_database():

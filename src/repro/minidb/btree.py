@@ -14,6 +14,12 @@ Node layout (within the generic 16-byte page header):
     * internal: packed cells ``key || child`` where *child* covers keys
       ``>= key``; ``next_page`` holds the leftmost child (keys below the
       first separator).
+
+Concurrency: descents pin each node while its cells are examined (so a
+lookup's node can't be evicted mid-binary-search even on a tiny pool), and
+insertion pins the whole root-to-leaf path while splits propagate — the
+structural reason a capacity-1 pool survives arbitrary split cascades.
+Content access goes through the frame latch, one page at a time.
 """
 
 from __future__ import annotations
@@ -61,6 +67,7 @@ class BTree:
             root_page, page = pool.new_page(KIND_BTREE_LEAF)
             _set_count(page, 0)
             pool.mark_dirty(root_page)
+            pool.unpin(root_page)
         self.root_page = root_page
 
     # -- public API ----------------------------------------------------
@@ -71,9 +78,11 @@ class BTree:
         if split is not None:
             sep_key, right_page = split
             new_root_id, new_root = self.pool.new_page(KIND_BTREE_INTERNAL)
-            new_root.next_page = self.root_page
-            self._write_internal_cells(new_root, [(sep_key, right_page)])
-            self.pool.mark_dirty(new_root_id)
+            with self.pool.latch(new_root_id).write():
+                new_root.next_page = self.root_page
+                self._write_internal_cells(new_root, [(sep_key, right_page)])
+                self.pool.mark_dirty(new_root_id)
+            self.pool.unpin(new_root_id)
             self.root_page = new_root_id
 
     def search(self, key: tuple) -> tuple[int, int] | None:
@@ -86,37 +95,52 @@ class BTree:
         key_struct = self._key
         page_id = self.root_page
         while True:
-            page = self.pool.get(page_id)
-            buf = page.buf
-            count = _get_count(page)
-            if page.kind == KIND_BTREE_LEAF:
-                cell = self._leaf_cell
-                lo, hi = 0, count
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    if key_struct.unpack_from(buf, HEADER_SIZE + mid * cell) < key:
-                        lo = mid + 1
+            pinned_id = page_id
+            page = self.pool.pin(pinned_id)
+            try:
+                with self.pool.latch(pinned_id).read():
+                    buf = page.buf
+                    count = _get_count(page)
+                    if page.kind == KIND_BTREE_LEAF:
+                        cell = self._leaf_cell
+                        lo, hi = 0, count
+                        while lo < hi:
+                            mid = (lo + hi) // 2
+                            if (
+                                key_struct.unpack_from(
+                                    buf, HEADER_SIZE + mid * cell
+                                )
+                                < key
+                            ):
+                                lo = mid + 1
+                            else:
+                                hi = mid
+                        if lo < count:
+                            offset = HEADER_SIZE + lo * cell
+                            if key_struct.unpack_from(buf, offset) == key:
+                                return _RID.unpack_from(
+                                    buf, offset + key_struct.size
+                                )
+                        return None
+                    # internal node: rightmost separator <= key
+                    cell = self._int_cell
+                    lo, hi = 0, count
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if (
+                            key_struct.unpack_from(buf, HEADER_SIZE + mid * cell)
+                            <= key
+                        ):
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    if lo == 0:
+                        page_id = page.next_page
                     else:
-                        hi = mid
-                if lo < count:
-                    offset = HEADER_SIZE + lo * cell
-                    if key_struct.unpack_from(buf, offset) == key:
-                        return _RID.unpack_from(buf, offset + key_struct.size)
-                return None
-            # internal node: rightmost separator <= key
-            cell = self._int_cell
-            lo, hi = 0, count
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if key_struct.unpack_from(buf, HEADER_SIZE + mid * cell) <= key:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            if lo == 0:
-                page_id = page.next_page
-            else:
-                offset = HEADER_SIZE + (lo - 1) * cell + key_struct.size
-                (page_id,) = _CHILD.unpack_from(buf, offset)
+                        offset = HEADER_SIZE + (lo - 1) * cell + key_struct.size
+                        (page_id,) = _CHILD.unpack_from(buf, offset)
+            finally:
+                self.pool.unpin(pinned_id)
 
     def remove(self, key: tuple) -> bool:
         """Delete *key* from its leaf (no rebalancing — underfull leaves are
@@ -125,23 +149,25 @@ class BTree:
         key = self._check_key(key)
         page_id = self.root_page
         while True:
-            page = self.pool.get(page_id)
-            if page.kind == KIND_BTREE_LEAF:
-                cells = self._read_leaf_cells(page)
-                lo, hi = 0, len(cells)
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    if cells[mid][0] < key:
-                        lo = mid + 1
-                    else:
-                        hi = mid
-                if lo < len(cells) and cells[lo][0] == key:
-                    del cells[lo]
-                    self._write_leaf_cells(page, cells)
-                    self.pool.mark_dirty(page_id)
-                    return True
-                return False
-            page_id = self._descend(page, key)
+            with self.pool.pinned(page_id) as page:
+                if page.kind == KIND_BTREE_LEAF:
+                    with self.pool.latch(page_id).write():
+                        cells = self._read_leaf_cells(page)
+                        lo, hi = 0, len(cells)
+                        while lo < hi:
+                            mid = (lo + hi) // 2
+                            if cells[mid][0] < key:
+                                lo = mid + 1
+                            else:
+                                hi = mid
+                        if lo < len(cells) and cells[lo][0] == key:
+                            del cells[lo]
+                            self._write_leaf_cells(page, cells)
+                            self.pool.mark_dirty(page_id)
+                            return True
+                        return False
+                next_id = self._descend(page, key)
+            page_id = next_id
 
     def scan(self, low: tuple | None = None, high: tuple | None = None):
         """Yield ``(key, rid)`` for keys in ``[low, high]``, in key order."""
@@ -151,9 +177,13 @@ class BTree:
             high = self._check_key(high)
         page_id = self._leftmost_leaf(low)
         while page_id != -1:
-            page = self.pool.get(page_id)
-            next_page = page.next_page
-            for key, rid in self._read_leaf_cells(page):
+            # Copy the leaf's cells under pin+latch, then yield latch-free so
+            # consumers may issue their own page operations.
+            with self.pool.pinned(page_id) as page:
+                with self.pool.latch(page_id).read():
+                    next_page = page.next_page
+                    cells = self._read_leaf_cells(page)
+            for key, rid in cells:
                 if low is not None and key < low:
                     continue
                 if high is not None and key > high:
@@ -258,64 +288,74 @@ class BTree:
         Returns ``(separator_key, new_right_page)`` if the node split,
         else ``None``.
         """
-        page = self.pool.get(page_id)
-        if page.kind == KIND_BTREE_LEAF:
-            cells = self._read_leaf_cells(page)
+        # The node stays pinned for the whole call — including the recursive
+        # descent — so a split propagating back up always finds its parent
+        # resident, no matter how small the pool is.
+        page = self.pool.pin(page_id)
+        try:
+            if page.kind == KIND_BTREE_LEAF:
+                cells = self._read_leaf_cells(page)
+                lo, hi = 0, len(cells)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if cells[mid][0] < key:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < len(cells) and cells[lo][0] == key:
+                    cells[lo] = (key, rid)
+                else:
+                    cells.insert(lo, (key, rid))
+                if len(cells) <= self._leaf_cap:
+                    with self.pool.latch(page_id).write():
+                        self._write_leaf_cells(page, cells)
+                        self.pool.mark_dirty(page_id)
+                    return None
+                # Split the leaf.
+                mid = len(cells) // 2
+                right_id, right = self.pool.new_page(KIND_BTREE_LEAF)
+                with self.pool.latch(right_id).write():
+                    right.next_page = page.next_page
+                    self._write_leaf_cells(right, cells[mid:])
+                    self.pool.mark_dirty(right_id)
+                with self.pool.latch(page_id).write():
+                    page.next_page = right_id
+                    self._write_leaf_cells(page, cells[:mid])
+                    self.pool.mark_dirty(page_id)
+                self.pool.unpin(right_id)
+                return cells[mid][0], right_id
+
+            child_id = self._descend(page, key)
+            split = self._insert(child_id, key, rid)
+            if split is None:
+                return None
+            sep_key, right_child = split
+            cells = self._read_internal_cells(page)
             lo, hi = 0, len(cells)
             while lo < hi:
                 mid = (lo + hi) // 2
-                if cells[mid][0] < key:
+                if cells[mid][0] < sep_key:
                     lo = mid + 1
                 else:
                     hi = mid
-            if lo < len(cells) and cells[lo][0] == key:
-                cells[lo] = (key, rid)
-            else:
-                cells.insert(lo, (key, rid))
-            if len(cells) <= self._leaf_cap:
-                self._write_leaf_cells(page, cells)
-                self.pool.mark_dirty(page_id)
+            cells.insert(lo, (sep_key, right_child))
+            if len(cells) <= self._int_cap:
+                with self.pool.latch(page_id).write():
+                    self._write_internal_cells(page, cells)
+                    self.pool.mark_dirty(page_id)
                 return None
-            # Split the leaf.
+            # Split the internal node; the middle separator moves up.
             mid = len(cells) // 2
-            right_id, right = self.pool.new_page(KIND_BTREE_LEAF)
-            # Re-fetch: new_page may have evicted our frame.
-            page = self.pool.get(page_id)
-            right.next_page = page.next_page
-            page.next_page = right_id
-            self._write_leaf_cells(right, cells[mid:])
-            self._write_leaf_cells(page, cells[:mid])
-            self.pool.mark_dirty(page_id)
-            self.pool.mark_dirty(right_id)
-            return cells[mid][0], right_id
-
-        child_id = self._descend(page, key)
-        split = self._insert(child_id, key, rid)
-        if split is None:
-            return None
-        sep_key, right_child = split
-        page = self.pool.get(page_id)
-        cells = self._read_internal_cells(page)
-        lo, hi = 0, len(cells)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if cells[mid][0] < sep_key:
-                lo = mid + 1
-            else:
-                hi = mid
-        cells.insert(lo, (sep_key, right_child))
-        if len(cells) <= self._int_cap:
-            self._write_internal_cells(page, cells)
-            self.pool.mark_dirty(page_id)
-            return None
-        # Split the internal node; the middle separator moves up.
-        mid = len(cells) // 2
-        up_key, up_child = cells[mid]
-        right_id, right = self.pool.new_page(KIND_BTREE_INTERNAL)
-        page = self.pool.get(page_id)
-        right.next_page = up_child
-        self._write_internal_cells(right, cells[mid + 1 :])
-        self._write_internal_cells(page, cells[:mid])
-        self.pool.mark_dirty(page_id)
-        self.pool.mark_dirty(right_id)
-        return up_key, right_id
+            up_key, up_child = cells[mid]
+            right_id, right = self.pool.new_page(KIND_BTREE_INTERNAL)
+            with self.pool.latch(right_id).write():
+                right.next_page = up_child
+                self._write_internal_cells(right, cells[mid + 1 :])
+                self.pool.mark_dirty(right_id)
+            with self.pool.latch(page_id).write():
+                self._write_internal_cells(page, cells[:mid])
+                self.pool.mark_dirty(page_id)
+            self.pool.unpin(right_id)
+            return up_key, right_id
+        finally:
+            self.pool.unpin(page_id)

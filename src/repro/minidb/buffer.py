@@ -5,15 +5,38 @@ about: a query that touches a page already in the pool pays nothing; a miss
 goes to the :class:`~repro.minidb.disk.DiskManager`, which charges the device
 model. Benchmarks call :meth:`BufferPool.clear` to emulate the paper's
 "restart the PostgreSQL server and drop the OS cache before each experiment".
+
+Concurrency (docs/ARCHITECTURE.md, "Concurrency model"):
+
+* One pool-wide lock guards the frame table, LRU order and all counters, so
+  any number of sessions can hit/miss/evict concurrently without corrupting
+  the accounting the reproduction exists to measure.
+* Each frame carries a **pin count**. A pinned frame is never chosen as an
+  eviction victim, so a heap/B+Tree operation that holds a page across
+  another pool call (the classic "allocate a new page while extending the
+  chain" pattern) can keep mutating it safely. When *every* frame is pinned
+  — e.g. a capacity-1 pool in the middle of a two-page operation — the pool
+  temporarily admits over capacity instead of failing; the next admission
+  evicts back down once pins are released.
+* Each frame carries a :class:`~repro.minidb.latch.RWLatch` protecting the
+  page *content*: readers share it, mutators take it exclusively. Callers
+  must hold a pin while holding the latch (the pin keeps the frame — and
+  therefore the latch identity — alive).
+
+Like the disk manager, the pool keeps per-thread counters next to the
+global ones so concurrent sessions can attribute hits/misses exactly.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import StorageError
-from repro.minidb.disk import DiskManager, IOStats
+from repro.minidb.disk import DiskManager
+from repro.minidb.latch import RWLatch
 from repro.minidb.page import Page
 
 
@@ -38,6 +61,18 @@ class PoolStats:
         )
 
 
+class _Frame:
+    """One resident page: content, dirty flag, pin count, content latch."""
+
+    __slots__ = ("page", "dirty", "pins", "latch")
+
+    def __init__(self, page: Page, dirty: bool):
+        self.page = page
+        self.dirty = dirty
+        self.pins = 0
+        self.latch = RWLatch()
+
+
 class BufferPool:
     """Fixed-capacity LRU page cache with write-back of dirty pages."""
 
@@ -47,69 +82,169 @@ class BufferPool:
         self.disk = disk
         self.capacity = capacity
         self.stats = PoolStats()
-        # page_id -> (Page, dirty flag); OrderedDict keeps LRU order.
-        self._frames: OrderedDict[int, list] = OrderedDict()
+        self._thread_stats: dict[int, PoolStats] = {}
+        # page_id -> _Frame; OrderedDict keeps LRU order.
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        # Guards _frames, LRU order, pin counts and every counter. Reentrant
+        # so clear() can call flush() and get() can call _admit().
+        self._lock = threading.RLock()
+
+    # -- accounting ------------------------------------------------------
+    def thread_stats(self) -> PoolStats:
+        """The calling thread's private ``PoolStats`` (created on first use)."""
+        ident = threading.get_ident()
+        stats = self._thread_stats.get(ident)
+        if stats is None:
+            stats = self._thread_stats.setdefault(ident, PoolStats())
+        return stats
+
+    def _record_hit(self) -> None:
+        self.stats.hits += 1
+        self.thread_stats().hits += 1
+
+    def _record_miss(self) -> None:
+        self.stats.misses += 1
+        self.thread_stats().misses += 1
+
+    def _record_eviction(self) -> None:
+        self.stats.evictions += 1
+        self.thread_stats().evictions += 1
 
     # ------------------------------------------------------------------
-    def get(self, page_id: int) -> Page:
-        """Return the page, reading it through on a miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-            self._frames.move_to_end(page_id)
-            return frame[0]
-        self.stats.misses += 1
-        page = Page(self.disk.read_page(page_id))
-        self._admit(page_id, page, dirty=False)
-        return page
+    def get(self, page_id: int, pin: bool = False) -> Page:
+        """Return the page, reading it through on a miss.
+
+        With ``pin=True`` the frame's pin count is incremented before the
+        lock is released, so the page cannot be evicted until a matching
+        :meth:`unpin`."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                self._record_miss()
+                page = Page(self.disk.read_page(page_id))
+                frame = self._admit(page_id, page, dirty=False)
+            else:
+                self._record_hit()
+                self._frames.move_to_end(page_id)
+            if pin:
+                frame.pins += 1
+            return frame.page
+
+    def pin(self, page_id: int) -> Page:
+        """Fetch *and* pin the page (shorthand for ``get(pin=True)``)."""
+        return self.get(page_id, pin=True)
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; the frame becomes evictable at zero."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} not resident; cannot unpin")
+            if frame.pins <= 0:
+                raise StorageError(f"page {page_id} is not pinned")
+            frame.pins -= 1
+
+    @contextmanager
+    def pinned(self, page_id: int):
+        """``with pool.pinned(pid) as page:`` — pin for the block's duration."""
+        page = self.pin(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id)
+
+    def pin_count(self, page_id: int) -> int:
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame.pins if frame is not None else 0
+
+    def latch(self, page_id: int) -> RWLatch:
+        """The resident frame's content latch. Hold a pin while using it."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} not resident; cannot latch")
+            return frame.latch
 
     def new_page(self, kind: int) -> tuple[int, Page]:
-        """Allocate a fresh page of *kind* and pin it into the pool dirty."""
-        page_id = self.disk.allocate()
-        page = Page()
-        page.format(kind)
-        self._admit(page_id, page, dirty=True)
-        return page_id, page
+        """Allocate a fresh page of *kind*, admitted dirty and **pinned**.
+
+        The pin is real (refcounted): the caller must :meth:`unpin` once the
+        page is linked into whatever structure needed it. This is what makes
+        multi-page operations safe on arbitrarily small pools."""
+        with self._lock:
+            page_id = self.disk.allocate()
+            page = Page()
+            page.format(kind)
+            frame = self._admit(page_id, page, dirty=True)
+            frame.pins += 1
+            return page_id, page
 
     def mark_dirty(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None:
-            raise StorageError(f"page {page_id} not resident; cannot mark dirty")
-        frame[1] = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} not resident; cannot mark dirty")
+            frame.dirty = True
 
     def flush(self) -> None:
         """Write back every dirty page (keeps them cached)."""
-        for page_id, frame in self._frames.items():
-            if frame[1]:
-                self.disk.write_page(page_id, frame[0].buf)
-                frame[1] = False
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                if frame.dirty:
+                    self.disk.write_page(page_id, frame.page.buf)
+                    frame.dirty = False
 
     def clear(self) -> None:
         """Flush and drop the whole cache (the paper's cold-cache restart).
 
-        Pool counters and the disk manager's I/O counters reset together:
-        activity before the restart (including the flush writes issued
-        here) can no longer leak into deltas measured after it, so a cold
-        benchmark run never mixes warm-run figures.
+        Pool counters and the disk manager's I/O counters reset together
+        (global and per-thread views alike): activity before the restart
+        (including the flush writes issued here) can no longer leak into
+        deltas measured after it, so a cold benchmark run never mixes
+        warm-run figures. Refuses to run while any page is pinned — a pin
+        held across a restart is a caller bug, not a cache entry.
         """
-        self.flush()
-        self._frames.clear()
-        # Forget the sequential-read run as a real restart would.
-        self.disk._last_read_page = -2
-        self.stats = PoolStats()
-        self.disk.stats = IOStats()
+        with self._lock:
+            still_pinned = sorted(
+                pid for pid, frame in self._frames.items() if frame.pins
+            )
+            if still_pinned:
+                raise StorageError(
+                    f"cannot clear buffer pool: pages {still_pinned} are pinned"
+                )
+            self.flush()
+            self._frames.clear()
+            # Forget the sequential-read run as a real restart would.
+            self.disk.reset_access_history()
+            self.stats = PoolStats()
+            self._thread_stats.clear()
+            self.disk.reset_stats()
 
     def resident(self, page_id: int) -> bool:
-        return page_id in self._frames
+        with self._lock:
+            return page_id in self._frames
 
     def __len__(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     # ------------------------------------------------------------------
-    def _admit(self, page_id: int, page: Page, dirty: bool) -> None:
+    def _admit(self, page_id: int, page: Page, dirty: bool) -> _Frame:
+        # Caller holds self._lock.
         while len(self._frames) >= self.capacity:
-            victim_id, (victim, victim_dirty) = self._frames.popitem(last=False)
-            self.stats.evictions += 1
-            if victim_dirty:
-                self.disk.write_page(victim_id, victim.buf)
-        self._frames[page_id] = [page, dirty]
+            victim_id = next(
+                (pid for pid, f in self._frames.items() if f.pins == 0), None
+            )
+            if victim_id is None:
+                # Every frame is pinned: overflow capacity rather than evict
+                # a page someone is still using. The next admission shrinks
+                # the pool back once pins drop.
+                break
+            victim = self._frames.pop(victim_id)
+            self._record_eviction()
+            if victim.dirty:
+                self.disk.write_page(victim_id, victim.page.buf)
+        frame = _Frame(page, dirty)
+        self._frames[page_id] = frame
+        return frame

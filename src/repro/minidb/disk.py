@@ -7,7 +7,8 @@ buffer pool, using a :class:`DeviceModel`:
 
 * HDD — average seek + half-rotation latency for a random read, plus a
   transfer cost per page; consecutive page ids are detected as sequential
-  and only pay transfer cost.
+  and only pay transfer cost. A write (or an allocation, which writes a
+  zero page) moves the head, so it breaks a sequential read run.
 * SSD — flat flash random-read latency per page (no seek penalty).
 
 Simulated time never sleeps; it accumulates in ``DiskManager.stats`` and the
@@ -15,11 +16,23 @@ benchmark harness reports it next to measured CPU time. This preserves the
 paper's effect structure exactly: queries dominated by a few random page
 reads (v2v) speed up dramatically on SSD, while CPU-bound queries (kNN/OTM)
 do not (Figure 8).
+
+Accounting is kept twice: ``stats`` is the global (whole-database) view and
+``thread_stats()`` returns a per-thread :class:`IOStats` charged in lockstep
+with it. Single-threaded code sees identical numbers in both; the concurrent
+serving harness uses the per-thread view so each session's I/O attribution
+stays exact even while other sessions run (see docs/OBSERVABILITY.md).
+
+Thread safety: all page traffic reaches the disk manager through the buffer
+pool, which serializes it under its own lock; the only methods intended for
+direct concurrent use are the read-only stat accessors and
+``thread_stats()``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import StorageError
@@ -94,6 +107,11 @@ class IOStats:
         )
 
 
+# Sentinel for "no read run in progress": page -1 would make page 0 look
+# sequential, so the reset value sits one further out.
+_NO_RUN = -2
+
+
 class DiskManager:
     """Page-granular file storage with device-latency accounting.
 
@@ -105,8 +123,9 @@ class DiskManager:
     def __init__(self, path: str | None = None, device: DeviceModel | None = None):
         self.device = device or ram_model()
         self.stats = IOStats()
+        self._thread_stats: dict[int, IOStats] = {}
         self._path = path
-        self._last_read_page = -2  # sentinel: nothing is sequential initially
+        self._last_read_page = _NO_RUN
         if path is None:
             self._file = None
             self._pages: list[bytearray] = []
@@ -120,6 +139,49 @@ class DiskManager:
                 raise StorageError(f"{path} is not page aligned ({size} bytes)")
             self._num_pages = size // PAGE_SIZE
 
+    # -- accounting ------------------------------------------------------
+    def thread_stats(self) -> IOStats:
+        """The calling thread's private ``IOStats`` (created on first use).
+
+        Charged in lockstep with the global ``stats``: the sum of all
+        per-thread counters always equals the global counters, so the
+        concurrency harness can both attribute I/O per session and prove
+        no increment was lost.
+        """
+        ident = threading.get_ident()
+        stats = self._thread_stats.get(ident)
+        if stats is None:
+            # setdefault is atomic under the GIL, so two racing first calls
+            # from the same thread id cannot clobber each other.
+            stats = self._thread_stats.setdefault(ident, IOStats())
+        return stats
+
+    def reset_stats(self) -> None:
+        """Zero the global and every per-thread counter together."""
+        self.stats = IOStats()
+        self._thread_stats.clear()
+
+    def reset_access_history(self) -> None:
+        """Forget the sequential-read run (a restart / cold cache would).
+
+        Public on purpose: the buffer pool's ``clear()`` must reset it and
+        should not reach into private attributes to do so.
+        """
+        self._last_read_page = _NO_RUN
+
+    def _charge_read(self, sequential: bool) -> None:
+        cost = self.device.read_cost(sequential)
+        for stats in (self.stats, self.thread_stats()):
+            stats.reads += 1
+            if sequential:
+                stats.sequential_reads += 1
+            stats.simulated_read_ms += cost
+
+    def _charge_write(self) -> None:
+        for stats in (self.stats, self.thread_stats()):
+            stats.writes += 1
+            stats.simulated_write_ms += self.device.write_ms
+
     # ------------------------------------------------------------------
     @property
     def num_pages(self) -> int:
@@ -128,7 +190,16 @@ class DiskManager:
         return self._num_pages
 
     def allocate(self) -> int:
-        """Append a zeroed page, returning its id."""
+        """Append a zeroed page, returning its id.
+
+        Allocation *is* a page write — the file-backed mode physically
+        writes the zero page — so it is charged as one in both modes;
+        otherwise bulk-load write counts would diverge between in-memory
+        and file-backed runs. Like any write, it also breaks a sequential
+        read run.
+        """
+        self._charge_write()
+        self._last_read_page = _NO_RUN
         if self._file is None:
             self._pages.append(bytearray(PAGE_SIZE))
             return len(self._pages) - 1
@@ -143,10 +214,7 @@ class DiskManager:
         self._check(page_id)
         sequential = page_id == self._last_read_page + 1
         self._last_read_page = page_id
-        self.stats.reads += 1
-        if sequential:
-            self.stats.sequential_reads += 1
-        self.stats.simulated_read_ms += self.device.read_cost(sequential)
+        self._charge_read(sequential)
         if self._file is None:
             return bytearray(self._pages[page_id])
         self._file.seek(page_id * PAGE_SIZE)
@@ -156,8 +224,10 @@ class DiskManager:
         self._check(page_id)
         if len(buf) != PAGE_SIZE:
             raise StorageError("short page write")
-        self.stats.writes += 1
-        self.stats.simulated_write_ms += self.device.write_ms
+        self._charge_write()
+        # A write moves the head: two reads interleaved with it are *not*
+        # one sequential run, so the run restarts from scratch.
+        self._last_read_page = _NO_RUN
         if self._file is None:
             self._pages[page_id] = bytearray(buf)
         else:

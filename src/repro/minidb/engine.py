@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import struct
-import time
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -25,12 +25,22 @@ from repro.errors import DatabaseError, StorageError
 from repro.minidb.buffer import BufferPool
 from repro.minidb.catalog import Catalog
 from repro.minidb.disk import DeviceModel, DiskManager, hdd_model, ram_model, ssd_model
-from repro.minidb.metrics import REGISTRY, QueryTrace, TraceCollector
+from repro.minidb.latch import RWLatch
+from repro.minidb.metrics import REGISTRY, QueryTrace
 from repro.minidb.page import HEADER_SIZE, KIND_META, PAGE_SIZE
+from repro.minidb.session import PreparedStatement, QueryCost, Session
 from repro.minidb.sql.analyzer import Analysis, analyze as analyze_stmt
-from repro.minidb.sql.executor import Executor, Result
+from repro.minidb.sql.executor import Result
 from repro.minidb.sql.parser import parse
 from repro.minidb.sql.planner import plan_statement
+
+__all__ = [
+    "Database",
+    "PreparedStatement",
+    "QueryCost",
+    "Session",
+    "PLAN_CACHE_CAP",
+]
 
 _DEVICES = {"hdd": hdd_model, "ssd": ssd_model, "ram": ram_model}
 _META_LEN = struct.Struct("<I")
@@ -38,16 +48,6 @@ _META_CAP = PAGE_SIZE - HEADER_SIZE - _META_LEN.size
 
 #: Upper bound on cached plans per :class:`Database` (LRU eviction beyond).
 PLAN_CACHE_CAP = 256
-
-
-@dataclass
-class QueryCost:
-    """I/O accounting for a single statement."""
-
-    page_reads: int
-    pool_hits: int
-    simulated_io_ms: float
-    pool_misses: int = 0
 
 
 @dataclass
@@ -63,38 +63,6 @@ class CachedPlan:
     analysis: Analysis | None
     plan: object  # physical plan (plan.Plan) or None when planning failed
     version: int
-
-
-class PreparedStatement:
-    """A reusable handle for one SQL statement.
-
-    Thin by design: execution routes through :meth:`Database.execute`, so a
-    prepared statement's speed comes entirely from the shared plan cache —
-    repeat executions skip parse, analysis and planning (the cache hit
-    counter proves it) and stale entries re-plan automatically after DDL.
-    """
-
-    def __init__(self, db: "Database", sql: str, analyze: bool | None = None):
-        self.db = db
-        self.sql = sql
-        self.analyze = analyze
-
-    def execute(self, params: tuple | list = ()) -> Result:
-        return self.db.execute(self.sql, params, analyze=self.analyze)
-
-    def explain(self) -> list[str]:
-        """Static plan lines for this statement (no execution)."""
-        from repro.minidb.sql.plan import explain_lines
-
-        do_analyze = (
-            self.db.analyze if self.analyze is None else self.analyze
-        )
-        entry = self.db._ensure_cached(self.sql, do_analyze)
-        plan = entry.plan or plan_statement(entry.stmt, self.db.catalog)
-        return explain_lines(plan)
-
-    def __repr__(self) -> str:
-        return f"PreparedStatement({self.sql!r})"
 
 
 class Database:
@@ -117,141 +85,132 @@ class Database:
         self.pool = BufferPool(self.disk, capacity=pool_pages)
         self.catalog = Catalog(self.pool)
         self._plan_cache: OrderedDict[str, CachedPlan] = OrderedDict()
+        # Serializes plan-cache probes/installs across sessions.
+        self._cache_lock = threading.RLock()
+        # Statement-level RW latch: reads share, DML/DDL are exclusive.
+        self._stmt_latch = RWLatch()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.plan_cache_evictions = 0
         self.plan_cache_invalidations = 0
-        self.last_cost: QueryCost | None = None
-        self.last_trace: QueryTrace | None = None
-        self.last_analysis: Analysis | None = None
         #: Set False to skip per-operator trace collection (hot loops).
         self.tracing = True
         #: Set False to skip static analysis before execution (opt-out;
         #: per-call override via ``execute(..., analyze=False)``).
         self.analyze = True
+        #: The implicit connection backing ``db.execute`` / ``db.last_cost``;
+        #: concurrent callers open their own via :meth:`session`.
+        self._session = Session(self)
         self._path = path
         if self.disk.num_pages == 0:
             # Fresh database: page 0 is the catalog checkpoint (META) page.
             meta_id, _ = self.pool.new_page(KIND_META)
             if meta_id != 0:
                 raise StorageError("meta page must be page 0")
+            self.pool.unpin(meta_id)
             self._write_meta(json.dumps([]).encode("utf-8"))
         else:
             # Existing file: restore the catalog from the checkpoint.
             payload = self._read_meta()
             self.catalog.restore(json.loads(payload.decode("utf-8")))
 
-    # ------------------------------------------------------------------
+    # -- sessions --------------------------------------------------------
+    def session(
+        self, tracing: bool | None = None, analyze: bool | None = None
+    ) -> Session:
+        """Open a new connection over this database.
+
+        Sessions share the catalog, buffer pool and plan cache but keep
+        their own ``last_cost``/``last_trace``/``last_analysis`` and
+        prepared handles — hand one to each serving thread."""
+        return Session(self, tracing=tracing, analyze=analyze)
+
     def execute(
         self,
         sql: str,
         params: tuple | list = (),
         analyze: bool | None = None,
     ) -> Result:
-        """Parse, statically analyze (both cached) and run one statement.
+        """Run one statement on the database's implicit default session.
 
-        Analysis is strict by default: semantic errors (unknown names, type
-        violations, misplaced aggregates, ...) raise *before* any page is
-        read. Pass ``analyze=False`` (or set ``db.analyze = False``) to skip
-        it; access-path warnings (``APL*``) never block execution."""
-        do_analyze = self.analyze if analyze is None else analyze
-        entry = self._ensure_cached(sql, do_analyze)
-        self.last_analysis = entry.analysis
-        if do_analyze and entry.analysis is not None:
-            entry.analysis.raise_if_errors()
-        plan = entry.plan
-        if plan is None:
-            # Planning failed (or was skipped) when the entry was built;
-            # re-plan per execution so the original error surfaces here.
-            plan = plan_statement(entry.stmt, self.catalog)
-        disk_before = self.disk.stats.snapshot()
-        pool_before = self.pool.stats.snapshot()
-        collector = TraceCollector(self.pool) if self.tracing else None
-        started = time.perf_counter()
-        result = Executor(
-            self.catalog, tuple(params), collector=collector
-        ).run(plan)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
-        disk_delta = self.disk.stats.delta(disk_before)
-        pool_delta = self.pool.stats.delta(pool_before)
-        self.last_cost = QueryCost(
-            page_reads=disk_delta.reads,
-            pool_hits=pool_delta.hits,
-            simulated_io_ms=disk_delta.simulated_read_ms,
-            pool_misses=pool_delta.misses,
-        )
-        if collector is not None:
-            trace = QueryTrace(
-                sql=sql,
-                roots=collector.roots,
-                total_ms=elapsed_ms,
-                pool_hits=pool_delta.hits,
-                pool_misses=pool_delta.misses,
-                page_reads=disk_delta.reads,
-                io_ms=disk_delta.simulated_read_ms,
-            )
-            self.last_trace = trace
-            result.trace = trace
-        else:
-            # Never leave a previous statement's trace lying around — a
-            # stale tree would silently misattribute this statement's I/O.
-            self.last_trace = None
-        return result
+        See :meth:`Session.execute` for semantics. Analysis is strict by
+        default: semantic errors raise *before* any page is read; pass
+        ``analyze=False`` (or set ``db.analyze = False``) to skip it."""
+        return self._session.execute(sql, params, analyze=analyze)
 
     def executemany(self, sql: str, param_rows) -> int:
         """Run one DML statement for each parameter tuple."""
-        count = 0
-        for params in param_rows:
-            self.execute(sql, params)
-            count += 1
-        return count
+        return self._session.executemany(sql, param_rows)
+
+    # Per-statement observability delegates to the default session so
+    # single-connection code keeps reading ``db.last_cost`` etc. unchanged.
+    @property
+    def last_cost(self) -> QueryCost | None:
+        return self._session.last_cost
+
+    @last_cost.setter
+    def last_cost(self, value: QueryCost | None) -> None:
+        self._session.last_cost = value
+
+    @property
+    def last_trace(self) -> QueryTrace | None:
+        return self._session.last_trace
+
+    @last_trace.setter
+    def last_trace(self, value: QueryTrace | None) -> None:
+        self._session.last_trace = value
+
+    @property
+    def last_analysis(self) -> Analysis | None:
+        return self._session.last_analysis
+
+    @last_analysis.setter
+    def last_analysis(self, value: Analysis | None) -> None:
+        self._session.last_analysis = value
 
     # -- plan cache ------------------------------------------------------
     def _ensure_cached(self, sql: str, do_analyze: bool) -> CachedPlan:
         """Return the (parse, analysis, plan) bundle for *sql*, reusing the
-        LRU cache when the catalog version still matches."""
-        entry = self._plan_cache.get(sql)
-        if (
-            entry is not None
-            and entry.version == self.catalog.version
-            and not (do_analyze and entry.analysis is None)
-        ):
+        LRU cache when the catalog version still matches.
+
+        Thread-safe: the probe-or-build runs under the cache lock, so two
+        sessions racing on the same new statement build it once each at
+        worst and never corrupt the LRU order."""
+        with self._cache_lock:
+            entry = self._plan_cache.get(sql)
+            if (
+                entry is not None
+                and entry.version == self.catalog.version
+                and not (do_analyze and entry.analysis is None)
+            ):
+                self._plan_cache.move_to_end(sql)
+                self.plan_cache_hits += 1
+                REGISTRY.counter("plan_cache.hits").inc()
+                return entry
+            self.plan_cache_misses += 1
+            REGISTRY.counter("plan_cache.misses").inc()
+            if entry is not None and entry.version != self.catalog.version:
+                self.plan_cache_invalidations += 1
+                REGISTRY.counter("plan_cache.invalidations").inc()
+            stmt = entry.stmt if entry is not None else parse(sql)
+            if do_analyze:
+                analysis = analyze_stmt(stmt, self.catalog, sql=sql)
+                plan = analysis.plan  # None when analysis (or planning) failed
+            else:
+                analysis = None
+                plan = plan_statement(stmt, self.catalog)
+            entry = CachedPlan(sql, stmt, analysis, plan, self.catalog.version)
+            self._plan_cache[sql] = entry
             self._plan_cache.move_to_end(sql)
-            self.plan_cache_hits += 1
-            REGISTRY.counter("plan_cache.hits").inc()
+            while len(self._plan_cache) > PLAN_CACHE_CAP:
+                self._plan_cache.popitem(last=False)
+                self.plan_cache_evictions += 1
+                REGISTRY.counter("plan_cache.evictions").inc()
             return entry
-        self.plan_cache_misses += 1
-        REGISTRY.counter("plan_cache.misses").inc()
-        if entry is not None and entry.version != self.catalog.version:
-            self.plan_cache_invalidations += 1
-            REGISTRY.counter("plan_cache.invalidations").inc()
-        stmt = entry.stmt if entry is not None else parse(sql)
-        if do_analyze:
-            analysis = analyze_stmt(stmt, self.catalog, sql=sql)
-            plan = analysis.plan  # None when analysis (or planning) failed
-        else:
-            analysis = None
-            plan = plan_statement(stmt, self.catalog)
-        entry = CachedPlan(sql, stmt, analysis, plan, self.catalog.version)
-        self._plan_cache[sql] = entry
-        self._plan_cache.move_to_end(sql)
-        while len(self._plan_cache) > PLAN_CACHE_CAP:
-            self._plan_cache.popitem(last=False)
-            self.plan_cache_evictions += 1
-            REGISTRY.counter("plan_cache.evictions").inc()
-        return entry
 
     def prepare(self, sql: str, analyze: bool | None = None) -> PreparedStatement:
-        """Parse, analyze and plan *sql* once, returning a reusable handle.
-
-        Semantic errors raise here (when analysis is on), not at the first
-        ``execute``. The handle stays valid across DDL: a catalog-version
-        bump invalidates the cached plan and the next execution re-plans."""
-        do_analyze = self.analyze if analyze is None else analyze
-        entry = self._ensure_cached(sql, do_analyze)
-        if do_analyze and entry.analysis is not None:
-            entry.analysis.raise_if_errors()
-        return PreparedStatement(self, sql, analyze)
+        """Prepare *sql* on the default session (see :meth:`Session.prepare`)."""
+        return self._session.prepare(sql, analyze=analyze)
 
     def plan_cache_stats(self) -> dict:
         """Plan-cache effectiveness counters for this database."""
@@ -307,24 +266,24 @@ class Database:
         page_id = 0
         offset = 0
         while True:
-            page = self.pool.get(page_id)
-            if page.kind != KIND_META:
-                raise StorageError(f"page {page_id} is not a META page")
-            chunk = payload[offset : offset + _META_CAP]
-            _META_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
-            page.buf[HEADER_SIZE + 4 : HEADER_SIZE + 4 + len(chunk)] = chunk
-            offset += len(chunk)
-            self.pool.mark_dirty(page_id)
-            if offset >= len(payload):
-                page.next_page = -1
+            with self.pool.pinned(page_id) as page:
+                if page.kind != KIND_META:
+                    raise StorageError(f"page {page_id} is not a META page")
+                chunk = payload[offset : offset + _META_CAP]
+                _META_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
+                page.buf[HEADER_SIZE + 4 : HEADER_SIZE + 4 + len(chunk)] = chunk
+                offset += len(chunk)
                 self.pool.mark_dirty(page_id)
-                break
-            if page.next_page == -1:
-                next_id, _ = self.pool.new_page(KIND_META)
-                page = self.pool.get(page_id)
-                page.next_page = next_id
-                self.pool.mark_dirty(page_id)
-            page_id = self.pool.get(page_id).next_page
+                if offset >= len(payload):
+                    page.next_page = -1
+                    return
+                if page.next_page == -1:
+                    # The current page is pinned, so allocating the next META
+                    # page cannot evict it before the link lands.
+                    next_id, _ = self.pool.new_page(KIND_META)
+                    self.pool.unpin(next_id)
+                    page.next_page = next_id
+                page_id = page.next_page
 
     def _read_meta(self) -> bytes:
         parts = []

@@ -8,6 +8,13 @@ pointing at the chain — the same idea as PostgreSQL's TOAST.
 
 Record ids (``rid``) are ``(page_id, slot)`` pairs and remain stable for the
 life of the record.
+
+Every multi-page operation pins the pages it holds across other pool calls
+(`BufferPool` refcounts pins), so a page being extended or read can never be
+evicted out from under the operation — this holds even on a capacity-1
+pool. Content reads and mutations go through the frame's reader–writer
+latch; latches are only ever held one page at a time and never across a
+``yield``, which keeps the locking order trivially deadlock-free.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ class HeapFile:
         if first_page is None:
             first_page, _ = pool.new_page(KIND_HEAP)
             pool.mark_dirty(first_page)
+            pool.unpin(first_page)
         self.first_page = first_page
         self._last_page = self._find_last_page()
 
@@ -67,10 +75,11 @@ class HeapFile:
     def read(self, rid: tuple[int, int]) -> bytes:
         """Fetch the record stored at *rid*."""
         page_id, slot = rid
-        page = self.pool.get(page_id)
-        if page.kind != KIND_HEAP:
-            raise StorageError(f"rid {rid} does not point at a heap page")
-        cell = page.read(slot)
+        with self.pool.pinned(page_id) as page:
+            with self.pool.latch(page_id).read():
+                if page.kind != KIND_HEAP:
+                    raise StorageError(f"rid {rid} does not point at a heap page")
+                cell = bytes(page.read(slot))
         if cell[0] == _INLINE:
             return cell[1:]
         _, total, chain = _STUB.unpack(cell)
@@ -79,32 +88,39 @@ class HeapFile:
     def delete(self, rid: tuple[int, int]) -> None:
         """Tombstone the record (overflow pages are left to vacuum)."""
         page_id, slot = rid
-        page = self.pool.get(page_id)
-        page.delete(slot)
-        self.pool.mark_dirty(page_id)
+        with self.pool.pinned(page_id) as page:
+            with self.pool.latch(page_id).write():
+                page.delete(slot)
+                self.pool.mark_dirty(page_id)
 
     def scan(self):
         """Yield ``(rid, record_bytes)`` over every live record, in rid order.
 
         The scan walks pages in chain order, which is also allocation order,
         so the device model sees mostly-sequential reads — as a real heap
-        scan would.
+        scan would. The current page stays pinned while its slots are
+        walked (overflow reads in between can therefore never evict it);
+        the latch is released before each ``yield`` so consumers may issue
+        their own page operations freely.
         """
         page_id = self.first_page
         while page_id != -1:
-            page = self.pool.get(page_id)
-            next_page = page.next_page
-            for slot in range(page.slot_count):
-                if page.is_deleted(slot):
-                    continue
-                cell = page.read(slot)
-                if cell[0] == _INLINE:
-                    yield (page_id, slot), cell[1:]
-                else:
-                    _, total, chain = _STUB.unpack(cell)
-                    yield (page_id, slot), self._read_overflow(chain, total)
-                # Re-fetch in case the overflow read evicted our page.
-                page = self.pool.get(page_id)
+            page = self.pool.pin(page_id)
+            try:
+                next_page = page.next_page
+                latch = self.pool.latch(page_id)
+                for slot in range(page.slot_count):
+                    with latch.read():
+                        if page.is_deleted(slot):
+                            continue
+                        cell = bytes(page.read(slot))
+                    if cell[0] == _INLINE:
+                        yield (page_id, slot), cell[1:]
+                    else:
+                        _, total, chain = _STUB.unpack(cell)
+                        yield (page_id, slot), self._read_overflow(chain, total)
+            finally:
+                self.pool.unpin(page_id)
             page_id = next_page
 
     def page_ids(self) -> list[int]:
@@ -118,16 +134,26 @@ class HeapFile:
 
     # ------------------------------------------------------------------
     def _insert_cell(self, cell: bytes) -> tuple[int, int]:
-        page = self.pool.get(self._last_page)
-        if page.free_space < len(cell):
-            new_id, new_page = self.pool.new_page(KIND_HEAP)
-            page.next_page = new_id
-            self.pool.mark_dirty(self._last_page)
-            self._last_page = new_id
-            page = new_page
-        slot = page.insert(cell)
-        self.pool.mark_dirty(self._last_page)
-        return (self._last_page, slot)
+        page_id = self._last_page
+        page = self.pool.pin(page_id)
+        try:
+            if page.free_space < len(cell):
+                # Extend the chain. The old tail stays pinned while the new
+                # page is admitted, so even a capacity-1 pool cannot evict
+                # it before the next-page link lands.
+                new_id, new_page = self.pool.new_page(KIND_HEAP)
+                with self.pool.latch(page_id).write():
+                    page.next_page = new_id
+                    self.pool.mark_dirty(page_id)
+                self.pool.unpin(page_id)
+                self._last_page = new_id
+                page_id, page = new_id, new_page
+            with self.pool.latch(page_id).write():
+                slot = page.insert(cell)
+                self.pool.mark_dirty(page_id)
+            return (page_id, slot)
+        finally:
+            self.pool.unpin(page_id)
 
     def _write_overflow(self, record: bytes) -> int:
         first = -1
@@ -135,16 +161,23 @@ class HeapFile:
         for start in range(0, len(record), _OVERFLOW_CAP):
             chunk = record[start : start + _OVERFLOW_CAP]
             page_id, page = self.pool.new_page(KIND_OVERFLOW)
-            _CHUNK_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
-            page.buf[HEADER_SIZE + 2 : HEADER_SIZE + 2 + len(chunk)] = chunk
-            self.pool.mark_dirty(page_id)
+            with self.pool.latch(page_id).write():
+                _CHUNK_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
+                page.buf[HEADER_SIZE + 2 : HEADER_SIZE + 2 + len(chunk)] = chunk
+                self.pool.mark_dirty(page_id)
             if first == -1:
                 first = page_id
             else:
+                # prev is still pinned from the previous iteration, so this
+                # link write lands on the resident frame.
                 prev = self.pool.get(prev_id)
-                prev.next_page = page_id
-                self.pool.mark_dirty(prev_id)
+                with self.pool.latch(prev_id).write():
+                    prev.next_page = page_id
+                    self.pool.mark_dirty(prev_id)
+                self.pool.unpin(prev_id)
             prev_id = page_id
+        if prev_id != -1:
+            self.pool.unpin(prev_id)
         return first
 
     def _read_overflow(self, first_page: int, total: int) -> bytes:
@@ -154,13 +187,19 @@ class HeapFile:
         while remaining > 0:
             if page_id == -1:
                 raise StorageError("overflow chain truncated")
-            page = self.pool.get(page_id)
-            if page.kind != KIND_OVERFLOW:
-                raise StorageError(f"page {page_id} is not an overflow page")
-            (length,) = _CHUNK_LEN.unpack_from(page.buf, HEADER_SIZE)
-            parts.append(bytes(page.buf[HEADER_SIZE + 2 : HEADER_SIZE + 2 + length]))
+            with self.pool.pinned(page_id) as page:
+                with self.pool.latch(page_id).read():
+                    if page.kind != KIND_OVERFLOW:
+                        raise StorageError(
+                            f"page {page_id} is not an overflow page"
+                        )
+                    (length,) = _CHUNK_LEN.unpack_from(page.buf, HEADER_SIZE)
+                    parts.append(
+                        bytes(page.buf[HEADER_SIZE + 2 : HEADER_SIZE + 2 + length])
+                    )
+                    next_page = page.next_page
             remaining -= length
-            page_id = page.next_page
+            page_id = next_page
         data = b"".join(parts)
         if len(data) != total:
             raise StorageError("overflow chain length mismatch")

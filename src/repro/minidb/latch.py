@@ -1,0 +1,74 @@
+"""Reader–writer latches for the storage layer.
+
+Two users:
+
+* :class:`~repro.minidb.buffer.BufferPool` keeps one :class:`RWLatch` per
+  resident frame so page content can be read by many threads while a
+  mutation holds the frame exclusively.
+* :class:`~repro.minidb.engine.Database` keeps a statement-level latch:
+  read statements share it, DML/DDL take it exclusively (the engine's
+  single-writer rule — see docs/ARCHITECTURE.md, "Concurrency model").
+
+The latch is deliberately simple: non-reentrant, no fairness guarantees
+beyond ``Condition``'s FIFO wakeups, writers wait for in-flight readers to
+drain. Callers never nest two latches, which is what makes the scheme
+deadlock-free (see the locking-order table in ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLatch:
+    """A shared/exclusive lock: many readers or one writer."""
+
+    __slots__ = ("_cond", "_readers", "_writer")
+
+    def __init__(self):
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+
+    # -- shared (read) side ---------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- exclusive (write) side -----------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

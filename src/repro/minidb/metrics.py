@@ -229,17 +229,35 @@ class _NullScope:
 NULL_SCOPE = _NullScope()
 
 
+def _stats_view(obj):
+    """The stats object to delta against: per-thread when available."""
+    if obj is None:
+        return None
+    thread_stats = getattr(obj, "thread_stats", None)
+    if thread_stats is not None:
+        return thread_stats()
+    return obj.stats
+
+
 class TraceCollector:
     """Builds the operator tree as the executor enters and exits scopes.
 
     Each scope snapshots the pool and disk counters on entry and records
     the deltas on exit, so a node's figures are inclusive of everything its
     children did while it was open.
+
+    Counters are read from the *calling thread's* view when the pool/disk
+    expose one (``thread_stats()``): a collector created on a session's
+    thread only ever sees that session's activity, so traces stay exact
+    while other sessions run concurrently. Single-threaded code observes
+    identical numbers either way.
     """
 
     def __init__(self, pool=None):
         self.pool = pool
         self.disk = pool.disk if pool is not None else None
+        self.pool_stats = _stats_view(pool)
+        self.disk_stats = _stats_view(self.disk)
         self.roots: list[OperatorStats] = []
         self._stack: list[OperatorStats] = []
 
@@ -266,19 +284,23 @@ class TraceCollector:
         else:
             self.roots.append(node)
         self._stack.append(node)
-        pool_before = self.pool.stats.snapshot() if self.pool is not None else None
-        disk_before = self.disk.stats.snapshot() if self.disk is not None else None
+        pool_before = (
+            self.pool_stats.snapshot() if self.pool_stats is not None else None
+        )
+        disk_before = (
+            self.disk_stats.snapshot() if self.disk_stats is not None else None
+        )
         started = time.perf_counter()
         try:
             yield node
         finally:
             node.time_ms += (time.perf_counter() - started) * 1000.0
             if pool_before is not None:
-                pool_delta = self.pool.stats.delta(pool_before)
+                pool_delta = self.pool_stats.delta(pool_before)
                 node.pool_hits += pool_delta.hits
                 node.pool_misses += pool_delta.misses
             if disk_before is not None:
-                disk_delta = self.disk.stats.delta(disk_before)
+                disk_delta = self.disk_stats.delta(disk_before)
                 node.page_reads += disk_delta.reads
                 node.io_ms += disk_delta.simulated_read_ms
             self._stack.pop()

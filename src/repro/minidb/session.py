@@ -1,0 +1,214 @@
+"""Sessions: per-connection execution state over a shared Database.
+
+The paper's serving experiment (Figure 6) runs many clients against one
+PostgreSQL server. The minidb equivalent is one :class:`Session` per client
+thread: sessions share the catalog, buffer pool and plan cache (that is what
+makes the throughput curve interesting), while each keeps its *own*
+``last_cost`` / ``last_trace`` / ``last_analysis`` and prepared-statement
+handles, so one connection's observability never clobbers another's.
+
+Isolation model (docs/ARCHITECTURE.md, "Concurrency model"):
+
+* Statement-level reader–writer latch on the database. Read statements
+  (``SELECT``, ``EXPLAIN``) hold it shared; everything else — DML, DDL,
+  ``VACUUM`` — holds it exclusively. Readers therefore always observe a
+  consistent catalog + page image, and writers never interleave (the
+  single-writer rule).
+* Plan-cache entries carry the catalog version they were built against.
+  The version is re-checked *after* the statement latch is acquired: DDL
+  cannot run while we hold the latch, so a version that matches under the
+  latch stays valid for the whole statement.
+* Cost/trace deltas are measured against the calling thread's private
+  counters (``DiskManager.thread_stats`` / ``BufferPool.thread_stats``),
+  which the storage layer charges in lockstep with the global ones —
+  attribution stays exact no matter how many sessions run concurrently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.minidb.metrics import QueryTrace, TraceCollector
+from repro.minidb.sql import ast
+from repro.minidb.sql.analyzer import Analysis
+from repro.minidb.sql.executor import Executor, Result
+from repro.minidb.sql.planner import plan_statement
+
+def _is_read_stmt(stmt) -> bool:
+    """Whether *stmt* only reads (shares the database latch).
+
+    ``EXPLAIN ANALYZE`` executes its inner statement, so an explained write
+    is still a write.
+    """
+    if isinstance(stmt, ast.Explain):
+        return _is_read_stmt(stmt.statement)
+    return isinstance(stmt, ast.Query)
+
+
+@dataclass
+class QueryCost:
+    """I/O accounting for a single statement."""
+
+    page_reads: int
+    pool_hits: int
+    simulated_io_ms: float
+    pool_misses: int = 0
+
+
+class PreparedStatement:
+    """A reusable handle for one SQL statement, bound to a session.
+
+    Thin by design: execution routes through :meth:`Session.execute`, so a
+    prepared statement's speed comes entirely from the shared plan cache —
+    repeat executions skip parse, analysis and planning (the cache hit
+    counter proves it) and stale entries re-plan automatically after DDL.
+    """
+
+    def __init__(self, session: "Session", sql: str, analyze: bool | None = None):
+        self.session = session
+        self.sql = sql
+        self.analyze = analyze
+
+    @property
+    def db(self):
+        return self.session.db
+
+    def execute(self, params: tuple | list = ()) -> Result:
+        return self.session.execute(self.sql, params, analyze=self.analyze)
+
+    def explain(self) -> list[str]:
+        """Static plan lines for this statement (no execution)."""
+        from repro.minidb.sql.plan import explain_lines
+
+        db = self.session.db
+        do_analyze = db.analyze if self.analyze is None else self.analyze
+        entry = db._ensure_cached(self.sql, do_analyze)
+        plan = entry.plan or plan_statement(entry.stmt, db.catalog)
+        return explain_lines(plan)
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.sql!r})"
+
+
+class Session:
+    """One connection's view of a :class:`~repro.minidb.engine.Database`.
+
+    Cheap to create (no pages are touched); hand one to each serving thread.
+    ``tracing``/``analyze`` default to ``None`` — inherit the database-wide
+    setting at call time — and can be pinned per session.
+    """
+
+    def __init__(self, db, tracing: bool | None = None, analyze: bool | None = None):
+        self.db = db
+        self.tracing = tracing
+        self.analyze = analyze
+        self.last_cost: QueryCost | None = None
+        self.last_trace: QueryTrace | None = None
+        self.last_analysis: Analysis | None = None
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        params: tuple | list = (),
+        analyze: bool | None = None,
+    ) -> Result:
+        """Parse, statically analyze (both cached) and run one statement.
+
+        Analysis is strict by default: semantic errors (unknown names, type
+        violations, misplaced aggregates, ...) raise *before* any page is
+        read. Pass ``analyze=False`` to skip it; access-path warnings
+        (``APL*``) never block execution."""
+        db = self.db
+        if analyze is None:
+            analyze = self.analyze
+        do_analyze = db.analyze if analyze is None else analyze
+        entry = db._ensure_cached(sql, do_analyze)
+        write = not _is_read_stmt(entry.stmt)
+        latch = db._stmt_latch
+        if write:
+            latch.acquire_write()
+        else:
+            latch.acquire_read()
+        try:
+            if entry.version != db.catalog.version:
+                # DDL slipped in between the cache probe and the latch.
+                # It cannot happen again while we hold the latch, so one
+                # re-probe suffices.
+                entry = db._ensure_cached(sql, do_analyze)
+            self.last_analysis = entry.analysis
+            if do_analyze and entry.analysis is not None:
+                entry.analysis.raise_if_errors()
+            plan = entry.plan
+            if plan is None:
+                # Planning failed (or was skipped) when the entry was built;
+                # re-plan per execution so the original error surfaces here.
+                plan = plan_statement(entry.stmt, db.catalog)
+            disk_stats = db.disk.thread_stats()
+            pool_stats = db.pool.thread_stats()
+            disk_before = disk_stats.snapshot()
+            pool_before = pool_stats.snapshot()
+            tracing = db.tracing if self.tracing is None else self.tracing
+            collector = TraceCollector(db.pool) if tracing else None
+            started = time.perf_counter()
+            result = Executor(
+                db.catalog, tuple(params), collector=collector
+            ).run(plan)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            disk_delta = disk_stats.delta(disk_before)
+            pool_delta = pool_stats.delta(pool_before)
+            self.last_cost = QueryCost(
+                page_reads=disk_delta.reads,
+                pool_hits=pool_delta.hits,
+                simulated_io_ms=disk_delta.simulated_read_ms,
+                pool_misses=pool_delta.misses,
+            )
+            if collector is not None:
+                trace = QueryTrace(
+                    sql=sql,
+                    roots=collector.roots,
+                    total_ms=elapsed_ms,
+                    pool_hits=pool_delta.hits,
+                    pool_misses=pool_delta.misses,
+                    page_reads=disk_delta.reads,
+                    io_ms=disk_delta.simulated_read_ms,
+                )
+                self.last_trace = trace
+                result.trace = trace
+            else:
+                # Never leave a previous statement's trace lying around — a
+                # stale tree would silently misattribute this statement's I/O.
+                self.last_trace = None
+            return result
+        finally:
+            if write:
+                latch.release_write()
+            else:
+                latch.release_read()
+
+    def executemany(self, sql: str, param_rows) -> int:
+        """Run one DML statement for each parameter tuple."""
+        count = 0
+        for params in param_rows:
+            self.execute(sql, params)
+            count += 1
+        return count
+
+    def prepare(self, sql: str, analyze: bool | None = None) -> PreparedStatement:
+        """Parse, analyze and plan *sql* once, returning a reusable handle.
+
+        Semantic errors raise here (when analysis is on), not at the first
+        ``execute``. The handle stays valid across DDL: a catalog-version
+        bump invalidates the cached plan and the next execution re-plans."""
+        db = self.db
+        if analyze is None:
+            analyze = self.analyze
+        do_analyze = db.analyze if analyze is None else analyze
+        entry = db._ensure_cached(sql, do_analyze)
+        if do_analyze and entry.analysis is not None:
+            entry.analysis.raise_if_errors()
+        return PreparedStatement(self, sql, analyze)
+
+    def __repr__(self) -> str:
+        return f"Session(db={self.db!r})"

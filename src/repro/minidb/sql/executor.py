@@ -66,10 +66,10 @@ def _traced_gen(stats, gen, collector):
     parent's counters are inclusive of its children (the ``self_*``
     properties on OperatorStats subtract them back out).
     """
-    pool = collector.pool
-    disk = collector.disk
-    pool_stats = pool.stats if pool is not None else None
-    disk_stats = disk.stats if disk is not None else None
+    # Per-thread views when available, so concurrent sessions' I/O never
+    # bleeds into this statement's operator tree.
+    pool_stats = collector.pool_stats
+    disk_stats = collector.disk_stats
     while True:
         pool_before = pool_stats.snapshot() if pool_stats is not None else None
         disk_before = disk_stats.snapshot() if disk_stats is not None else None

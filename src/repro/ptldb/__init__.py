@@ -6,11 +6,12 @@ from repro.ptldb.calendar import (
     ServicePeriod,
     weekday_weekend_periods,
 )
-from repro.ptldb.framework import PTLDB, TargetSetHandle
+from repro.ptldb.framework import PTLDB, PTLDBClient, TargetSetHandle
 from repro.ptldb.schema import LIN_DDL, LOUT_DDL, load_labels
 
 __all__ = [
     "PTLDB",
+    "PTLDBClient",
     "TargetSetHandle",
     "AuxTables",
     "LOUT_DDL",

@@ -44,62 +44,14 @@ class TargetSetHandle:
     build_seconds: dict = field(default_factory=dict)
 
 
-class PTLDB:
-    """Public Transportation Labels on the DataBase."""
+class _QueryAPI:
+    """The seven PTLDB query types, written against an abstract executor.
 
-    def __init__(self, db: Database, labels: TTLLabels, compressed: bool = False):
-        self.db = db
-        self.labels = labels
-        self.num_stops = labels.num_stops
-        self.compressed = compressed
-        self.time_low, self.time_high = label_time_range(labels)
-        self._handles: dict[str, TargetSetHandle] = {}
-        load_labels(db, labels, compressed=compressed)
-        # Every query family runs through a prepared statement: the vertex-
-        # to-vertex texts are known up front, the per-target-set texts are
-        # prepared on first use. Repeat queries hit the engine's plan cache
-        # and skip parse/analyze/plan entirely.
-        self._prepared: dict[str, object] = {}
-        for sql in (sqltext.V2V_EA, sqltext.V2V_LD, sqltext.V2V_SD):
-            self._prepared[sql] = db.prepare(sql)
-
-    def _exec(self, sql: str, params: tuple):
-        """Execute *sql* through its (lazily created) prepared statement."""
-        stmt = self._prepared.get(sql)
-        if stmt is None:
-            stmt = self._prepared[sql] = self.db.prepare(sql)
-        return stmt.execute(params)
-
-    # ------------------------------------------------------------------
-    @classmethod
-    def from_timetable(
-        cls,
-        timetable: Timetable,
-        device: str = "ram",
-        pool_pages: int = 4096,
-        ordering: str = "event_degree",
-        labels: TTLLabels | None = None,
-        compressed: bool = False,
-    ) -> "PTLDB":
-        """Preprocess (unless labels are given) and load into a fresh DB."""
-        if labels is None:
-            labels = preprocess(timetable, ordering=ordering)
-        db = Database(device=device, pool_pages=pool_pages)
-        return cls(db, labels, compressed=compressed)
-
-    def restart(self) -> None:
-        """Cold-cache restart (the paper's pre-experiment server restart)."""
-        self.db.restart()
-
-    @property
-    def last_trace(self):
-        """Per-operator :class:`~repro.minidb.metrics.QueryTrace` of the
-        most recent SQL statement any query method executed."""
-        return self.db.last_trace
-
-    def explain_analyze(self, sql: str, params: tuple = ()) -> list[str]:
-        """Annotated plan lines for *sql* (runs the statement once)."""
-        return [row[0] for row in self.db.execute("EXPLAIN ANALYZE " + sql, params)]
+    Mixed into both :class:`PTLDB` (queries run on the database's default
+    session) and :class:`PTLDBClient` (queries run on a private session, one
+    per serving thread). Subclasses provide ``_exec``, ``handle``,
+    ``_require`` and ``_check_stop``.
+    """
 
     # ------------------------------------------------------------------
     # Vertex-to-vertex queries (Code 1)
@@ -125,73 +77,6 @@ class PTLDB:
         return self._exec(
             sqltext.V2V_SD, (source, goal, depart_at, arrive_by)
         ).scalar()
-
-    # ------------------------------------------------------------------
-    # Target sets and auxiliary tables
-    # ------------------------------------------------------------------
-    def build_target_set(
-        self,
-        tag: str,
-        targets,
-        kmax: int = 16,
-        interval_s: int = DEFAULT_INTERVAL_S,
-        families: tuple[str, ...] = ("knn_ea", "knn_ld", "otm_ea", "otm_ld"),
-    ) -> TargetSetHandle:
-        """Register a target set and build the requested table families.
-
-        Families: ``knn_ea``, ``knn_ld``, ``otm_ea``, ``otm_ld``,
-        ``naive_ea``, ``naive_ld``. The paper builds one table per (D, kmax)
-        configuration; use a distinct *tag* per configuration here.
-        """
-        targets = frozenset(int(t) for t in targets)
-        for t in targets:
-            self._check_stop(t)
-        if not tag.isidentifier():
-            raise DatabaseError(f"tag {tag!r} must be a valid identifier")
-        low_hour = self.time_low // interval_s
-        high_hour = self.time_high // interval_s
-        targets_table = aux_mod.create_targets_table(self.db, tag, targets)
-        hours_table = aux_mod.create_hours_table(self.db, tag, low_hour, high_hour)
-        handle = TargetSetHandle(
-            aux=aux_mod.AuxTables(
-                tag=tag,
-                targets_table=targets_table,
-                hours_table=hours_table,
-                kmax=kmax,
-                interval_s=interval_s,
-                low_hour=low_hour,
-                high_hour=high_hour,
-            ),
-            targets=targets,
-        )
-        self._handles[tag] = handle
-        builders = {
-            "knn_ea": aux_mod.build_knn_ea,
-            "knn_ld": aux_mod.build_knn_ld,
-            "otm_ea": aux_mod.build_otm_ea,
-            "otm_ld": aux_mod.build_otm_ld,
-            "naive_ea": aux_mod.build_naive_ea,
-            "naive_ld": aux_mod.build_naive_ld,
-        }
-        for family in families:
-            if family not in builders:
-                raise DatabaseError(
-                    f"unknown family {family!r}; choose from {sorted(builders)}"
-                )
-            started = time.perf_counter()
-            builders[family](self.db, handle.aux)
-            handle.build_seconds[family] = time.perf_counter() - started
-            handle.built.add(family)
-        self.db.pool.flush()
-        return handle
-
-    def handle(self, tag: str) -> TargetSetHandle:
-        try:
-            return self._handles[tag]
-        except KeyError:
-            raise DatabaseError(
-                f"no target set {tag!r}; call build_target_set first"
-            ) from None
 
     # ------------------------------------------------------------------
     # kNN queries (Codes 2-4)
@@ -337,6 +222,140 @@ class PTLDB:
             if arrival <= deadline
         }
 
+
+class PTLDB(_QueryAPI):
+    """Public Transportation Labels on the DataBase."""
+
+    def __init__(self, db: Database, labels: TTLLabels, compressed: bool = False):
+        self.db = db
+        self.labels = labels
+        self.num_stops = labels.num_stops
+        self.compressed = compressed
+        self.time_low, self.time_high = label_time_range(labels)
+        self._handles: dict[str, TargetSetHandle] = {}
+        load_labels(db, labels, compressed=compressed)
+        # Every query family runs through a prepared statement: the vertex-
+        # to-vertex texts are known up front, the per-target-set texts are
+        # prepared on first use. Repeat queries hit the engine's plan cache
+        # and skip parse/analyze/plan entirely.
+        self._prepared: dict[str, object] = {}
+        for sql in (sqltext.V2V_EA, sqltext.V2V_LD, sqltext.V2V_SD):
+            self._prepared[sql] = db.prepare(sql)
+
+    def _exec(self, sql: str, params: tuple):
+        """Execute *sql* through its (lazily created) prepared statement."""
+        stmt = self._prepared.get(sql)
+        if stmt is None:
+            stmt = self._prepared[sql] = self.db.prepare(sql)
+        return stmt.execute(params)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_timetable(
+        cls,
+        timetable: Timetable,
+        device: str = "ram",
+        pool_pages: int = 4096,
+        ordering: str = "event_degree",
+        labels: TTLLabels | None = None,
+        compressed: bool = False,
+    ) -> "PTLDB":
+        """Preprocess (unless labels are given) and load into a fresh DB."""
+        if labels is None:
+            labels = preprocess(timetable, ordering=ordering)
+        db = Database(device=device, pool_pages=pool_pages)
+        return cls(db, labels, compressed=compressed)
+
+    def restart(self) -> None:
+        """Cold-cache restart (the paper's pre-experiment server restart)."""
+        self.db.restart()
+
+    @property
+    def last_trace(self):
+        """Per-operator :class:`~repro.minidb.metrics.QueryTrace` of the
+        most recent SQL statement any query method executed."""
+        return self.db.last_trace
+
+    def explain_analyze(self, sql: str, params: tuple = ()) -> list[str]:
+        """Annotated plan lines for *sql* (runs the statement once)."""
+        return [row[0] for row in self.db.execute("EXPLAIN ANALYZE " + sql, params)]
+
+    def client(self, tracing: bool | None = None) -> "PTLDBClient":
+        """Open a per-thread query client over this framework's database.
+
+        Each client runs on its own :class:`~repro.minidb.session.Session`
+        (private prepared handles, cost and trace), while target sets, the
+        plan cache and the buffer pool stay shared — the paper's Figure 6
+        multi-client serving setup."""
+        return PTLDBClient(self, tracing=tracing)
+
+    # ------------------------------------------------------------------
+    # Target sets and auxiliary tables
+    # ------------------------------------------------------------------
+    def build_target_set(
+        self,
+        tag: str,
+        targets,
+        kmax: int = 16,
+        interval_s: int = DEFAULT_INTERVAL_S,
+        families: tuple[str, ...] = ("knn_ea", "knn_ld", "otm_ea", "otm_ld"),
+    ) -> TargetSetHandle:
+        """Register a target set and build the requested table families.
+
+        Families: ``knn_ea``, ``knn_ld``, ``otm_ea``, ``otm_ld``,
+        ``naive_ea``, ``naive_ld``. The paper builds one table per (D, kmax)
+        configuration; use a distinct *tag* per configuration here.
+        """
+        targets = frozenset(int(t) for t in targets)
+        for t in targets:
+            self._check_stop(t)
+        if not tag.isidentifier():
+            raise DatabaseError(f"tag {tag!r} must be a valid identifier")
+        low_hour = self.time_low // interval_s
+        high_hour = self.time_high // interval_s
+        targets_table = aux_mod.create_targets_table(self.db, tag, targets)
+        hours_table = aux_mod.create_hours_table(self.db, tag, low_hour, high_hour)
+        handle = TargetSetHandle(
+            aux=aux_mod.AuxTables(
+                tag=tag,
+                targets_table=targets_table,
+                hours_table=hours_table,
+                kmax=kmax,
+                interval_s=interval_s,
+                low_hour=low_hour,
+                high_hour=high_hour,
+            ),
+            targets=targets,
+        )
+        self._handles[tag] = handle
+        builders = {
+            "knn_ea": aux_mod.build_knn_ea,
+            "knn_ld": aux_mod.build_knn_ld,
+            "otm_ea": aux_mod.build_otm_ea,
+            "otm_ld": aux_mod.build_otm_ld,
+            "naive_ea": aux_mod.build_naive_ea,
+            "naive_ld": aux_mod.build_naive_ld,
+        }
+        for family in families:
+            if family not in builders:
+                raise DatabaseError(
+                    f"unknown family {family!r}; choose from {sorted(builders)}"
+                )
+            started = time.perf_counter()
+            builders[family](self.db, handle.aux)
+            handle.build_seconds[family] = time.perf_counter() - started
+            handle.built.add(family)
+        self.db.pool.flush()
+        return handle
+
+    def handle(self, tag: str) -> TargetSetHandle:
+        try:
+            return self._handles[tag]
+        except KeyError:
+            raise DatabaseError(
+                f"no target set {tag!r}; call build_target_set first"
+            ) from None
+
     # ------------------------------------------------------------------
     def storage_report(self) -> dict:
         """Table/page statistics (the paper's §4.3 footprint discussion)."""
@@ -359,3 +378,45 @@ class PTLDB:
             raise DatabaseError(
                 f"stop {stop} out of range [0, {self.num_stops})"
             )
+
+
+class PTLDBClient(_QueryAPI):
+    """One serving thread's connection to a shared :class:`PTLDB`.
+
+    Runs the full query API on a private minidb session: prepared handles,
+    ``last_cost`` and ``last_trace`` belong to this client alone, so N
+    clients can serve queries concurrently without trampling each other's
+    observability. Target sets registered on the parent are visible here.
+    """
+
+    def __init__(self, ptldb: PTLDB, tracing: bool | None = None):
+        self.ptldb = ptldb
+        self.db = ptldb.db
+        self.session = ptldb.db.session(tracing=tracing)
+        self.num_stops = ptldb.num_stops
+        self._prepared: dict[str, object] = {}
+
+    def _exec(self, sql: str, params: tuple):
+        stmt = self._prepared.get(sql)
+        if stmt is None:
+            stmt = self._prepared[sql] = self.session.prepare(sql)
+        return stmt.execute(params)
+
+    def handle(self, tag: str) -> TargetSetHandle:
+        return self.ptldb.handle(tag)
+
+    def _require(self, tag: str, family: str) -> TargetSetHandle:
+        return self.ptldb._require(tag, family)
+
+    def _check_stop(self, stop: int) -> None:
+        self.ptldb._check_stop(stop)
+
+    @property
+    def last_trace(self):
+        """Per-operator trace of this client's most recent statement."""
+        return self.session.last_trace
+
+    @property
+    def last_cost(self):
+        """I/O cost of this client's most recent statement."""
+        return self.session.last_cost

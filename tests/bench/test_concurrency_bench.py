@@ -1,0 +1,72 @@
+"""Tests for the concurrent serving experiment harness."""
+
+import pytest
+
+from repro.bench.experiment_concurrency import (
+    build_workload,
+    run_serving_experiment,
+)
+from repro.timetable.generator import random_timetable
+
+
+@pytest.fixture(scope="module")
+def report():
+    timetable = random_timetable(18, 160, seed=11)
+    return run_serving_experiment(
+        dataset="tiny",
+        device="hdd",
+        thread_counts=(1, 2, 4, 8),
+        queries_per_thread=3,
+        timetable=timetable,
+    )
+
+
+class TestServingExperiment:
+    def test_overall_ok(self, report):
+        assert report["ok"] is True
+
+    def test_one_run_per_thread_count(self, report):
+        assert [run["threads"] for run in report["runs"]] == [1, 2, 4, 8]
+
+    def test_every_run_clean(self, report):
+        total = report["total_queries"]
+        for run in report["runs"]:
+            assert run["errors"] == []
+            assert run["mismatches"] == 0
+            assert run["stats_consistent"] is True
+            assert run["total_queries"] == total
+            assert run["throughput_qps"] > 0
+            assert run["makespan_ms"] > 0
+
+    def test_per_thread_shards_cover_workload(self, report):
+        for run in report["runs"]:
+            assert len(run["per_thread"]) == run["threads"]
+            assert (
+                sum(t["queries"] for t in run["per_thread"])
+                == run["total_queries"]
+            )
+            for t in run["per_thread"]:
+                assert t["p95_ms"] >= t["p50_ms"] >= 0
+
+    def test_insert_check_found_every_row(self, report):
+        check = report["insert_check"]
+        assert check["ok"] is True
+        assert check["lost_keys"] == []
+        assert check["rows_found"] == check["rows_expected"]
+
+    def test_makespan_shrinks_with_threads(self, report):
+        # Identical workload spread over more threads: the slowest thread
+        # does strictly less work, so the simulated makespan cannot grow
+        # much. Allow slack for CPU-time noise under the GIL.
+        one = report["runs"][0]["makespan_ms"]
+        eight = report["runs"][-1]["makespan_ms"]
+        assert eight < one
+
+
+class TestWorkloadBuilder:
+    def test_families_interleaved(self):
+        timetable = random_timetable(18, 160, seed=11)
+        items = build_workload(timetable, total=8, k=2, seed=5)
+        assert [family for family, _, _ in items] == [
+            "v2v_ea", "v2v_ld", "knn_ea", "otm_ea",
+        ] * 2

@@ -88,6 +88,28 @@ class TestSplits:
         for i in range(0, 1200, 37):
             assert tree.search((i,)) == (i, 0)
 
+    def test_split_cascade_on_capacity_one_pool(self):
+        # Regression: a split allocates the right sibling while the node
+        # being split (and its whole ancestor path) must stay resident.
+        # Pre-fix a capacity-1 pool evicted the parent mid-split; the pin
+        # stack now keeps the root-to-leaf path over capacity instead.
+        tree, pool = make_tree(capacity=1)
+        for i in range(2500):
+            tree.insert((i,), (i, 0))
+        assert tree.height() >= 2
+        pool.clear()  # also proves no operation leaked a pin
+        for i in range(0, 2500, 53):
+            assert tree.search((i,)) == (i, 0)
+
+    def test_remove_and_scan_on_capacity_one_pool(self):
+        tree, pool = make_tree(capacity=1)
+        for i in range(800):
+            tree.insert((i,), (i, 0))
+        for i in range(0, 800, 2):
+            assert tree.remove((i,))
+        assert [k[0] for k, _ in tree.scan()] == list(range(1, 800, 2))
+        pool.clear()
+
 
 class TestScan:
     def test_range_scan(self):

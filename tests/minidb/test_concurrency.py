@@ -1,0 +1,128 @@
+"""Concurrent serving stress tests: shared Database, many sessions.
+
+The PTLDB-level stress (mixed v2v / kNN / one-to-many against a sequential
+reference) lives here rather than in tests/ptldb because what it exercises
+is the minidb concurrency layer: pins, frame latches, the statement latch
+and per-thread accounting.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.minidb.engine import Database
+
+NOON = 12 * 3600
+
+
+def mixed_queries(ptldb, api, count=24):
+    """Deterministic mixed workload results via *api* (PTLDB or client)."""
+    out = []
+    for i in range(count):
+        source = i % ptldb.num_stops
+        goal = (i * 7 + 3) % ptldb.num_stops
+        kind = i % 4
+        if kind == 0:
+            out.append(api.earliest_arrival(source, goal, NOON))
+        elif kind == 1:
+            out.append(api.latest_departure(source, goal, 2 * NOON))
+        elif kind == 2:
+            out.append(api.ea_knn("poi", source, NOON, 2))
+        else:
+            out.append(api.ea_one_to_many("poi", source, NOON))
+    return out
+
+
+class TestConcurrentServing:
+    @pytest.mark.parametrize("threads", [4, 8])
+    def test_mixed_workload_matches_sequential(self, small_ptldb, threads):
+        reference = mixed_queries(small_ptldb, small_ptldb)
+        clients = [small_ptldb.client(tracing=False) for _ in range(threads)]
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            results = list(
+                executor.map(
+                    lambda c: mixed_queries(small_ptldb, c), clients
+                )
+            )
+        for got in results:
+            assert got == reference
+
+    def test_traced_clients_do_not_cross_attribute(self, small_ptldb):
+        clients = [small_ptldb.client(tracing=True) for _ in range(4)]
+
+        def run(client):
+            client.earliest_arrival(2, 9, NOON)
+            trace = client.last_trace
+            assert trace is not None
+            return trace.validate()
+
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            problems = list(executor.map(run, clients))
+        assert problems == [[], [], [], []]
+
+    def test_client_costs_are_private(self, small_ptldb):
+        a = small_ptldb.client(tracing=False)
+        b = small_ptldb.client(tracing=False)
+        a.earliest_arrival(2, 9, NOON)
+        cost = a.last_cost
+        b.ea_one_to_many("poi", 3, NOON)
+        assert a.last_cost is cost
+
+
+class TestConcurrentWrites:
+    def test_no_lost_inserts(self):
+        db = Database(device="ram")
+        db.execute("CREATE TABLE scratch (k BIGINT, v BIGINT, PRIMARY KEY (k))")
+        threads, per_thread = 6, 25
+
+        def writer(worker):
+            session = db.session(tracing=False)
+            for i in range(per_thread):
+                session.execute(
+                    "INSERT INTO scratch VALUES ($1, $2)",
+                    (worker * per_thread + i, worker),
+                )
+
+        with ThreadPoolExecutor(max_workers=threads) as executor:
+            list(executor.map(writer, range(threads)))
+        rows = db.execute("SELECT k, v FROM scratch").rows
+        assert len(rows) == threads * per_thread
+        assert {k for k, _ in rows} == set(range(threads * per_thread))
+        for k, v in rows:
+            assert v == k // per_thread  # no torn row pairs either
+
+    def test_readers_and_writer_interleave_safely(self):
+        db = Database(device="ram")
+        db.execute("CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY (k))")
+        for i in range(20):
+            db.execute("INSERT INTO kv VALUES ($1, $2)", (i, i))
+        errors = []
+
+        def reader(_):
+            session = db.session(tracing=False)
+            try:
+                for i in range(40):
+                    got = session.execute(
+                        "SELECT v FROM kv WHERE k=$1", (i % 20,)
+                    ).scalar()
+                    assert got == i % 20
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def writer(_):
+            session = db.session(tracing=False)
+            try:
+                for i in range(20):
+                    session.execute(
+                        "INSERT INTO kv VALUES ($1, $2)", (100 + i, 100 + i)
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        with ThreadPoolExecutor(max_workers=5) as executor:
+            jobs = [executor.submit(reader, i) for i in range(4)]
+            jobs.append(executor.submit(writer, 0))
+            for job in jobs:
+                job.result()
+        assert errors == []
+        assert len(db.execute("SELECT k FROM kv").rows) == 40

@@ -99,9 +99,15 @@ class TestBufferPool:
         with pytest.raises(StorageError):
             BufferPool(disk, capacity=0)
 
+    def new_page(self, pool, kind=KIND_HEAP):
+        """Allocate and immediately unpin (tests mostly want evictable pages)."""
+        pid, page = pool.new_page(kind)
+        pool.unpin(pid)
+        return pid, page
+
     def test_hit_vs_miss(self):
         pool, disk = self.make()
-        pid, page = pool.new_page(KIND_HEAP)
+        pid, page = self.new_page(pool)
         pool.get(pid)
         assert pool.stats.hits == 1
         assert pool.stats.misses == 0
@@ -111,12 +117,12 @@ class TestBufferPool:
 
     def test_eviction_writes_back_dirty(self):
         pool, disk = self.make(capacity=2)
-        pid, page = pool.new_page(KIND_HEAP)
+        pid, page = self.new_page(pool)
         page.insert(b"dirty data")
         pool.mark_dirty(pid)
         # admit two more pages, evicting the first
-        pool.new_page(KIND_HEAP)
-        pool.new_page(KIND_HEAP)
+        self.new_page(pool)
+        self.new_page(pool)
         assert not pool.resident(pid)
         assert pool.stats.evictions >= 1
         recovered = pool.get(pid)
@@ -124,15 +130,15 @@ class TestBufferPool:
 
     def test_mark_dirty_requires_resident(self):
         pool, _ = self.make(capacity=2)
-        pid, _ = pool.new_page(KIND_HEAP)
-        pool.new_page(KIND_HEAP)
-        pool.new_page(KIND_HEAP)  # evicts pid
+        pid, _ = self.new_page(pool)
+        self.new_page(pool)
+        self.new_page(pool)  # evicts pid
         with pytest.raises(StorageError):
             pool.mark_dirty(pid)
 
     def test_clear_flushes(self):
         pool, disk = self.make()
-        pid, page = pool.new_page(KIND_HEAP)
+        pid, page = self.new_page(pool)
         page.insert(b"payload")
         pool.mark_dirty(pid)
         pool.clear()
@@ -142,16 +148,176 @@ class TestBufferPool:
 
     def test_lru_order(self):
         pool, _ = self.make(capacity=2)
-        a, _ = pool.new_page(KIND_HEAP)
-        b, _ = pool.new_page(KIND_HEAP)
+        a, _ = self.new_page(pool)
+        b, _ = self.new_page(pool)
         pool.get(a)  # a becomes most-recent
-        pool.new_page(KIND_HEAP)  # evicts b, not a
+        self.new_page(pool)  # evicts b, not a
         assert pool.resident(a)
         assert not pool.resident(b)
 
     def test_clear_resets_sequential_run(self):
         pool, disk = self.make()
-        pid, _ = pool.new_page(KIND_HEAP)
+        pid, _ = self.new_page(pool)
         pool.clear()
         pool.get(pid)  # must be charged as a random read, not sequential
         assert disk.stats.sequential_reads == 0
+
+
+class TestPins:
+    """Pin/unpin reference counts: the eviction-while-referenced fix."""
+
+    def make(self, capacity=2):
+        disk = DiskManager(device=hdd_model())
+        return BufferPool(disk, capacity=capacity), disk
+
+    def test_new_page_is_pinned(self):
+        pool, _ = self.make()
+        pid, _ = pool.new_page(KIND_HEAP)
+        assert pool.pin_count(pid) == 1
+        pool.unpin(pid)
+        assert pool.pin_count(pid) == 0
+
+    def test_pinned_page_never_evicted(self):
+        # Pre-fix, admitting pages beyond capacity evicted the page the
+        # caller was still mutating; mark_dirty then crashed "not resident".
+        pool, _ = self.make(capacity=2)
+        pid, page = pool.new_page(KIND_HEAP)  # stays pinned
+        for _ in range(4):
+            other, _ = pool.new_page(KIND_HEAP)
+            pool.unpin(other)
+        assert pool.resident(pid)
+        page.insert(b"still here")
+        pool.mark_dirty(pid)  # pre-fix: StorageError
+        pool.unpin(pid)
+
+    def test_all_pinned_overflows_capacity(self):
+        pool, _ = self.make(capacity=1)
+        a, _ = pool.new_page(KIND_HEAP)
+        b, _ = pool.new_page(KIND_HEAP)  # both pinned: pool goes over capacity
+        assert pool.resident(a) and pool.resident(b)
+        assert len(pool) == 2
+        pool.unpin(a)
+        pool.unpin(b)
+        # The next admission evicts back down to capacity.
+        c, _ = pool.new_page(KIND_HEAP)
+        pool.unpin(c)
+        assert len(pool) <= 2
+
+    def test_unpin_errors(self):
+        pool, _ = self.make()
+        pid, _ = pool.new_page(KIND_HEAP)
+        pool.unpin(pid)
+        with pytest.raises(StorageError, match="not pinned"):
+            pool.unpin(pid)
+        with pytest.raises(StorageError, match="not resident"):
+            pool.unpin(999)
+
+    def test_pinned_context_manager(self):
+        pool, _ = self.make()
+        pid, _ = pool.new_page(KIND_HEAP)
+        pool.unpin(pid)
+        with pool.pinned(pid):
+            assert pool.pin_count(pid) == 1
+        assert pool.pin_count(pid) == 0
+
+    def test_clear_refuses_while_pinned(self):
+        pool, _ = self.make()
+        pid, _ = pool.new_page(KIND_HEAP)
+        with pytest.raises(StorageError, match="pinned"):
+            pool.clear()
+        pool.unpin(pid)
+        pool.clear()
+
+
+class TestIOAccounting:
+    """Satellite fixes: write-breaks-sequential-run and allocate charging."""
+
+    def test_write_between_reads_breaks_sequential_run(self):
+        # Pre-fix, read(0) write(5) read(1) charged read(1) as sequential:
+        # the head moved to page 5 in between, so it cannot be.
+        disk = DiskManager(device=hdd_model())
+        for _ in range(6):
+            disk.allocate()
+        disk.reset_stats()
+        disk.reset_access_history()
+        disk.read_page(0)
+        disk.write_page(5, bytearray(PAGE_SIZE))
+        disk.read_page(1)
+        assert disk.stats.sequential_reads == 0
+
+    def test_allocate_breaks_sequential_run(self):
+        disk = DiskManager(device=hdd_model())
+        disk.allocate()
+        disk.allocate()
+        disk.read_page(0)
+        disk.allocate()
+        disk.read_page(1)
+        assert disk.stats.sequential_reads == 0
+
+    def test_reset_access_history_is_public(self):
+        disk = DiskManager(device=hdd_model())
+        disk.allocate()
+        disk.allocate()
+        disk.read_page(0)
+        disk.reset_access_history()
+        disk.read_page(1)  # would be sequential without the reset
+        assert disk.stats.sequential_reads == 0
+
+    def test_allocate_charges_write_in_memory(self):
+        disk = DiskManager(device=hdd_model())
+        disk.allocate()
+        assert disk.stats.writes == 1
+        assert disk.stats.simulated_write_ms == pytest.approx(
+            hdd_model().write_ms
+        )
+
+    def test_allocate_charges_identically_file_backed(self, tmp_path):
+        # Pre-fix, only the file-backed path physically wrote the zero page
+        # and neither path charged it: bulk-load write counts diverged from
+        # what the device actually did.
+        mem = DiskManager(device=hdd_model())
+        filed = DiskManager(
+            path=os.path.join(tmp_path, "db.pages"), device=hdd_model()
+        )
+        for disk in (mem, filed):
+            for _ in range(3):
+                disk.allocate()
+        assert mem.stats.writes == filed.stats.writes == 3
+        assert mem.stats.simulated_write_ms == pytest.approx(
+            filed.stats.simulated_write_ms
+        )
+        filed.close()
+
+    def test_clear_resets_io_stats_exactly(self):
+        disk = DiskManager(device=hdd_model())
+        pool = BufferPool(disk, capacity=2)
+        pid, page = pool.new_page(KIND_HEAP)
+        page.insert(b"x")
+        pool.mark_dirty(pid)
+        pool.unpin(pid)
+        pool.clear()
+        # After the cold-cache restart every counter starts from zero...
+        assert disk.stats.reads == 0
+        assert disk.stats.writes == 0
+        assert disk.stats.simulated_read_ms == 0.0
+        assert disk.stats.simulated_write_ms == 0.0
+        assert pool.stats.hits == pool.stats.misses == pool.stats.evictions == 0
+        # ...so post-restart deltas are exact: one random read, nothing else.
+        pool.get(pid)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 0
+        assert disk.stats.sequential_reads == 0
+        assert disk.stats.simulated_read_ms == pytest.approx(
+            hdd_model().random_read_ms
+        )
+
+    def test_thread_stats_match_global_single_threaded(self):
+        disk = DiskManager(device=hdd_model())
+        pool = BufferPool(disk, capacity=2)
+        pid, _ = pool.new_page(KIND_HEAP)
+        pool.unpin(pid)
+        pool.get(pid)
+        assert disk.thread_stats().reads == disk.stats.reads
+        assert disk.thread_stats().writes == disk.stats.writes
+        assert pool.thread_stats().hits == pool.stats.hits
+        assert pool.thread_stats().misses == pool.stats.misses

@@ -72,6 +72,47 @@ class TestOverflow:
         assert heap.read(rid) == big
 
 
+class TestTinyPool:
+    """Regression tests for eviction-while-referenced (fixed via pins).
+
+    Pre-fix, extending the heap chain on a capacity-1 pool evicted the old
+    tail while it was still being mutated and ``mark_dirty`` crashed with
+    "not resident"; overflow writes had the same hazard.
+    """
+
+    def test_two_page_insert_on_capacity_one_pool(self):
+        heap, pool = make_heap(capacity=1)
+        payloads = [bytes([i]) * 500 for i in range(40)]  # forces a 2nd page
+        rids = [heap.insert(p) for p in payloads]
+        assert len(heap.page_ids()) > 1
+        for rid, payload in zip(rids, payloads):
+            assert heap.read(rid) == payload
+
+    def test_overflow_chain_on_capacity_one_pool(self):
+        heap, pool = make_heap(capacity=1)
+        big = b"Q" * 40_000  # ~5 overflow pages
+        rid = heap.insert(big)
+        assert heap.read(rid) == big
+
+    def test_no_pins_leak(self):
+        heap, pool = make_heap(capacity=1)
+        heap.insert(b"y" * 30_000)
+        for i in range(30):
+            heap.insert(bytes([i]) * 400)
+        list(heap.scan())
+        # clear() raises if any operation forgot to unpin.
+        pool.clear()
+
+    def test_scan_interleaved_with_reads(self):
+        # The scan's current page stays pinned while overflow chains are
+        # followed in between; pre-fix it could be evicted mid-scan.
+        heap, pool = make_heap(capacity=2)
+        payloads = [b"s1", b"B" * 20_000, b"s2", b"C" * 20_000, b"s3"]
+        for p in payloads:
+            heap.insert(p)
+        assert [rec for _, rec in heap.scan()] == payloads
+
+
 class TestDelete:
     def test_deleted_records_skipped_by_scan(self):
         heap, _ = make_heap()
