@@ -1,0 +1,222 @@
+"""Row vs batch executor on the paper's query families (perf smoke).
+
+The vectorized executor must be a pure optimization: identical result sets,
+identical per-query page-I/O (reads and pool misses), zero plan divergence
+— only CPU time may change. This harness runs the v2v, kNN and one-to-many
+families twice on the same loaded PTLDB, once with ``db.vectorize = False``
+(the row-at-a-time executor) and once with the default batch executor, and
+verifies all of the above per query before reporting speedups.
+
+CI runs it as a perf-smoke gate: the run **fails** if the batch path is
+slower than the row path on any family, if any query's rows differ, or if
+any query's page-read/miss counts differ. The JSON report
+(``BENCH_vectorized.json`` in CI) carries the full per-family breakdown.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.experiment_vectorized \
+        --dataset "Salt Lake City" --queries 30 --out BENCH_vectorized.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.runner import BenchResult, run_batch
+from repro.bench.workload import batch_workload, v2v_workload
+from repro.ptldb.framework import PTLDB
+
+TAG_DENSITY = 0.05
+FAMILIES = ("v2v", "knn", "otm")
+
+
+def _build_thunk_lists(ptldb: PTLDB, timetable, k: int, n_queries: int, seed: int):
+    """Per-family lists of zero-arg callables, one PTLDB query each."""
+    from repro.bench.experiments import _ensure_targets
+
+    tag = _ensure_targets(
+        ptldb, timetable, TAG_DENSITY, max(4, k), ("knn_ea", "otm_ea")
+    )
+    v2v = v2v_workload(timetable, n=n_queries, seed=seed)
+    batch = batch_workload(timetable, n=n_queries, seed=seed + 1)
+    return {
+        "v2v": [
+            (lambda q=q: ptldb.earliest_arrival(q.source, q.goal, q.depart_at))
+            for q in v2v
+        ],
+        "knn": [
+            (lambda q=q: ptldb.ea_knn(tag, q.source, q.depart_at, k))
+            for q in batch
+        ],
+        "otm": [
+            (lambda q=q: ptldb.ea_one_to_many(tag, q.source, q.depart_at))
+            for q in batch
+        ],
+    }
+
+
+def _measure(ptldb: PTLDB, name: str, thunks, vectorize: bool):
+    """Run the family cold with the chosen executor, recording each query's
+    result value and page-I/O so the two modes can be diffed exactly."""
+    db = ptldb.db
+    values: list = []
+    io: list[tuple[int, int]] = []
+
+    def observed(call):
+        def wrapped():
+            value = call()
+            cost = db.last_cost
+            values.append(value)
+            io.append((cost.page_reads, cost.pool_misses) if cost else (0, 0))
+            return value
+
+        return wrapped
+
+    db.vectorize = vectorize
+    result = run_batch(
+        ptldb, name, (observed(t) for t in thunks), registry=None
+    )
+    return result, values, io
+
+
+def _family_report(
+    family: str, row: BenchResult, batch: BenchResult, checks: dict
+) -> dict:
+    speedup = (
+        row.avg_cpu_ms / batch.avg_cpu_ms if batch.avg_cpu_ms > 0 else 0.0
+    )
+    return {
+        "family": family,
+        "queries": row.queries,
+        "row_cpu_ms": round(row.avg_cpu_ms, 3),
+        "batch_cpu_ms": round(batch.avg_cpu_ms, 3),
+        "cpu_speedup": round(speedup, 2),
+        "row_io_ms": round(row.avg_io_ms, 3),
+        "batch_io_ms": round(batch.avg_io_ms, 3),
+        "row_page_reads": row.page_reads,
+        "batch_page_reads": batch.page_reads,
+        "row_plan_divergence": row.plan_divergence(),
+        "batch_plan_divergence": batch.plan_divergence(),
+        **checks,
+        "ok": (
+            checks["results_identical"]
+            and checks["page_io_identical"]
+            and speedup >= 1.0
+            and not batch.plan_divergence()
+        ),
+    }
+
+
+def run_vectorized_experiment(
+    dataset: str = "Salt Lake City",
+    device: str = "ssd",
+    k: int = 4,
+    n_queries: int = 30,
+    scale: str = "small",
+    seed: int = 42,
+) -> dict:
+    from repro.bench.experiments import get_bundle, get_ptldb
+
+    bundle = get_bundle(dataset, scale)
+    ptldb = get_ptldb(dataset, device, scale)
+    thunk_lists = _build_thunk_lists(
+        ptldb, bundle.timetable, k, n_queries, seed
+    )
+    families = []
+    try:
+        for family in FAMILIES:
+            thunks = thunk_lists[family]
+            row, row_values, row_io = _measure(
+                ptldb, f"{dataset}/{family}/row", thunks, vectorize=False
+            )
+            batch, batch_values, batch_io = _measure(
+                ptldb, f"{dataset}/{family}/batch", thunks, vectorize=True
+            )
+            checks = {
+                "results_identical": row_values == batch_values,
+                "page_io_identical": row_io == batch_io,
+            }
+            families.append(_family_report(family, row, batch, checks))
+    finally:
+        ptldb.db.vectorize = True  # the instance is cached across experiments
+    return {
+        "dataset": dataset,
+        "device": device,
+        "k": k,
+        "queries_per_family": n_queries,
+        "families": families,
+        "ok": all(f["ok"] for f in families),
+    }
+
+
+def experiment_vectorized(
+    datasets=None,
+    device: str = "ssd",
+    n_queries: int = 30,
+    scale: str = "small",
+) -> list[dict]:
+    """CLI-table rows: one per (dataset, family)."""
+    rows = []
+    for name in datasets or ["Salt Lake City"]:
+        report = run_vectorized_experiment(
+            name, device=device, n_queries=n_queries, scale=scale
+        )
+        for fam in report["families"]:
+            rows.append(
+                {
+                    "dataset": name,
+                    "device": device,
+                    "family": fam["family"],
+                    "row_cpu_ms": fam["row_cpu_ms"],
+                    "batch_cpu_ms": fam["batch_cpu_ms"],
+                    "cpu_speedup": fam["cpu_speedup"],
+                    "identical": fam["results_identical"]
+                    and fam["page_io_identical"],
+                    "ok": fam["ok"],
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Row vs batch executor perf smoke (fails if batch loses)"
+    )
+    parser.add_argument("--dataset", default="Salt Lake City")
+    parser.add_argument("--device", default="ssd", choices=["hdd", "ssd", "ram"])
+    parser.add_argument("--queries", type=int, default=30, help="per family")
+    parser.add_argument("--k", type=int, default=4)
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    report = run_vectorized_experiment(
+        args.dataset,
+        device=args.device,
+        k=args.k,
+        n_queries=args.queries,
+        scale=args.scale,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    for fam in report["families"]:
+        print(
+            f"{fam['family']:4s} row={fam['row_cpu_ms']:8.3f} ms "
+            f"batch={fam['batch_cpu_ms']:8.3f} ms "
+            f"speedup={fam['cpu_speedup']:5.2f}x "
+            f"results_identical={fam['results_identical']} "
+            f"page_io_identical={fam['page_io_identical']} ok={fam['ok']}"
+        )
+        if fam["batch_plan_divergence"]:
+            print(f"  divergence: {fam['batch_plan_divergence']}", file=sys.stderr)
+    if not report["ok"]:
+        print("vectorized perf smoke FAILED", file=sys.stderr)
+        return 1
+    print("vectorized perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,6 +130,35 @@ class BufferPool:
                 frame.pins += 1
             return frame.page
 
+    def prefetch(self, page_ids) -> int:
+        """Readahead: admit the missing pages among *page_ids* in one
+        sequential device run, returning how many were actually fetched.
+
+        Misses are recorded here (a prefetched page is still a pool miss —
+        it was not resident and a device read was issued for it), so
+        per-query ``misses``/``page_reads`` are identical with and without
+        readahead; only the *latency* charged changes, because the batched
+        :meth:`DiskManager.read_run` prices the run sequentially. The later
+        :meth:`get` for a prefetched page is an ordinary hit. Already-
+        resident pages are skipped without touching counters or LRU order.
+        """
+        with self._lock:
+            missing = sorted(
+                {pid for pid in page_ids if pid not in self._frames}
+            )
+            if not missing:
+                return 0
+            for buf in zip(missing, self.disk.read_run(missing)):
+                page_id, raw = buf
+                self._record_miss()
+                self._admit(page_id, Page(raw), dirty=False)
+            return len(missing)
+
+    def total_pins(self) -> int:
+        """Sum of all frames' pin counts (0 = no operation holds a page)."""
+        with self._lock:
+            return sum(frame.pins for frame in self._frames.values())
+
     def pin(self, page_id: int) -> Page:
         """Fetch *and* pin the page (shorthand for ``get(pin=True)``)."""
         return self.get(page_id, pin=True)

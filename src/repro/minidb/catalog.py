@@ -120,10 +120,14 @@ class Table:
             return None
         return decode_record(self.schema.types, self.heap.read(rid))
 
-    def scan(self):
-        """Yield every row (decoded tuples) in heap order."""
-        for _, raw in self.heap.scan():
-            yield decode_record(self.schema.types, raw)
+    def scan(self, readahead: int = 0):
+        """Yield every row (decoded tuples) in heap order.
+
+        ``readahead`` batches heap-chain page fetches into sequential
+        device runs (see :meth:`HeapFile.scan`)."""
+        types = self.schema.types
+        for _, raw in self.heap.scan(readahead=readahead):
+            yield decode_record(types, raw)
 
     def delete_row(self, rid: tuple[int, int], row: tuple) -> None:
         """Remove one row: heap tombstone plus index-entry removal."""

@@ -220,6 +220,35 @@ class DiskManager:
         self._file.seek(page_id * PAGE_SIZE)
         return bytearray(self._file.read(PAGE_SIZE))
 
+    def read_run(self, page_ids) -> list[bytearray]:
+        """Fetch several pages as **one** sequential run (readahead).
+
+        The buffer pool's prefetch path sorts the page ids ascending and
+        hands them here in one call, modeling a single multi-page device
+        request: the first page pays random latency unless it extends the
+        run already in progress, and every later page in the batch is
+        charged sequential cost — ascending ids inside one request never
+        seek, even across small gaps (the head passes over skipped pages
+        anyway; an elevator pass, not N independent reads). This is what
+        makes a heap scan under readahead pay the device's sequential rate,
+        matching the paper's sequential-vs-random effect structure.
+        """
+        buffers = []
+        for position, page_id in enumerate(page_ids):
+            self._check(page_id)
+            if position == 0:
+                sequential = page_id == self._last_read_page + 1
+            else:
+                sequential = page_id > self._last_read_page
+            self._last_read_page = page_id
+            self._charge_read(sequential)
+            if self._file is None:
+                buffers.append(bytearray(self._pages[page_id]))
+            else:
+                self._file.seek(page_id * PAGE_SIZE)
+                buffers.append(bytearray(self._file.read(PAGE_SIZE)))
+        return buffers
+
     def write_page(self, page_id: int, buf: bytearray | bytes) -> None:
         self._check(page_id)
         if len(buf) != PAGE_SIZE:

@@ -73,6 +73,9 @@ class Database:
         device: str | DeviceModel = "ram",
         pool_pages: int = 4096,
         path: str | None = None,
+        batch_size: int = 1024,
+        vectorize: bool = True,
+        readahead: int = 8,
     ):
         if isinstance(device, str):
             try:
@@ -95,6 +98,15 @@ class Database:
         self.plan_cache_invalidations = 0
         #: Set False to skip per-operator trace collection (hot loops).
         self.tracing = True
+        #: Batch-at-a-time execution (docs/ARCHITECTURE.md, "Vectorized
+        #: pipeline"). ``vectorize=False`` forces every query onto the
+        #: row-at-a-time executor; results are identical either way.
+        self.vectorize = bool(vectorize)
+        #: Rows per batch for the vectorized executor.
+        self.batch_size = max(1, int(batch_size))
+        #: Heap-scan readahead depth in pages (0 disables); prefetched
+        #: chain pages are charged the device's sequential read rate.
+        self.readahead = max(0, int(readahead))
         #: Set False to skip static analysis before execution (opt-out;
         #: per-call override via ``execute(..., analyze=False)``).
         self.analyze = True

@@ -52,11 +52,17 @@ class HeapFile:
             pool.mark_dirty(first_page)
             pool.unpin(first_page)
         self.first_page = first_page
+        #: Heap page ids in chain order. The chain only ever grows at the
+        #: tail (``_insert_cell``) and vacuum builds a fresh HeapFile, so
+        #: this stays exact for the file's lifetime. Scans use it to
+        #: prefetch the next pages of the chain in one sequential run.
+        self._chain: list[int] = []
         self._last_page = self._find_last_page()
 
     def _find_last_page(self) -> int:
         page_id = self.first_page
         while True:
+            self._chain.append(page_id)
             page = self.pool.get(page_id)
             if page.next_page == -1:
                 return page_id
@@ -93,18 +99,32 @@ class HeapFile:
                 page.delete(slot)
                 self.pool.mark_dirty(page_id)
 
-    def scan(self):
+    def scan(self, readahead: int = 0):
         """Yield ``(rid, record_bytes)`` over every live record, in rid order.
 
         The scan walks pages in chain order, which is also allocation order,
         so the device model sees mostly-sequential reads — as a real heap
-        scan would. The current page stays pinned while its slots are
-        walked (overflow reads in between can therefore never evict it);
-        the latch is released before each ``yield`` so consumers may issue
-        their own page operations freely.
+        scan would. With ``readahead=N`` the next N chain pages are
+        prefetched into the buffer pool as one batched device run before
+        being walked, so cold multi-page scans are charged the device's
+        *sequential* read rate even when overflow-chain reads interleave
+        with the heap pages (miss/hit totals are unchanged; see
+        ``BufferPool.prefetch``). The current page stays pinned while its
+        slots are walked (overflow reads in between can therefore never
+        evict it); the latch is released before each ``yield`` so consumers
+        may issue their own page operations freely.
         """
+        chain = self._chain
+        index = 0
         page_id = self.first_page
         while page_id != -1:
+            if (
+                readahead > 1
+                and index % readahead == 0
+                and index < len(chain)
+                and chain[index] == page_id
+            ):
+                self.pool.prefetch(chain[index : index + readahead])
             page = self.pool.pin(page_id)
             try:
                 next_page = page.next_page
@@ -122,6 +142,7 @@ class HeapFile:
             finally:
                 self.pool.unpin(page_id)
             page_id = next_page
+            index += 1
 
     def page_ids(self) -> list[int]:
         """All heap page ids of this file (excluding overflow pages)."""
@@ -147,6 +168,7 @@ class HeapFile:
                     self.pool.mark_dirty(page_id)
                 self.pool.unpin(page_id)
                 self._last_page = new_id
+                self._chain.append(new_id)
                 page_id, page = new_id, new_page
             with self.pool.latch(page_id).write():
                 slot = page.insert(cell)

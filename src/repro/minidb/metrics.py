@@ -40,6 +40,10 @@ class OperatorStats:
     detail: str = ""
     rows: int = 0
     loops: int = 1
+    #: Batch-mode pulls: how many chunks this operator yielded. Zero under
+    #: the row-at-a-time executor (which accounts per row, not per batch)
+    #: and for operators fused into a parent kernel.
+    pulls: int = 0
     time_ms: float = 0.0
     pool_hits: int = 0
     pool_misses: int = 0
@@ -72,14 +76,29 @@ class OperatorStats:
     def self_io_ms(self) -> float:
         return self.io_ms - sum(c.io_ms for c in self.children)
 
+    @property
+    def rows_per_pull(self) -> float:
+        """Mean batch size this operator produced (0 when not batched)."""
+        return self.rows / self.pulls if self.pulls else 0.0
+
     def stats_suffix(self) -> str:
-        """The ``EXPLAIN ANALYZE`` annotation appended to the plan line."""
-        return (
+        """The ``EXPLAIN ANALYZE`` annotation appended to the plan line.
+
+        The batch clause appears only for operators executed in batch mode,
+        so row-mode traces render exactly as before.
+        """
+        suffix = (
             f"(actual rows={self.rows} loops={self.loops} "
             f"time={self.time_ms:.3f} ms) "
             f"(buffers: hits={self.pool_hits} misses={self.pool_misses} "
             f"reads={self.page_reads} io={self.io_ms:.3f} ms)"
         )
+        if self.pulls:
+            suffix += (
+                f" (batch: pulls={self.pulls} "
+                f"rows/pull={self.rows_per_pull:.1f})"
+            )
+        return suffix
 
     def walk(self):
         """Yield this operator then every descendant, depth-first."""
@@ -142,6 +161,7 @@ class QueryTrace:
                 {
                     "calls": 0,
                     "rows": 0,
+                    "pulls": 0,
                     "pool_hits": 0,
                     "pool_misses": 0,
                     "page_reads": 0,
@@ -151,6 +171,7 @@ class QueryTrace:
             )
             stage["calls"] += 1
             stage["rows"] += op.rows
+            stage["pulls"] += op.pulls
             stage["pool_hits"] += op.self_pool_hits
             stage["pool_misses"] += op.self_pool_misses
             stage["page_reads"] += op.self_page_reads

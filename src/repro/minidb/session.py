@@ -34,6 +34,7 @@ from repro.minidb.sql import ast
 from repro.minidb.sql.analyzer import Analysis
 from repro.minidb.sql.executor import Executor, Result
 from repro.minidb.sql.planner import plan_statement
+from repro.minidb.sql.vectorized import BatchExecutor
 
 def _is_read_stmt(stmt) -> bool:
     """Whether *stmt* only reads (shares the database latch).
@@ -76,6 +77,12 @@ class PreparedStatement:
 
     def execute(self, params: tuple | list = ()) -> Result:
         return self.session.execute(self.sql, params, analyze=self.analyze)
+
+    def execute_many(self, param_rows) -> list[Result]:
+        """Run this statement once per parameter tuple with batched binding
+        (one plan-cache probe, one latch acquisition for the whole batch —
+        see :meth:`Session.execute_many`)."""
+        return self.session.execute_many(self.sql, param_rows, analyze=self.analyze)
 
     def explain(self) -> list[str]:
         """Static plan lines for this statement (no execution)."""
@@ -152,9 +159,7 @@ class Session:
             tracing = db.tracing if self.tracing is None else self.tracing
             collector = TraceCollector(db.pool) if tracing else None
             started = time.perf_counter()
-            result = Executor(
-                db.catalog, tuple(params), collector=collector
-            ).run(plan)
+            result = self._executor(plan, tuple(params), collector).run(plan)
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             disk_delta = disk_stats.delta(disk_before)
             pool_delta = pool_stats.delta(pool_before)
@@ -187,6 +192,24 @@ class Session:
             else:
                 latch.release_read()
 
+    def _executor(self, plan, params: tuple, collector):
+        """Pick the execution engine for *plan*.
+
+        Batch mode needs both the database knob and a batch-capable plan;
+        everything else (row-only constructs, DML, ``vectorize=False``)
+        takes the row-at-a-time executor. Results are identical either way.
+        """
+        db = self.db
+        if db.vectorize and getattr(plan, "batchable", False):
+            return BatchExecutor(
+                db.catalog,
+                params,
+                collector=collector,
+                batch_size=db.batch_size,
+                readahead=db.readahead,
+            )
+        return Executor(db.catalog, params, collector=collector)
+
     def executemany(self, sql: str, param_rows) -> int:
         """Run one DML statement for each parameter tuple."""
         count = 0
@@ -194,6 +217,60 @@ class Session:
             self.execute(sql, params)
             count += 1
         return count
+
+    def execute_many(self, sql: str, param_rows, analyze: bool | None = None) -> list[Result]:
+        """Run one statement once per parameter tuple with batched binding.
+
+        Amortizes the per-statement fixed costs across the whole batch: the
+        plan cache is probed once, the statement latch is acquired once and
+        trace collection is skipped, so only binding + execution remain in
+        the loop. Returns one :class:`Result` per parameter tuple, in order.
+        ``last_cost`` aggregates the batch's I/O; ``last_trace`` is cleared
+        (per-execution traces are a per-``execute`` feature).
+        """
+        db = self.db
+        if analyze is None:
+            analyze = self.analyze
+        do_analyze = db.analyze if analyze is None else analyze
+        entry = db._ensure_cached(sql, do_analyze)
+        write = not _is_read_stmt(entry.stmt)
+        latch = db._stmt_latch
+        if write:
+            latch.acquire_write()
+        else:
+            latch.acquire_read()
+        try:
+            if entry.version != db.catalog.version:
+                entry = db._ensure_cached(sql, do_analyze)
+            self.last_analysis = entry.analysis
+            if do_analyze and entry.analysis is not None:
+                entry.analysis.raise_if_errors()
+            plan = entry.plan
+            if plan is None:
+                plan = plan_statement(entry.stmt, db.catalog)
+            disk_stats = db.disk.thread_stats()
+            pool_stats = db.pool.thread_stats()
+            disk_before = disk_stats.snapshot()
+            pool_before = pool_stats.snapshot()
+            results = [
+                self._executor(plan, tuple(params), None).run(plan)
+                for params in param_rows
+            ]
+            disk_delta = disk_stats.delta(disk_before)
+            pool_delta = pool_stats.delta(pool_before)
+            self.last_cost = QueryCost(
+                page_reads=disk_delta.reads,
+                pool_hits=pool_delta.hits,
+                simulated_io_ms=disk_delta.simulated_read_ms,
+                pool_misses=pool_delta.misses,
+            )
+            self.last_trace = None
+            return results
+        finally:
+            if write:
+                latch.release_write()
+            else:
+                latch.release_read()
 
     def prepare(self, sql: str, analyze: bool | None = None) -> PreparedStatement:
         """Parse, analyze and plan *sql* once, returning a reusable handle.

@@ -70,26 +70,38 @@ def _traced_gen(stats, gen, collector):
     # bleeds into this statement's operator tree.
     pool_stats = collector.pool_stats
     disk_stats = collector.disk_stats
-    while True:
-        pool_before = pool_stats.snapshot() if pool_stats is not None else None
-        disk_before = disk_stats.snapshot() if disk_stats is not None else None
-        started = time.perf_counter()
-        try:
-            row = next(gen, _DONE)
-        finally:
-            stats.time_ms += (time.perf_counter() - started) * 1000.0
-            if pool_before is not None:
-                delta = pool_stats.delta(pool_before)
-                stats.pool_hits += delta.hits
-                stats.pool_misses += delta.misses
-            if disk_before is not None:
-                delta = disk_stats.delta(disk_before)
-                stats.page_reads += delta.reads
-                stats.io_ms += delta.simulated_read_ms
-        if row is _DONE:
-            return
-        stats.rows += 1
-        yield row
+    try:
+        while True:
+            pool_before = (
+                pool_stats.snapshot() if pool_stats is not None else None
+            )
+            disk_before = (
+                disk_stats.snapshot() if disk_stats is not None else None
+            )
+            started = time.perf_counter()
+            try:
+                row = next(gen, _DONE)
+            finally:
+                stats.time_ms += (time.perf_counter() - started) * 1000.0
+                if pool_before is not None:
+                    delta = pool_stats.delta(pool_before)
+                    stats.pool_hits += delta.hits
+                    stats.pool_misses += delta.misses
+                if disk_before is not None:
+                    delta = disk_stats.delta(disk_before)
+                    stats.page_reads += delta.reads
+                    stats.io_ms += delta.simulated_read_ms
+            if row is _DONE:
+                return
+            stats.rows += 1
+            yield row
+    finally:
+        # Deterministic shutdown: whether this wrapper is exhausted or
+        # closed early (LIMIT/Top-K above), closing the wrapped generator
+        # propagates GeneratorExit down the whole operator chain so scans
+        # release their buffer-pool pins immediately instead of waiting
+        # for garbage collection.
+        gen.close()
 
 
 class Executor:
@@ -617,7 +629,14 @@ class Executor:
                 )
             # nsmallest is stable (documented as equivalent to a sorted()
             # prefix), so ties keep input order exactly like the full Sort.
-            best = heapq.nsmallest(offset + limit, entries, key=lambda e: e[0])
+            try:
+                best = heapq.nsmallest(
+                    offset + limit, entries, key=lambda e: e[0]
+                )
+            finally:
+                # nsmallest(0, ...) never touches the stream: close the
+                # child explicitly so scan pins are released either way.
+                child.close()
             for _key, row in best[offset:]:
                 yield row
 
@@ -638,20 +657,26 @@ class Executor:
         )
 
         def gen():
-            iterator = iter(child)
-            for _ in range(offset):
-                if next(iterator, _DONE) is _DONE:
+            # An early return below (limit satisfied) abandons the child
+            # mid-stream; the explicit close releases any pins a suspended
+            # scan still holds, without waiting for garbage collection.
+            try:
+                iterator = iter(child)
+                for _ in range(offset):
+                    if next(iterator, _DONE) is _DONE:
+                        return
+                if limit is None:
+                    yield from iterator
                     return
-            if limit is None:
-                yield from iterator
-                return
-            count = 0
-            while count < limit:
-                row = next(iterator, _DONE)
-                if row is _DONE:
-                    return
-                yield row
-                count += 1
+                count = 0
+                while count < limit:
+                    row = next(iterator, _DONE)
+                    if row is _DONE:
+                        return
+                    yield row
+                    count += 1
+            finally:
+                child.close()
 
         return self._traced(stats, gen())
 

@@ -71,6 +71,10 @@ class Plan:
     def __init__(self, statement, param_indices=()):
         self.statement = statement  # QueryPlan or a DML/utility node
         self.param_indices = tuple(param_indices)
+        #: True when every operator has a batch-mode implementation, so the
+        #: vectorized executor may run this plan. Set by the planner via
+        #: :func:`batch_capable`; the row executor ignores it.
+        self.batchable = False
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +217,11 @@ class Unnest(PlanNode):
         self.child = child
         self.srf_fns = srf_fns
         self.detail = f"(UNNEST x {len(srf_fns)})"
+        #: Select-item positions the SRF outputs land in (parallel to
+        #: ``srf_fns``), set by the planner. The batch executor uses it to
+        #: fuse a parent Project into the expansion loop: non-SRF items are
+        #: evaluated once per *input* row instead of once per output row.
+        self.srf_positions = None
 
     def children(self):
         return (self.child,)
@@ -255,6 +264,10 @@ class Project(PlanNode):
         self.child = child
         self.item_fns = item_fns
         self.key_specs = key_specs
+        #: Input-column index per item when every select item is a plain
+        #: column reference (planner-set); lets the batch executor project
+        #: by tuple indexing instead of calling one closure per item.
+        self.simple_cols = None
 
     def children(self):
         return (self.child,)
@@ -271,6 +284,11 @@ class Aggregate(PlanNode):
         self.having_fn = having_fn
         self.key_specs = key_specs
         self.group_key_count = group_key_count
+        #: Streaming-accumulator recipe set by the planner when every select
+        #: item is a plain MIN/MAX/SUM/COUNT/AVG (or aggregate-free) and
+        #: there is no HAVING: the batch executor then folds rows into
+        #: per-group accumulators instead of materializing group row lists.
+        self.simple_spec = None
         if group_key_count:
             self.name = "GroupAggregate"
             self.detail = f"({group_key_count} keys)"
@@ -451,6 +469,29 @@ def explain_lines(plan: Plan) -> list[str]:
         node = node.inner.statement
     visit(node, 0)
     return lines
+
+
+#: Operators with no batch-mode implementation: plans containing one run on
+#: the row-at-a-time interpreter (the planner's documented fallback).
+_ROW_ONLY = (Window,)
+
+
+def batch_capable(plan: Plan) -> bool:
+    """Whether the vectorized executor can run *plan*.
+
+    Only SELECT statements qualify (DML and utility statements have no
+    pull-based operator tree), and every operator in the tree — including
+    CTE and subquery sub-plans — must have a batch implementation.
+    ``EXPLAIN ANALYZE`` inherits the inner statement's capability, so its
+    trace reflects the engine the statement itself would run on; plain
+    ``EXPLAIN`` renders statically and stays on the row executor.
+    """
+    statement = plan.statement
+    if isinstance(statement, ExplainPlan):
+        return statement.analyze and batch_capable(statement.inner)
+    if not isinstance(statement, QueryPlan):
+        return False
+    return not any(isinstance(node, _ROW_ONLY) for node in walk_plan(plan))
 
 
 def walk_plan(plan: Plan):

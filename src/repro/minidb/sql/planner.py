@@ -427,7 +427,9 @@ def _compile_aggregate(expr: ast.FuncCall, schema, grouped: bool):
 def plan_statement(stmt, catalog) -> phys.Plan:
     """Lower one parsed statement into an executable physical plan."""
     node = Planner(catalog).plan(stmt)
-    return phys.Plan(node, ast.param_indices(stmt))
+    plan = phys.Plan(node, ast.param_indices(stmt))
+    plan.batchable = phys.batch_capable(plan)
+    return plan
 
 
 class Planner:
@@ -634,6 +636,9 @@ class Planner:
                 node, group_fns, item_fns, having_fn, key_specs,
                 len(core.group_by),
             )
+            node.simple_spec = self._simple_agg_spec(
+                items, schema, having_fn, key_specs
+            )
         else:
             item_fns = [
                 compile_expr(it.expr, schema, grouped=False) for it in items
@@ -643,6 +648,7 @@ class Planner:
                 for it in order_items
             ] or None
             node = phys.Project(node, item_fns, key_specs)
+            node.simple_cols = self._simple_cols(items, schema)
 
         if core.distinct:
             node = phys.Distinct(node, keyed=bool(order_items))
@@ -665,6 +671,9 @@ class Planner:
                     # alias not present in the input schema.
                     if not _name_in_schema(schema, expr.name):
                         return i
+        idx = _match_output_expr(expr, items)
+        if idx is not None:
+            return idx
         return compile_expr(expr, schema, grouped=False)
 
     def _grouped_order_key(self, expr, schema, items):
@@ -674,6 +683,9 @@ class Planner:
             for i, item in enumerate(items):
                 if _output_name(item) == expr.name:
                     return i
+        idx = _match_output_expr(expr, items)
+        if idx is not None:
+            return idx
         return compile_expr(expr, schema, grouped=True)
 
     def _group_key_fn(self, expr, schema, items):
@@ -684,6 +696,78 @@ class Planner:
                     if _output_name(item) == expr.name:
                         return compile_expr(item.expr, schema, grouped=False)
         return compile_expr(expr, schema, grouped=False)
+
+    # -- batch-kernel metadata ------------------------------------------
+    def _simple_agg_spec(self, items, schema, having_fn, key_specs):
+        """Streaming-accumulator recipe for the batch executor, or None.
+
+        Each select item lowers to one of
+
+        * ``("first", grouped_fn)`` — aggregate-free; every supported
+          aggregate-free expression only reads the group's first row, so
+          the accumulator keeps one row per group instead of all of them;
+        * ``("agg", name, arg_fn)`` — a bare MIN/MAX/SUM/COUNT/AVG over a
+          per-row expression, folded incrementally with the exact NULL
+          semantics of the :mod:`functions` aggregates;
+        * ``("count*", None)`` — COUNT(*).
+
+        HAVING needs the full group, as do DISTINCT/ORDER BY aggregates,
+        aggregates nested inside expressions, and non-integer sort-key
+        specs — any of those returns None and the batch executor falls
+        back to materializing group row lists (still batched, identical
+        semantics, just slower).
+        """
+        if having_fn is not None:
+            return None
+        if key_specs is not None and not all(
+            isinstance(s, int) for s in key_specs
+        ):
+            return None
+        spec = []
+        for item in items:
+            entry = self._simple_agg_item(item.expr, schema)
+            if entry is None:
+                return None
+            spec.append(entry)
+        return spec
+
+    def _simple_agg_item(self, expr, schema):
+        if not _contains_aggregate(expr):
+            if _contains_srf(expr):
+                return None
+            try:
+                return ("first", compile_expr(expr, schema, grouped=True))
+            except SQLError:
+                return None
+        if not (isinstance(expr, ast.FuncCall) and is_aggregate(expr.name)):
+            return None  # aggregate nested inside a larger expression
+        if expr.star:
+            return ("count*", None) if expr.name == "count" else None
+        if expr.distinct or expr.agg_order_by:
+            return None
+        if expr.name not in ("min", "max", "sum", "count", "avg"):
+            return None
+        if len(expr.args) != 1:
+            return None
+        arg = expr.args[0]
+        if _contains_aggregate(arg) or _contains_srf(arg):
+            return None
+        try:
+            return ("agg", expr.name, compile_expr(arg, schema, grouped=False))
+        except SQLError:
+            return None
+
+    def _simple_cols(self, items, schema):
+        """Input-column index per select item when all are plain columns."""
+        cols = []
+        for item in items:
+            if not isinstance(item.expr, ast.ColumnRef):
+                return None
+            try:
+                cols.append(_resolve(schema, item.expr))
+            except SQLError:
+                return None
+        return cols
 
     # -- select-list machinery ------------------------------------------
     def _expand_stars(self, items, schema):
@@ -731,7 +815,9 @@ class Planner:
             new_items[i] = ast.SelectItem(
                 ast.ColumnRef(None, synth), alias=items[i].alias or "unnest"
             )
-        return new_items, new_schema, phys.Unnest(node, srf_fns)
+        unnest = phys.Unnest(node, srf_fns)
+        unnest.srf_positions = list(srf_positions)
+        return new_items, new_schema, unnest
 
     def _plan_windows(self, items, schema, node):
         win_positions = [
@@ -1036,6 +1122,32 @@ class Planner:
             # way that makes the conjunct single-sided; good enough here.
             return left_fn, right_fn
         return None
+
+
+def _match_output_expr(expr, items):
+    """Index of a select item structurally identical to *expr*, or None.
+
+    ``ORDER BY MIN(ta)`` where ``MIN(ta)`` is also a select item can sort on
+    the already-computed output value instead of re-evaluating the aggregate
+    per sort key. Expressions are compared by rendered SQL text (the printer
+    is deterministic), which is sound because every supported expression is
+    deterministic over its input rows. Plain column / positional references
+    are handled by the callers' earlier rules; this match covers compound
+    expressions only.
+    """
+    if isinstance(expr, (ast.ColumnRef, ast.Literal)):
+        return None
+    try:
+        rendered = render_expr(expr)
+    except SQLError:
+        return None
+    for i, item in enumerate(items):
+        try:
+            if render_expr(item.expr) == rendered:
+                return i
+        except SQLError:
+            continue
+    return None
 
 
 def _name_in_schema(schema, name) -> bool:

@@ -259,11 +259,24 @@ class PTLDB(_QueryAPI):
         ordering: str = "event_degree",
         labels: TTLLabels | None = None,
         compressed: bool = False,
+        vectorize: bool = True,
+        batch_size: int = 1024,
+        readahead: int = 8,
     ) -> "PTLDB":
-        """Preprocess (unless labels are given) and load into a fresh DB."""
+        """Preprocess (unless labels are given) and load into a fresh DB.
+
+        ``vectorize``/``batch_size``/``readahead`` are forwarded to the
+        :class:`Database` executor knobs (docs/ARCHITECTURE.md, "Vectorized
+        pipeline"); results are identical for any setting."""
         if labels is None:
             labels = preprocess(timetable, ordering=ordering)
-        db = Database(device=device, pool_pages=pool_pages)
+        db = Database(
+            device=device,
+            pool_pages=pool_pages,
+            vectorize=vectorize,
+            batch_size=batch_size,
+            readahead=readahead,
+        )
         return cls(db, labels, compressed=compressed)
 
     def restart(self) -> None:

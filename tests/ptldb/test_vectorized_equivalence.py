@@ -1,0 +1,93 @@
+"""Row-vs-batch executor equivalence over the full PTLDB query corpus.
+
+The vectorized executor is a pure optimization, so for every one of the
+nine paper query families it must return the same answer as the row
+executor, touch the same number of pages and miss the buffer pool the
+same number of times. This is the property the perf-smoke bench gates on
+a real workload; here it is pinned as a deterministic unit test.
+"""
+
+import pytest
+
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+
+NOON = 12 * 3600
+
+FAMILIES = [
+    "v2v_ea", "v2v_ld", "v2v_sd",
+    "knn_ea_naive", "knn_ld_naive",
+    "knn_ea", "knn_ld",
+    "otm_ea", "otm_ld",
+]
+
+
+@pytest.fixture(scope="module")
+def ptldb():
+    timetable = random_timetable(18, 160, seed=11)
+    labels, _ = build_labels(timetable, add_dummies=True)
+    db = PTLDB.from_timetable(timetable, device="hdd", labels=labels)
+    db.build_target_set(
+        "vec",
+        targets={1, 4, 9, 13, 16},
+        kmax=4,
+        families=(
+            "knn_ea", "knn_ld", "otm_ea", "otm_ld", "naive_ea", "naive_ld",
+        ),
+    )
+    return db
+
+
+def family_calls(ptldb):
+    return {
+        "v2v_ea": lambda: ptldb.earliest_arrival(2, 9, NOON),
+        "v2v_ld": lambda: ptldb.latest_departure(2, 9, 2 * NOON),
+        "v2v_sd": lambda: ptldb.shortest_duration(2, 9, 0, 2 * NOON),
+        "knn_ea_naive": lambda: ptldb.ea_knn_naive("vec", 2, NOON, 2),
+        "knn_ld_naive": lambda: ptldb.ld_knn_naive("vec", 2, 2 * NOON, 2),
+        "knn_ea": lambda: ptldb.ea_knn("vec", 2, NOON, 2),
+        "knn_ld": lambda: ptldb.ld_knn("vec", 2, 2 * NOON, 2),
+        "otm_ea": lambda: ptldb.ea_one_to_many("vec", 2, NOON),
+        "otm_ld": lambda: ptldb.ld_one_to_many("vec", 2, 2 * NOON),
+    }
+
+
+def run_cold(ptldb, family, vectorize):
+    """One cold run of the family, returning (value, page_reads, misses)."""
+    ptldb.db.vectorize = vectorize
+    try:
+        ptldb.restart()
+        value = family_calls(ptldb)[family]()
+        cost = ptldb.db.last_cost
+        return value, cost.page_reads, cost.pool_misses
+    finally:
+        ptldb.db.vectorize = True
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_batch_matches_row_executor(ptldb, family):
+    row = run_cold(ptldb, family, vectorize=False)
+    batch = run_cold(ptldb, family, vectorize=True)
+    assert batch[0] == row[0], f"{family}: results diverge"
+    assert batch[1:] == row[1:], f"{family}: page I/O diverges"
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_no_pins_left_behind(ptldb, family):
+    ptldb.db.vectorize = True
+    family_calls(ptldb)[family]()
+    assert ptldb.db.pool.total_pins() == 0
+
+
+def test_corpus_plans_are_batchable(ptldb):
+    """Every family actually runs through the batch executor (pulls > 0),
+    not the row-mode fallback — otherwise the speedup claim is vacuous."""
+    ptldb.db.vectorize = True
+    for family, call in family_calls(ptldb).items():
+        call()
+        trace = ptldb.last_trace
+        assert trace is not None, family
+        assert any(op.pulls > 0 for op in trace.operators()), (
+            f"{family}: no operator recorded batch pulls"
+        )
