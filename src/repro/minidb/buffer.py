@@ -31,13 +31,29 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import StorageError
 from repro.minidb.disk import DiskManager
 from repro.minidb.latch import RWLatch
 from repro.minidb.page import Page
+
+
+class _PinGuard:
+    """``with``-guard pairing one pin with one unpin (see ``pinned``)."""
+
+    __slots__ = ("_pool", "_page_id")
+
+    def __init__(self, pool: "BufferPool", page_id: int):
+        self._pool = pool
+        self._page_id = page_id
+
+    def __enter__(self) -> Page:
+        return self._pool.pin(self._page_id)
+
+    def __exit__(self, exc_type, exc, tb):
+        self._pool.unpin(self._page_id)
+        return False
 
 
 @dataclass
@@ -173,14 +189,9 @@ class BufferPool:
                 raise StorageError(f"page {page_id} is not pinned")
             frame.pins -= 1
 
-    @contextmanager
     def pinned(self, page_id: int):
         """``with pool.pinned(pid) as page:`` — pin for the block's duration."""
-        page = self.pin(page_id)
-        try:
-            yield page
-        finally:
-            self.unpin(page_id)
+        return _PinGuard(self, page_id)
 
     def pin_count(self, page_id: int) -> int:
         with self._lock:

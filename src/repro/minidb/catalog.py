@@ -7,8 +7,20 @@ from dataclasses import dataclass
 from repro.errors import CatalogError, SQLTypeError
 from repro.minidb.btree import BTree
 from repro.minidb.buffer import BufferPool
+from repro.minidb.columnar import ColumnarHeapFile, decode_columnar, encode_columnar
 from repro.minidb.heap import HeapFile
-from repro.minidb.values import Column, check_value, decode_record, encode_record
+from repro.minidb.values import (
+    T_BIGINT,
+    T_BIGINT_ARRAY,
+    T_BIGINT_ARRAY_PACKED,
+    Column,
+    check_value,
+    decode_record,
+    encode_record,
+)
+
+#: Valid values of ``TableSchema.storage``.
+STORAGES = ("row", "columnar")
 
 
 @dataclass
@@ -18,6 +30,7 @@ class TableSchema:
     name: str
     columns: list[Column]
     primary_key: tuple[str, ...] = ()
+    storage: str = "row"
 
     def __post_init__(self) -> None:
         names = [c.name for c in self.columns]
@@ -28,6 +41,32 @@ class TableSchema:
                 raise CatalogError(
                     f"primary key column {pk_col!r} not in table {self.name}"
                 )
+        if self.storage not in STORAGES:
+            raise CatalogError(
+                f"unknown storage {self.storage!r} for table {self.name} "
+                f"(expected one of {STORAGES})"
+            )
+
+    def zone_info(self) -> tuple[int, bool] | None:
+        """``(column index, is_array)`` of the zone-map column, if any.
+
+        Columnar pages keep min/max of one designated column per page. The
+        convention mirrors the PTLDB schemas: a scalar BIGINT ``hub``
+        column (the aux tables) or, failing that, a BIGINT-array ``hubs``
+        column (the label tables, whose arrays are sorted by hub).
+        """
+        if self.storage != "columnar":
+            return None
+        for i, col in enumerate(self.columns):
+            if col.name == "hub" and col.type_tag == T_BIGINT:
+                return i, False
+        for i, col in enumerate(self.columns):
+            if col.name == "hubs" and col.type_tag in (
+                T_BIGINT_ARRAY,
+                T_BIGINT_ARRAY_PACKED,
+            ):
+                return i, True
+        return None
 
     @property
     def column_names(self) -> list[str]:
@@ -54,8 +93,12 @@ class Table:
     def __init__(self, schema: TableSchema, pool: BufferPool):
         self.schema = schema
         self.pool = pool
-        self.heap = HeapFile(pool)
+        self._init_storage()
+        self.heap = self._new_heap()
         self.row_count = 0
+        #: Total encoded record bytes currently live (inline or overflow);
+        #: the numerator of the storage-footprint benchmarks.
+        self.data_bytes = 0
         self.index: BTree | None = None
         if schema.primary_key:
             self.index = BTree(pool, key_len=len(schema.primary_key))
@@ -68,13 +111,16 @@ class Table:
         heap_first_page: int,
         index_root_page: int | None,
         row_count: int,
+        data_bytes: int = 0,
     ) -> "Table":
         """Reattach a table persisted in an existing database file."""
         table = cls.__new__(cls)
         table.schema = schema
         table.pool = pool
-        table.heap = HeapFile(pool, first_page=heap_first_page)
+        table._init_storage()
+        table.heap = table._new_heap(first_page=heap_first_page)
         table.row_count = row_count
+        table.data_bytes = data_bytes
         table.index = None
         if schema.primary_key:
             if index_root_page is None:
@@ -85,6 +131,70 @@ class Table:
                 pool, key_len=len(schema.primary_key), root_page=index_root_page
             )
         return table
+
+    # -- storage routing -------------------------------------------------
+    def _init_storage(self) -> None:
+        self._zone = self.schema.zone_info()
+        self._sorted_cols = (
+            frozenset({self._zone[0]})
+            if self._zone is not None and self._zone[1]
+            else frozenset()
+        )
+
+    def _new_heap(self, first_page: int | None = None) -> HeapFile:
+        if self.schema.storage == "columnar":
+            return ColumnarHeapFile(self.pool, first_page=first_page)
+        return HeapFile(self.pool, first_page=first_page)
+
+    def encode(self, row: tuple) -> bytes:
+        """Serialize *row* with the table's storage codec."""
+        if self.schema.storage == "columnar":
+            return encode_columnar(self.schema.types, row, self._sorted_cols)
+        return encode_record(self.schema.types, row)
+
+    def decode(self, raw: bytes | memoryview) -> tuple:
+        """Deserialize one stored record with the table's storage codec."""
+        if self.schema.storage == "columnar":
+            return decode_columnar(self.schema.types, raw)
+        return decode_record(self.schema.types, raw)
+
+    def decode_np(self, raw: bytes | memoryview) -> tuple:
+        """Like :meth:`decode`, but columnar integer-array cells stay int64
+        ndarrays (zero-copy into the UNNEST column kernels). Identical to
+        :meth:`decode` for row-storage tables; only the batch executor calls
+        this, and only on plan nodes the planner marked ``np_decode``."""
+        if self.schema.storage == "columnar":
+            return decode_columnar(self.schema.types, raw, np_arrays=True)
+        return decode_record(self.schema.types, raw)
+
+    def _zone_of(self, row: tuple) -> tuple[int, int] | None:
+        """The ``(min, max)`` zone-column bounds contributed by *row*."""
+        if self._zone is None:
+            return None
+        idx, is_array = self._zone
+        value = row[idx]
+        if value is None:
+            return None
+        if not is_array:
+            return value, value
+        present = [v for v in value if v is not None]
+        if not present:
+            return None
+        # The array is enforced nondecreasing at encode time.
+        return present[0], present[-1]
+
+    def _store_row(self, row: tuple) -> tuple[int, int]:
+        """Encode, store, index and account one validated row."""
+        record = self.encode(row)
+        if isinstance(self.heap, ColumnarHeapFile):
+            rid = self.heap.insert(record, zone=self._zone_of(row))
+        else:
+            rid = self.heap.insert(record)
+        if self.index is not None:
+            self.index.insert(self._pk_of(row), rid)
+        self.row_count += 1
+        self.data_bytes += len(record)
+        return rid
 
     # ------------------------------------------------------------------
     def insert(self, values: tuple | list) -> tuple[int, int]:
@@ -105,29 +215,37 @@ class Table:
                 raise CatalogError(
                     f"{schema.name}: duplicate primary key {key}"
                 )
-        rid = self.heap.insert(encode_record(schema.types, row))
-        if self.index is not None:
-            self.index.insert(self._pk_of(row), rid)
-        self.row_count += 1
-        return rid
+        return self._store_row(row)
 
-    def lookup(self, key: tuple) -> tuple | None:
-        """Primary-key point lookup. Returns the decoded row or ``None``."""
+    def lookup(self, key: tuple, np_arrays: bool = False) -> tuple | None:
+        """Primary-key point lookup. Returns the decoded row or ``None``.
+
+        ``np_arrays`` selects :meth:`decode_np` for the stored cell (the
+        batch executor's ``np_decode`` plan flag); I/O is identical."""
         if self.index is None:
             raise CatalogError(f"{self.schema.name} has no primary key index")
         rid = self.index.search(tuple(key))
         if rid is None:
             return None
-        return decode_record(self.schema.types, self.heap.read(rid))
+        raw = self.heap.read(rid)
+        return self.decode_np(raw) if np_arrays else self.decode(raw)
 
-    def scan(self, readahead: int = 0):
+    def scan(
+        self,
+        readahead: int = 0,
+        zone_eq: int | None = None,
+        np_arrays: bool = False,
+    ):
         """Yield every row (decoded tuples) in heap order.
 
         ``readahead`` batches heap-chain page fetches into sequential
-        device runs (see :meth:`HeapFile.scan`)."""
-        types = self.schema.types
-        for _, raw in self.heap.scan(readahead=readahead):
-            yield decode_record(types, raw)
+        device runs (see :meth:`HeapFile.scan`). ``zone_eq`` lets columnar
+        heaps skip pages whose zone map excludes the value; row heaps
+        accept and ignore it. ``np_arrays`` routes cells through
+        :meth:`decode_np` (identical I/O, ndarray array cells)."""
+        decode = self.decode_np if np_arrays else self.decode
+        for _, raw in self.heap.scan(readahead=readahead, zone_eq=zone_eq):
+            yield decode(raw)
 
     def delete_row(self, rid: tuple[int, int], row: tuple) -> None:
         """Remove one row: heap tombstone plus index-entry removal."""
@@ -135,6 +253,7 @@ class Table:
         if self.index is not None:
             self.index.remove(self._pk_of(row))
         self.row_count -= 1
+        self.data_bytes -= len(self.encode(row))
 
     def update_row(self, rid: tuple[int, int], old: tuple, new: tuple) -> None:
         """Replace one row (delete + reinsert; rids are not stable across
@@ -148,16 +267,14 @@ class Table:
         Returns the number of live rows. Old pages are abandoned (no
         free-space map); the table's footprint is what the fresh heap uses.
         """
-        live = [decode_record(self.schema.types, raw) for _, raw in self.heap.scan()]
-        self.heap = HeapFile(self.pool)
+        live = [self.decode(raw) for _, raw in self.heap.scan()]
+        self.heap = self._new_heap()
         if self.index is not None:
             self.index = BTree(self.pool, key_len=len(self.schema.primary_key))
         self.row_count = 0
+        self.data_bytes = 0
         for row in live:
-            rid = self.heap.insert(encode_record(self.schema.types, row))
-            if self.index is not None:
-                self.index.insert(self._pk_of(row), rid)
-            self.row_count += 1
+            self._store_row(row)
         return self.row_count
 
     def describe(self) -> dict:
@@ -166,11 +283,13 @@ class Table:
             "name": self.schema.name,
             "columns": [[c.name, c.type_tag] for c in self.schema.columns],
             "primary_key": list(self.schema.primary_key),
+            "storage": self.schema.storage,
             "heap_first_page": self.heap.first_page,
             "index_root_page": (
                 self.index.root_page if self.index is not None else None
             ),
             "row_count": self.row_count,
+            "data_bytes": self.data_bytes,
         }
 
     def _pk_of(self, row: tuple) -> tuple:
@@ -241,6 +360,7 @@ class Catalog:
                 info["name"],
                 [Column(name, tag) for name, tag in info["columns"]],
                 tuple(info["primary_key"]),
+                storage=info.get("storage", "row"),
             )
             table = Table.attach(
                 schema,
@@ -248,6 +368,7 @@ class Catalog:
                 heap_first_page=info["heap_first_page"],
                 index_root_page=info["index_root_page"],
                 row_count=info["row_count"],
+                data_bytes=info.get("data_bytes", 0),
             )
             self._tables[schema.name.lower()] = table
         self.version += 1

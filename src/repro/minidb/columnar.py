@@ -1,0 +1,361 @@
+"""Columnar record codec and zone-mapped heap for label tables.
+
+The paper's hub-label tables are array-heavy and sorted: every row carries
+``hubs``/``tds``/``tas`` parallel arrays ordered by ``(hub, td)``. The row
+codec (``values.encode_record``) stores those as 8 bytes per element. Here
+each row is instead stored as a *column group*: one self-describing segment
+per column, with sorted integer arrays delta-encoded against their
+predecessor and the zig-zagged deltas packed at the smallest fixed width
+that fits (1/2/4/8 bytes). Fixed-width deltas — rather than varints — are
+what makes the segments numpy-decodable: decode is ``frombuffer`` →
+unzigzag → ``cumsum``, no per-element Python loop. Arrays with NULLs or
+pathological deltas fall back to the existing varint packing.
+
+Cell layout::
+
+    u8 version
+    per column:  u8 encoding tag | u32 element count | payload
+
+Delta payloads are ``i64 first`` followed by ``count-1`` unsigned
+little-endian deltas of the tag's width. Deltas are computed mod 2^64 (the
+same wraparound numpy's int64 arithmetic performs), so any int64 sequence
+round-trips exactly.
+
+``ColumnarHeapFile`` extends the ordinary heap with per-page zone maps
+(min/max hub) maintained on insert and consulted by ``scan(zone_eq=...)``
+to skip pages — skipped pages are never touched in the buffer pool, which
+is what the paper-bound page counts measure.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.minidb.buffer import BufferPool
+from repro.minidb.heap import HeapFile
+from repro.minidb.page import KIND_COLUMNAR, MAX_CELL, ZONE_SIZE
+from repro.minidb.values import (
+    T_BIGINT,
+    T_BIGINT_ARRAY,
+    T_BIGINT_ARRAY_PACKED,
+    T_BOOL,
+    T_DOUBLE,
+    T_DOUBLE_ARRAY,
+    T_TEXT,
+    _decode_double_array,
+    _decode_packed_array,
+    _encode_double_array,
+    _encode_packed_array,
+    type_name,
+)
+
+try:  # numpy accelerates encode/decode; the pure-python path is equivalent
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+COLUMNAR_VERSION = 1
+
+# Per-column segment header: encoding tag, element count.
+_SEG = struct.Struct("<BI")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+ENC_NULL = 0  # SQL NULL, no payload
+ENC_I64 = 1  # scalar BIGINT, 8-byte payload
+ENC_F64 = 2  # scalar DOUBLE
+ENC_BOOL = 3  # scalar BOOLEAN, 1 byte
+ENC_TEXT = 4  # UTF-8, count = byte length
+ENC_DELTA1 = 5  # i64 first + u8 zig-zag deltas
+ENC_DELTA2 = 6  # i64 first + u16 zig-zag deltas
+ENC_DELTA4 = 7  # i64 first + u32 zig-zag deltas
+ENC_DELTA8 = 8  # i64 first + u64 zig-zag deltas
+ENC_VARINT = 9  # values._encode_packed_array payload (handles NULLs)
+ENC_F64ARR = 10  # values._encode_double_array payload
+
+_DELTA_WIDTH = {ENC_DELTA1: 1, ENC_DELTA2: 2, ENC_DELTA4: 4, ENC_DELTA8: 8}
+_WIDTH_ENC = {1: ENC_DELTA1, 2: ENC_DELTA2, 4: ENC_DELTA4, 8: ENC_DELTA8}
+_U64_MASK = (1 << 64) - 1
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _wrap_i64(value: int) -> int:
+    """Reduce an unbounded int to its int64 two's-complement value."""
+    return ((value + (1 << 63)) & _U64_MASK) - (1 << 63)
+
+
+# ---------------------------------------------------------------------------
+# Integer-array segment encode/decode
+# ---------------------------------------------------------------------------
+def _encode_int_array(values: list, require_sorted: bool = False) -> tuple[int, bytes]:
+    """Encode one BIGINT[] column value, returning ``(encoding, payload)``."""
+    if any(v is None for v in values):
+        if require_sorted:
+            raise StorageError(
+                "columnar zone column arrays may not contain NULL elements"
+            )
+        return ENC_VARINT, _encode_packed_array(values)
+    if require_sorted:
+        for prev, cur in zip(values, values[1:]):
+            if cur < prev:
+                raise StorageError(
+                    "columnar zone column array is not sorted "
+                    f"({prev} followed by {cur})"
+                )
+    if not values:
+        return ENC_DELTA1, b""
+    if min(values) < _I64_MIN or max(values) > _I64_MAX:
+        raise StorageError("BIGINT array element out of int64 range")
+    first = values[0]
+    if len(values) == 1:
+        return ENC_DELTA1, _I64.pack(first)
+    # Deltas mod 2^64, then zig-zag — both are exactly numpy's wrapping
+    # int64 arithmetic, so encode and decode agree on either path.
+    zz = []
+    prev = first
+    max_zz = 0
+    for cur in values[1:]:
+        delta = _wrap_i64(cur - prev)
+        z = ((delta << 1) ^ (delta >> 63)) & _U64_MASK
+        zz.append(z)
+        if z > max_zz:
+            max_zz = z
+        prev = cur
+    if max_zz < 1 << 8:
+        width = 1
+    elif max_zz < 1 << 16:
+        width = 2
+    elif max_zz < 1 << 32:
+        width = 4
+    else:
+        width = 8
+    out = bytearray(_I64.pack(first))
+    for z in zz:
+        out += z.to_bytes(width, "little")
+    return _WIDTH_ENC[width], bytes(out)
+
+
+#: Below this element count the pure-python delta loop beats numpy — the
+#: fixed per-call cost of ~7 small-array numpy operations crosses over
+#: around 32 elements (measured; see docs/PERFORMANCE.md).
+NP_DECODE_MIN = 32
+
+
+def _decode_delta_np(payload: memoryview, count: int, width: int):
+    """Delta-segment decode returning an int64 ndarray (numpy required)."""
+    vals = _np.empty(count, dtype=_np.int64)
+    if count == 0:
+        return vals
+    (first,) = _I64.unpack_from(payload, 0)
+    vals[0] = first
+    if count == 1:
+        return vals
+    raw = _np.frombuffer(
+        payload, dtype=f"<u{width}", count=count - 1, offset=8
+    ).astype(_np.uint64)
+    # unzigzag in uint64, then bit-reinterpret as int64 so values
+    # ≥ 2^63 map back to their negative deltas.
+    deltas = _np.where(raw & 1, ~(raw >> 1), raw >> 1).view(_np.int64)
+    _np.cumsum(deltas, out=vals[1:])
+    vals[1:] += first
+    return vals
+
+
+#: Bulk-unpack formats for the sub-crossover python decode loop.
+_DELTA_FMT = {2: "H", 4: "I", 8: "Q"}
+
+
+def _decode_delta(payload: memoryview, count: int, width: int) -> list:
+    if count == 0:
+        return []
+    if _np is not None and count >= NP_DECODE_MIN:
+        return _decode_delta_np(payload, count, width).tolist()
+    (first,) = _I64.unpack_from(payload, 0)
+    out = [first]
+    prev = first
+    append = out.append
+    # One bulk unpack for the whole delta tail (memoryview iteration for
+    # width 1), then inline unzigzag; the int64 wrap only fires on the
+    # rare sequence that actually crosses the boundary.
+    if width == 1:
+        packed = payload[8:]
+    else:
+        packed = struct.unpack_from(
+            "<%d%s" % (count - 1, _DELTA_FMT[width]), payload, 8
+        )
+    for z in packed:
+        prev += (z >> 1) ^ -(z & 1)
+        if prev > _I64_MAX or prev < _I64_MIN:
+            prev = _wrap_i64(prev)
+        append(prev)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Whole-record encode/decode
+# ---------------------------------------------------------------------------
+def encode_columnar(
+    types: tuple[int, ...], values: tuple, sorted_cols: frozenset[int] = frozenset()
+) -> bytes:
+    """Serialize one row as a column-group cell.
+
+    ``sorted_cols`` are array columns whose elements must be nondecreasing
+    (the zone column); violations are rejected so zone maps stay honest.
+    """
+    if len(values) != len(types):
+        raise StorageError(
+            f"record has {len(values)} values for {len(types)} columns"
+        )
+    parts = [bytes([COLUMNAR_VERSION])]
+    for i, (tag, value) in enumerate(zip(types, values)):
+        if value is None:
+            parts.append(_SEG.pack(ENC_NULL, 0))
+        elif tag == T_BIGINT:
+            parts.append(_SEG.pack(ENC_I64, 1))
+            parts.append(_I64.pack(value))
+        elif tag == T_DOUBLE:
+            parts.append(_SEG.pack(ENC_F64, 1))
+            parts.append(_F64.pack(value))
+        elif tag == T_BOOL:
+            parts.append(_SEG.pack(ENC_BOOL, 1))
+            parts.append(bytes([1 if value else 0]))
+        elif tag == T_TEXT:
+            raw = value.encode("utf-8")
+            parts.append(_SEG.pack(ENC_TEXT, len(raw)))
+            parts.append(raw)
+        elif tag in (T_BIGINT_ARRAY, T_BIGINT_ARRAY_PACKED):
+            enc, payload = _encode_int_array(
+                value, require_sorted=i in sorted_cols
+            )
+            parts.append(_SEG.pack(enc, len(value)))
+            parts.append(payload)
+        elif tag == T_DOUBLE_ARRAY:
+            parts.append(_SEG.pack(ENC_F64ARR, len(value)))
+            parts.append(_encode_double_array(value))
+        else:
+            raise StorageError(f"unsupported column type {type_name(tag)}")
+    return b"".join(parts)
+
+
+def decode_columnar(
+    types: tuple[int, ...], data: bytes | memoryview, np_arrays: bool = False
+) -> tuple:
+    """Decode a column-group cell back into a row tuple.
+
+    With ``np_arrays=True`` (and numpy present) delta-encoded integer-array
+    cells come back as int64 ndarrays instead of lists — no per-element
+    materialization at all. Only the batch executor's UNNEST producer asks
+    for this shape (the planner marks eligible scans ``np_decode``); every
+    other consumer sees plain lists. Varint/NULL fallback segments decode
+    to lists either way.
+    """
+    buf = memoryview(data)
+    if len(buf) == 0 or buf[0] != COLUMNAR_VERSION:
+        raise StorageError("bad columnar record version")
+    pos = 1
+    out = []
+    for tag in types:
+        enc, count = _SEG.unpack_from(buf, pos)
+        pos += _SEG.size
+        if enc == ENC_NULL:
+            out.append(None)
+        elif enc == ENC_I64:
+            (value,) = _I64.unpack_from(buf, pos)
+            pos += 8
+            out.append(value)
+        elif enc == ENC_F64:
+            (value,) = _F64.unpack_from(buf, pos)
+            pos += 8
+            out.append(value)
+        elif enc == ENC_BOOL:
+            out.append(bool(buf[pos]))
+            pos += 1
+        elif enc == ENC_TEXT:
+            out.append(bytes(buf[pos : pos + count]).decode("utf-8"))
+            pos += count
+        elif enc in _DELTA_WIDTH:
+            width = _DELTA_WIDTH[enc]
+            nbytes = 0 if count == 0 else 8 + (count - 1) * width
+            seg = buf[pos : pos + nbytes]
+            if np_arrays and _np is not None and count >= NP_DECODE_MIN:
+                # Below the crossover the python loop wins even for the
+                # ndarray consumers — they accept list cells transparently
+                # (a small asarray copy beats numpy's fixed decode cost).
+                out.append(_decode_delta_np(seg, count, width))
+            else:
+                out.append(_decode_delta(seg, count, width))
+            pos += nbytes
+        elif enc == ENC_VARINT:
+            value, pos = _decode_packed_array(buf, pos)
+            out.append(value)
+        elif enc == ENC_F64ARR:
+            value, pos = _decode_double_array(buf, pos)
+            out.append(value)
+        else:
+            raise StorageError(f"unknown columnar encoding tag {enc}")
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Zone-mapped heap
+# ---------------------------------------------------------------------------
+class ColumnarHeapFile(HeapFile):
+    """A heap of columnar cells on KIND_COLUMNAR pages with zone maps.
+
+    Each chain page reserves a 17-byte zone area holding min/max of the
+    zone column (hub) across the records it stores. The bounds are kept in
+    an in-memory cache too — built for free while ``_find_last_page`` walks
+    the chain on attach — so ``scan(zone_eq=...)`` decides skips without
+    touching the buffer pool at all.
+    """
+
+    PAGE_KIND = KIND_COLUMNAR
+    INLINE_LIMIT = MAX_CELL - ZONE_SIZE - 1
+
+    def __init__(self, pool: BufferPool, first_page: int | None = None):
+        #: page_id -> (min, max) for pages with a valid zone map. Pages
+        #: absent from the dict are always read (conservative).
+        self._zones: dict[int, tuple[int, int]] = {}
+        super().__init__(pool, first_page)
+
+    def _find_last_page(self) -> int:
+        page_id = self.first_page
+        while True:
+            self._chain.append(page_id)
+            page = self.pool.get(page_id)
+            bounds = page.zone_bounds()
+            if bounds is not None:
+                self._zones[page_id] = bounds
+            if page.next_page == -1:
+                return page_id
+            page_id = page.next_page
+
+    def insert(
+        self, record: bytes, zone: tuple[int, int] | None = None
+    ) -> tuple[int, int]:
+        """Store *record*; widen the landing page's zone map to cover *zone*.
+
+        A record with ``zone=None`` (NULL/empty zone column) never widens
+        the map — NULL compares as unknown, so equality can never select
+        it and the page bounds stay tight.
+        """
+        rid = super().insert(record)
+        if zone is not None:
+            page_id = rid[0]
+            lo, hi = zone
+            with self.pool.pinned(page_id) as page:
+                with self.pool.latch(page_id).write():
+                    page.zone_extend(lo, hi)
+                    self.pool.mark_dirty(page_id)
+            cached = self._zones.get(page_id)
+            if cached is None:
+                self._zones[page_id] = (lo, hi)
+            else:
+                self._zones[page_id] = (min(cached[0], lo), max(cached[1], hi))
+        return rid
+
+    def _zone_skips(self, page_id: int, zone_eq: int) -> bool:
+        bounds = self._zones.get(page_id)
+        return bounds is not None and not bounds[0] <= zone_eq <= bounds[1]

@@ -76,6 +76,7 @@ class Database:
         batch_size: int = 1024,
         vectorize: bool = True,
         readahead: int = 8,
+        numpy_batches: bool = True,
     ):
         if isinstance(device, str):
             try:
@@ -104,6 +105,11 @@ class Database:
         self.vectorize = bool(vectorize)
         #: Rows per batch for the vectorized executor.
         self.batch_size = max(1, int(batch_size))
+        #: numpy column batches inside the vectorized executor
+        #: (docs/PERFORMANCE.md). ``numpy_batches=False`` keeps the
+        #: list-of-tuples batch pipeline — the comparison baseline for
+        #: the columnar kernels; results are identical either way.
+        self.numpy_batches = bool(numpy_batches)
         #: Heap-scan readahead depth in pages (0 disables); prefetched
         #: chain pages are charged the device's sequential read rate.
         self.readahead = max(0, int(readahead))
@@ -241,7 +247,7 @@ class Database:
         self.pool.clear()
 
     def table_stats(self) -> dict[str, dict]:
-        """Per-table row counts and page footprints (heap + index)."""
+        """Per-table row counts, storage codec and page/byte footprints."""
         out = {}
         for name in self.catalog.table_names():
             table = self.catalog.get(name)
@@ -249,6 +255,8 @@ class Database:
             out[name] = {
                 "rows": table.row_count,
                 "heap_pages": heap_pages,
+                "storage": table.schema.storage,
+                "data_bytes": table.data_bytes,
                 "index_height": (
                     table.index.height() if table.index is not None else 0
                 ),

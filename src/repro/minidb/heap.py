@@ -45,10 +45,16 @@ _INLINE_LIMIT = MAX_CELL - 1
 class HeapFile:
     """An append-oriented heap of byte records over a buffer pool."""
 
+    #: Page kind used for the file's chain pages. Subclasses (the columnar
+    #: heap) override this to get pages with a zone-map area.
+    PAGE_KIND = KIND_HEAP
+    #: Largest record stored inline; bigger records go to overflow chains.
+    INLINE_LIMIT = _INLINE_LIMIT
+
     def __init__(self, pool: BufferPool, first_page: int | None = None):
         self.pool = pool
         if first_page is None:
-            first_page, _ = pool.new_page(KIND_HEAP)
+            first_page, _ = pool.new_page(self.PAGE_KIND)
             pool.mark_dirty(first_page)
             pool.unpin(first_page)
         self.first_page = first_page
@@ -71,7 +77,7 @@ class HeapFile:
     # ------------------------------------------------------------------
     def insert(self, record: bytes) -> tuple[int, int]:
         """Store *record*, returning its rid."""
-        if len(record) + 1 <= _INLINE_LIMIT:
+        if len(record) + 1 <= self.INLINE_LIMIT:
             cell = bytes([_INLINE]) + record
         else:
             first_chunk_page = self._write_overflow(record)
@@ -83,13 +89,13 @@ class HeapFile:
         page_id, slot = rid
         with self.pool.pinned(page_id) as page:
             with self.pool.latch(page_id).read():
-                if page.kind != KIND_HEAP:
+                if page.kind != self.PAGE_KIND:
                     raise StorageError(f"rid {rid} does not point at a heap page")
                 cell = bytes(page.read(slot))
         if cell[0] == _INLINE:
             return cell[1:]
-        _, total, chain = _STUB.unpack(cell)
-        return self._read_overflow(chain, total)
+        _, total, ovf_page = _STUB.unpack(cell)
+        return self._read_overflow(ovf_page, total)
 
     def delete(self, rid: tuple[int, int]) -> None:
         """Tombstone the record (overflow pages are left to vacuum)."""
@@ -99,7 +105,7 @@ class HeapFile:
                 page.delete(slot)
                 self.pool.mark_dirty(page_id)
 
-    def scan(self, readahead: int = 0):
+    def scan(self, readahead: int = 0, zone_eq: int | None = None):
         """Yield ``(rid, record_bytes)`` over every live record, in rid order.
 
         The scan walks pages in chain order, which is also allocation order,
@@ -113,21 +119,34 @@ class HeapFile:
         slots are walked (overflow reads in between can therefore never
         evict it); the latch is released before each ``yield`` so consumers
         may issue their own page operations freely.
+
+        ``zone_eq`` is the zone-map skip key: pages whose zone map provably
+        excludes the value are skipped without touching the buffer pool
+        (and without being prefetched). Plain heaps have no zone maps, so
+        the argument is accepted but never skips anything there.
         """
         chain = self._chain
         index = 0
-        page_id = self.first_page
-        while page_id != -1:
-            if (
-                readahead > 1
-                and index % readahead == 0
-                and index < len(chain)
-                and chain[index] == page_id
-            ):
-                self.pool.prefetch(chain[index : index + readahead])
+        pending = 0  # pages of the current prefetch group not yet walked
+        while index < len(chain):
+            page_id = chain[index]
+            index += 1
+            if zone_eq is not None and self._zone_skips(page_id, zone_eq):
+                continue
+            if readahead > 1:
+                if pending == 0:
+                    batch = [page_id]
+                    probe = index
+                    while probe < len(chain) and len(batch) < readahead:
+                        nxt = chain[probe]
+                        if zone_eq is None or not self._zone_skips(nxt, zone_eq):
+                            batch.append(nxt)
+                        probe += 1
+                    self.pool.prefetch(batch)
+                    pending = len(batch)
+                pending -= 1
             page = self.pool.pin(page_id)
             try:
-                next_page = page.next_page
                 latch = self.pool.latch(page_id)
                 for slot in range(page.slot_count):
                     with latch.read():
@@ -137,12 +156,14 @@ class HeapFile:
                     if cell[0] == _INLINE:
                         yield (page_id, slot), cell[1:]
                     else:
-                        _, total, chain = _STUB.unpack(cell)
-                        yield (page_id, slot), self._read_overflow(chain, total)
+                        _, total, ovf_page = _STUB.unpack(cell)
+                        yield (page_id, slot), self._read_overflow(ovf_page, total)
             finally:
                 self.pool.unpin(page_id)
-            page_id = next_page
-            index += 1
+
+    def _zone_skips(self, page_id: int, zone_eq: int) -> bool:
+        """Whether the page's zone map proves *zone_eq* cannot match."""
+        return False
 
     def page_ids(self) -> list[int]:
         """All heap page ids of this file (excluding overflow pages)."""
@@ -162,7 +183,7 @@ class HeapFile:
                 # Extend the chain. The old tail stays pinned while the new
                 # page is admitted, so even a capacity-1 pool cannot evict
                 # it before the next-page link lands.
-                new_id, new_page = self.pool.new_page(KIND_HEAP)
+                new_id, new_page = self.pool.new_page(self.PAGE_KIND)
                 with self.pool.latch(page_id).write():
                     page.next_page = new_id
                     self.pool.mark_dirty(page_id)

@@ -18,18 +18,59 @@ deadlock-free (see the locking-order table in ARCHITECTURE.md).
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
+
+
+class _ReadGuard:
+    """Stateless ``with``-guard for the shared side of one latch.
+
+    One instance per latch, returned by every :meth:`RWLatch.read` call —
+    the guard holds no per-acquisition state (the latch's reader count
+    does), so reusing it across concurrent/nested blocks is safe and the
+    hot path allocates nothing.
+    """
+
+    __slots__ = ("_latch",)
+
+    def __init__(self, latch: "RWLatch"):
+        self._latch = latch
+
+    def __enter__(self):
+        self._latch.acquire_read()
+        return self._latch
+
+    def __exit__(self, exc_type, exc, tb):
+        self._latch.release_read()
+        return False
+
+
+class _WriteGuard:
+    """Stateless ``with``-guard for the exclusive side of one latch."""
+
+    __slots__ = ("_latch",)
+
+    def __init__(self, latch: "RWLatch"):
+        self._latch = latch
+
+    def __enter__(self):
+        self._latch.acquire_write()
+        return self._latch
+
+    def __exit__(self, exc_type, exc, tb):
+        self._latch.release_write()
+        return False
 
 
 class RWLatch:
     """A shared/exclusive lock: many readers or one writer."""
 
-    __slots__ = ("_cond", "_readers", "_writer")
+    __slots__ = ("_cond", "_readers", "_writer", "_read_guard", "_write_guard")
 
     def __init__(self):
         self._cond = threading.Condition(threading.Lock())
         self._readers = 0
         self._writer = False
+        self._read_guard = _ReadGuard(self)
+        self._write_guard = _WriteGuard(self)
 
     # -- shared (read) side ---------------------------------------------
     def acquire_read(self) -> None:
@@ -57,18 +98,10 @@ class RWLatch:
             self._cond.notify_all()
 
     # -- context managers ------------------------------------------------
-    @contextmanager
     def read(self):
-        self.acquire_read()
-        try:
-            yield self
-        finally:
-            self.release_read()
+        """``with latch.read():`` — hold the shared side for the block."""
+        return self._read_guard
 
-    @contextmanager
     def write(self):
-        self.acquire_write()
-        try:
-            yield self
-        finally:
-            self.release_write()
+        """``with latch.write():`` — hold the exclusive side for the block."""
+        return self._write_guard

@@ -207,6 +207,7 @@ class Session:
                 collector=collector,
                 batch_size=db.batch_size,
                 readahead=db.readahead,
+                numpy_batches=db.numpy_batches,
             )
         return Executor(db.catalog, params, collector=collector)
 

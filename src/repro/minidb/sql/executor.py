@@ -180,7 +180,9 @@ class Executor:
         columns = [
             Column(c.name, type_from_name(c.type_name)) for c in stmt.columns
         ]
-        schema = TableSchema(stmt.name, columns, stmt.primary_key)
+        schema = TableSchema(
+            stmt.name, columns, stmt.primary_key, storage=stmt.storage
+        )
         self.catalog.create_table(schema, if_not_exists=stmt.if_not_exists)
         return Result([], [])
 
@@ -240,12 +242,10 @@ class Executor:
         return Result(["count"], [(len(victims),)])
 
     def _matching_rows(self, table, where_fn):
-        from repro.minidb.values import decode_record
-
         params = self.params
         matches = []
         for rid, raw in table.heap.scan():
-            row = decode_record(table.schema.types, raw)
+            row = table.decode(raw)
             if where_fn is None or where_fn(row, params) is True:
                 matches.append((rid, row))
         return matches
@@ -286,9 +286,10 @@ class Executor:
         table = self.catalog.get(node.table)
         params = self.params
         filters = node.filters
+        zone_eq = phys.zone_key(node, params)
 
         def gen():
-            for row in table.scan():
+            for row in table.scan(zone_eq=zone_eq):
                 if all(p(row, params) is True for p in filters):
                     yield row
 

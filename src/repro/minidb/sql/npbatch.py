@@ -1,0 +1,361 @@
+"""numpy batch kernels for the vectorized executor.
+
+The batch executor moves chunks of rows between operators. With numpy
+available, eligible scans (today: the fused UNNEST producer over int64
+label data) emit :class:`ColumnChunk` batches — parallel ``int64`` arrays,
+one per output column — instead of lists of tuples, and the fused filter /
+hash-join / aggregation kernels below operate on whole columns at once.
+
+Two invariants make this a pure representation change:
+
+* **Row compatibility.** ``ColumnChunk`` is sequence-like: ``len``,
+  iteration, indexing, and slicing behave exactly like the list of tuples
+  it stands for (iteration yields plain Python-int tuples). Any operator
+  that was written against row chunks keeps working, unmodified, on a
+  column chunk — it just pays a one-time materialization on first touch.
+* **Fallback parity.** Every kernel either returns the bit-identical
+  result of the row-at-a-time code path or signals ineligibility (``None``
+  / an exception the caller catches), in which case the executor re-runs
+  the compiled row closures on the same data. Specs are advisory,
+  never load-bearing for correctness.
+
+Columns are non-NULL ``int64`` only — producers check eligibility row by
+row before switching representation, so NULL handling stays in the row
+closures. The one NULL that can reach a kernel is a NULL *parameter* in a
+comparison; SQL three-valued logic makes that predicate never-true, which
+is exactly ``np.zeros(n, bool)``.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None
+
+NUMPY_AVAILABLE = np is not None
+
+_NULL = object()  # sentinel: a NULL operand inside a kernel expression
+
+
+class ColumnChunk:
+    """A batch of rows stored as parallel int64 numpy columns.
+
+    Drop-in sequence of row tuples: ``len(chunk)``, ``chunk[i]``,
+    ``chunk[a:b]`` and iteration all match the equivalent
+    ``list[tuple[int, ...]]``. Kernels reach the arrays via ``cols``.
+    """
+
+    __slots__ = ("cols", "n", "_rows")
+
+    def __init__(self, cols, n=None):
+        self.cols = list(cols)
+        self.n = len(self.cols[0]) if n is None else n
+        self._rows = None
+
+    def __len__(self):
+        return self.n
+
+    def to_rows(self):
+        """Materialize (and cache) the plain Python row tuples."""
+        if self._rows is None:
+            if self.cols:
+                self._rows = list(zip(*[c.tolist() for c in self.cols]))
+            else:
+                self._rows = [()] * self.n
+        return self._rows
+
+    def __iter__(self):
+        return iter(self.to_rows())
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return ColumnChunk(
+                [c[item] for c in self.cols],
+                n=len(range(*item.indices(self.n))),
+            )
+        return tuple(c[item].item() for c in self.cols)
+
+    def take(self, mask):
+        """Rows where the boolean *mask* is True, as a new chunk."""
+        return ColumnChunk([c[mask] for c in self.cols])
+
+    def project(self, col_indices):
+        """Column subset/reorder, sharing the underlying arrays."""
+        return ColumnChunk([self.cols[i] for i in col_indices], n=self.n)
+
+
+def concat(chunks):
+    """Concatenate ColumnChunks into one (columns stacked per position)."""
+    if len(chunks) == 1:
+        return chunks[0]
+    width = len(chunks[0].cols)
+    return ColumnChunk(
+        [np.concatenate([c.cols[i] for c in chunks]) for i in range(width)],
+        n=sum(c.n for c in chunks),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Operand / predicate evaluation
+# ---------------------------------------------------------------------------
+def eval_operand(spec, cols, params):
+    """Evaluate an operand spec to an array, a Python int, or ``_NULL``.
+
+    Raises TypeError for values the kernels must not touch (bools,
+    non-ints) — callers catch and fall back to the row closures.
+    """
+    kind = spec[0]
+    if kind == "col":
+        return cols[spec[1]]
+    if kind == "const":
+        return spec[1]
+    if kind == "param":
+        value = params[spec[1]]
+        if value is None:
+            return _NULL
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeError(f"non-integer parameter {value!r} in kernel")
+        return value
+    if kind == "neg":
+        inner = eval_operand(spec[1], cols, params)
+        return _NULL if inner is _NULL else -inner
+    if kind == "bin":
+        left = eval_operand(spec[2], cols, params)
+        right = eval_operand(spec[3], cols, params)
+        if left is _NULL or right is _NULL:
+            return _NULL
+        op = spec[1]
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        return left * right
+    if kind == "div":
+        left = eval_operand(spec[1], cols, params)
+        right = eval_operand(spec[2], cols, params)
+        if left is _NULL or right is _NULL:
+            return _NULL
+        if isinstance(right, np.ndarray):
+            if not (right != 0).all():
+                raise TypeError("zero divisor: the row path raises in order")
+        elif right == 0:
+            raise TypeError("zero divisor: the row path raises in order")
+        quotient = left // right
+        # SQL integer division truncates toward zero; floor division is one
+        # less exactly when the signs differ and there is a remainder.
+        return quotient + ((quotient < 0) & (quotient * right != left))
+    if kind == "floor":
+        inner = eval_operand(spec[1], cols, params)
+        if inner is _NULL:
+            return _NULL
+        if isinstance(inner, np.ndarray):
+            if not np.issubdtype(inner.dtype, np.integer):
+                raise TypeError("FLOOR over non-integers stays on the row path")
+            return inner
+        if isinstance(inner, bool) or not isinstance(inner, (int, np.integer)):
+            raise TypeError("FLOOR over non-integers stays on the row path")
+        return inner  # FLOOR of an integer is the identity, as in SQL
+    if kind in ("maxv", "minv"):
+        fn = np.maximum if kind == "maxv" else np.minimum
+        parts = [eval_operand(part, cols, params) for part in spec[1:]]
+        if any(part is _NULL for part in parts):
+            # GREATEST/LEAST are not strict (they skip NULLs); mixed
+            # NULL/array semantics stay on the row closures.
+            raise TypeError("NULL in GREATEST/LEAST stays on the row path")
+        acc = parts[0]
+        for part in parts[1:]:
+            acc = fn(acc, part)
+        return acc
+    raise TypeError(f"unknown operand spec {spec!r}")
+
+
+_CMP = None
+if NUMPY_AVAILABLE:
+    _CMP = {
+        "=": lambda a, b: a == b,
+        "<>": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+
+def eval_mask(spec, cols, params, n):
+    """Boolean keep-mask for one ``("cmp", op, a, b)`` spec."""
+    left = eval_operand(spec[2], cols, params)
+    right = eval_operand(spec[3], cols, params)
+    if left is _NULL or right is _NULL:
+        return np.zeros(n, dtype=bool)  # NULL comparison is never TRUE
+    result = _CMP[spec[1]](left, right)
+    if not isinstance(result, np.ndarray):  # both operands scalar
+        return np.full(n, bool(result))
+    return result
+
+
+def eval_masks(specs, cols, params, n):
+    """AND of all filter specs as one mask, or None to use the row path.
+
+    None is returned when any conjunct has no spec (the planner could not
+    lower it) or a parameter has a type the kernels refuse — identical
+    semantics are then guaranteed by the compiled closures instead.
+    """
+    if specs is None or any(s is None for s in specs):
+        return None
+    mask = np.ones(n, dtype=bool)
+    try:
+        for spec in specs:
+            mask &= eval_mask(spec, cols, params, n)
+    except (TypeError, OverflowError):
+        return None
+    return mask
+
+
+def eval_keys(specs, cols, params, n):
+    """Probe-key tuples for an index nested-loop, or None for the row path.
+
+    Evaluates each key spec over the left chunk's columns and zips the
+    results into plain-int tuples — exactly the keys the per-row closures
+    build, since specs lower only expressions with identical integer
+    semantics. Anything surprising (NULL parameters, zero divisors,
+    non-int64 results) returns None and the caller re-derives every key
+    with the compiled closures.
+    """
+    key_cols = []
+    try:
+        for spec in specs:
+            value = eval_operand(spec, cols, params)
+            if value is _NULL:
+                return None
+            if isinstance(value, np.ndarray):
+                if value.dtype != np.int64:
+                    return None
+                key_cols.append(value.tolist())
+            elif isinstance(value, (int, np.integer)) and not isinstance(
+                value, bool
+            ):
+                key_cols.append([int(value)] * n)
+            else:
+                return None
+    except (TypeError, OverflowError):
+        return None
+    return list(zip(*key_cols))
+
+
+# ---------------------------------------------------------------------------
+# Join kernel
+# ---------------------------------------------------------------------------
+def join_pairs(left_keys, right_keys):
+    """Matching (left_index, right_index) arrays for an equi-join.
+
+    Output order replicates the row-path hash join exactly: left-major,
+    and within one left row the matching right rows in their original
+    (build insertion) order — the stable argsort preserves input order
+    among equal keys, so ``order[starts + within]`` walks each bucket in
+    insertion order.
+    """
+    order = np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    lo = np.searchsorted(sorted_keys, left_keys, side="left")
+    hi = np.searchsorted(sorted_keys, left_keys, side="right")
+    counts = hi - lo
+    left_idx = np.repeat(np.arange(left_keys.shape[0]), counts)
+    total = int(counts.sum())
+    if total == 0:
+        return left_idx, left_idx.copy()
+    run_starts = np.cumsum(counts) - counts
+    within = np.arange(total) - np.repeat(run_starts, counts)
+    right_idx = order[np.repeat(lo, counts) + within]
+    return left_idx, right_idx
+
+
+# ---------------------------------------------------------------------------
+# Aggregation kernel
+# ---------------------------------------------------------------------------
+def group_aggregate(np_spec, cols, params, n):
+    """Evaluate an ``Aggregate.np_spec`` over whole columns.
+
+    Returns the finished output rows as plain Python tuples, in the exact
+    order the streaming row accumulators produce (group first-appearance
+    order), or None when the row path must decide instead — notably the
+    zero-input scalar aggregate, whose default row (COUNT=0, MIN=NULL)
+    the row path already implements.
+    """
+    group_cols, items = np_spec
+    try:
+        if not group_cols:
+            if n == 0:
+                return None  # default-row semantics live in the row path
+            out = []
+            for item in items:
+                out.append(_scalar_agg(item, cols, params, n))
+            return [tuple(out)]
+
+        keys = cols[group_cols[0]]
+        if n == 0:
+            return []
+        uniq, first_idx, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        # np.unique sorts by key value; remap group ids to first-appearance
+        # order so output rows match the dict-insertion order of the
+        # streaming accumulators.
+        appearance = np.argsort(first_idx, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[appearance] = np.arange(len(uniq))
+        group_of = rank[inverse]
+        counts = np.bincount(group_of, minlength=len(uniq))
+        sort_idx = np.argsort(group_of, kind="stable")
+        starts = np.cumsum(counts) - counts
+        first_rows = first_idx[appearance]
+
+        columns = []
+        for item in items:
+            kind = item[0]
+            if kind == "first":
+                columns.append(cols[item[1]][first_rows].tolist())
+            elif kind == "count*":
+                columns.append(counts.tolist())
+            else:  # ("agg", name, operand)
+                name, operand = item[1], item[2]
+                values = eval_operand(operand, cols, params)
+                if values is _NULL:
+                    columns.append([0 if name == "count" else None] * len(uniq))
+                    continue
+                if not isinstance(values, np.ndarray):
+                    values = np.full(n, values, dtype=np.int64)
+                if name == "count":
+                    columns.append(counts.tolist())  # columns are non-NULL
+                elif name == "min":
+                    columns.append(
+                        np.minimum.reduceat(values[sort_idx], starts).tolist()
+                    )
+                else:
+                    columns.append(
+                        np.maximum.reduceat(values[sort_idx], starts).tolist()
+                    )
+        return list(zip(*columns))
+    except (TypeError, OverflowError):
+        return None
+
+
+def _scalar_agg(item, cols, params, n):
+    kind = item[0]
+    if kind == "count*":
+        return n
+    if kind == "first":
+        return cols[item[1]][0].item()
+    name, operand = item[1], item[2]
+    values = eval_operand(operand, cols, params)
+    if values is _NULL:
+        return 0 if name == "count" else None
+    if not isinstance(values, np.ndarray):
+        if name == "count":
+            return n
+        return int(values)
+    if name == "count":
+        return n
+    if name == "min":
+        return int(values.min())
+    return int(values.max())

@@ -33,6 +33,27 @@ class PlanNode:
     name = "?"
     detail = ""
     ast_ref = None
+    #: numpy comparison specs parallel to the node's ``filters`` list (an
+    #: entry is ``None`` when a predicate has no array form). Set by the
+    #: planner on filtering nodes; the batch executor evaluates present
+    #: specs as boolean masks over column batches instead of calling the
+    #: row closure per tuple. Purely an evaluation strategy — results are
+    #: identical either way.
+    filter_specs = None
+
+    #: Scans only (SeqScan / PkLookup / IndexNestedLoop): decode columnar
+    #: integer-array cells straight to int64 ndarrays for the batch
+    #: executor's UNNEST column kernels. Set by the planner only when it
+    #: proves nothing but UNNEST ever touches those cells (select items,
+    #: filters and sort keys all reference scalar columns); the row
+    #: executor ignores the flag and decodes lists as always.
+    np_decode = False
+
+    #: First output position the scanned table's columns occupy: 0 for a
+    #: plain scan, the left input's width for an IndexNestedLoop probe
+    #: (set by the planner). Lets np_decode analyses locate array cells
+    #: in the node's output schema without re-deriving the join shape.
+    np_probe_base = 0
 
     def children(self):
         """Child operators in display order (sub-plans included)."""
@@ -88,6 +109,14 @@ class Result0(PlanNode):
 
 class SeqScan(PlanNode):
     name = "Seq Scan"
+
+    #: ``fn((), params)`` producing the zone-map skip key, set by the
+    #: planner when the table is columnar and a pushed-down conjunct pins
+    #: the zone column (hub) to a constant/parameter. Both executors apply
+    #: it identically via :func:`zone_key`, so page-I/O accounting stays
+    #: row/batch-identical; skipping is conservative (pages without valid
+    #: zone maps are always read) and the filters still run.
+    zone_eq_fn = None
 
     def __init__(self, table, alias, filters, ast_ref=None):
         self.table = table
@@ -152,6 +181,14 @@ class IndexNestedLoop(PlanNode):
 
     name = "Index Nested Loop"
 
+    #: numpy operand specs parallel to ``key_fns`` (planner-set when every
+    #: probe-key expression lowers to the spec grammar). The batch executor
+    #: then computes all probe keys of a column batch with array kernels
+    #: instead of calling the per-row closures; any runtime surprise (NULL
+    #: parameter, zero divisor, non-int64 result) falls back to the row
+    #: closures with identical keys.
+    np_key_specs = None
+
     def __init__(self, left, table, alias, pk, key_fns, filters, ast_ref=None):
         self.left = left
         self.table = table
@@ -168,6 +205,12 @@ class IndexNestedLoop(PlanNode):
 
 class HashJoin(PlanNode):
     name = "Hash Join"
+
+    #: Column index of the equi-join key on each side when the key is a
+    #: plain column reference (planner-set); the batch executor then joins
+    #: with sort + ``np.searchsorted`` over column batches.
+    np_left_col = None
+    np_right_col = None
 
     def __init__(self, left, right, left_key, right_key, filters):
         self.left = left
@@ -289,6 +332,12 @@ class Aggregate(PlanNode):
         #: there is no HAVING: the batch executor then folds rows into
         #: per-group accumulators instead of materializing group row lists.
         self.simple_spec = None
+        #: numpy grouping recipe ``(group_col_indices, items)`` set by the
+        #: planner when the grouping keys are plain columns and every item
+        #: is MIN/MAX/COUNT over a numpy-evaluable operand: the batch
+        #: executor then aggregates whole column batches with
+        #: ``np.unique`` + ``reduceat`` instead of a per-row Python fold.
+        self.np_spec = None
         if group_key_count:
             self.name = "GroupAggregate"
             self.detail = f"({group_key_count} keys)"
@@ -469,6 +518,23 @@ def explain_lines(plan: Plan) -> list[str]:
         node = node.inner.statement
     visit(node, 0)
     return lines
+
+
+def zone_key(node, params) -> int | None:
+    """Resolve a scan node's zone-map skip key for this execution.
+
+    Returns ``None`` (no skipping) unless the node carries a ``zone_eq_fn``
+    that yields a plain integer — any other runtime value means the
+    equality can never use the integer zone bounds soundly, so the scan
+    reads every page and lets the filters decide.
+    """
+    fn = getattr(node, "zone_eq_fn", None)
+    if fn is None:
+        return None
+    value = fn((), params)
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
 
 
 #: Operators with no batch-mode implementation: plans containing one run on

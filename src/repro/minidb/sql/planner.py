@@ -26,6 +26,7 @@ as the paper requires.
 from __future__ import annotations
 
 from repro.errors import SQLError, SQLNameError, SQLSyntaxError
+from repro.minidb.values import is_array_type
 from repro.minidb.sql import ast
 from repro.minidb.sql import plan as phys
 from repro.minidb.sql.functions import (
@@ -34,6 +35,7 @@ from repro.minidb.sql.functions import (
     get_scalar,
     is_aggregate,
 )
+from repro.minidb.sql.npbatch import np as _np
 from repro.minidb.sql.printer import render_expr
 
 
@@ -206,6 +208,87 @@ def _hashable(row: tuple) -> tuple:
 
 
 # ---------------------------------------------------------------------------
+# numpy operand/comparison specs
+# ---------------------------------------------------------------------------
+# A spec is a small tuple tree the batch executor can evaluate over whole
+# column batches (see repro.minidb.sql.npbatch): ("col", i), ("param", i),
+# ("const", v), ("neg", spec), ("bin", op, a, b) with op in + - *,
+# ("div", a, b), ("floor", spec), ("maxv"/"minv", spec, ...) for
+# GREATEST/LEAST, and ("cmp", op, a, b). The division kernel reproduces
+# SQL truncation toward zero exactly (numpy floors; the kernel adjusts)
+# and refuses zero divisors so division-by-zero errors keep their row-path
+# evaluation order. Specs are advisory: a None spec (or a runtime type
+# the kernel rejects) falls back to the compiled closure with identical
+# results.
+_NP_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def _np_operand(expr, schema):
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return ("const", value)
+        return None
+    if isinstance(expr, ast.Param):
+        return ("param", expr.index - 1)
+    if isinstance(expr, ast.ColumnRef):
+        try:
+            return ("col", _resolve(schema, expr))
+        except SQLError:
+            return None
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _np_operand(expr.operand, schema)
+        return None if inner is None else ("neg", inner)
+    if isinstance(expr, ast.BinaryOp) and expr.op in ("+", "-", "*", "/"):
+        left = _np_operand(expr.left, schema)
+        right = _np_operand(expr.right, schema)
+        if left is None or right is None:
+            return None
+        if expr.op == "/":
+            return ("div", left, right)
+        return ("bin", expr.op, left, right)
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name.lower()
+        if name == "floor" and len(expr.args) == 1:
+            inner = _np_operand(expr.args[0], schema)
+            return None if inner is None else ("floor", inner)
+        if name in ("greatest", "least") and expr.args:
+            parts = [_np_operand(arg, schema) for arg in expr.args]
+            if any(part is None for part in parts):
+                return None
+            return ("maxv" if name == "greatest" else "minv", *parts)
+    return None
+
+
+def _np_cmp(conj, schema):
+    """Comparison spec for one WHERE conjunct, or None."""
+    if isinstance(conj, ast.BinaryOp) and conj.op in _NP_CMP_OPS:
+        left = _np_operand(conj.left, schema)
+        right = _np_operand(conj.right, schema)
+        if left is not None and right is not None:
+            return ("cmp", conj.op, left, right)
+    return None
+
+
+def _spec_cols(spec, out: set) -> None:
+    """Collect every ``("col", i)`` index referenced by an np-spec tree."""
+    kind = spec[0]
+    if kind == "col":
+        out.add(spec[1])
+    elif kind in ("neg", "floor"):
+        _spec_cols(spec[1], out)
+    elif kind == "div":
+        _spec_cols(spec[1], out)
+        _spec_cols(spec[2], out)
+    elif kind in ("bin", "cmp"):
+        _spec_cols(spec[2], out)
+        _spec_cols(spec[3], out)
+    elif kind in ("maxv", "minv"):
+        for part in spec[1:]:
+            _spec_cols(part, out)
+
+
+# ---------------------------------------------------------------------------
 # Expression compilation
 # ---------------------------------------------------------------------------
 def _resolve(schema, ref: ast.ColumnRef) -> int:
@@ -317,6 +400,12 @@ def compile_expr(expr, schema, grouped: bool, strict_names: bool = False):
             if lo is None or hi is None:
                 return None
             lo = max(lo, 1)
+            if isinstance(arr, list):
+                return arr[lo - 1 : hi]
+            if _np is not None and isinstance(arr, _np.ndarray):
+                # np_decode batch cells: keep the (zero-copy) array view;
+                # row-path cells are always lists, so row semantics hold.
+                return arr[lo - 1 : hi]
             return list(arr[lo - 1 : hi])
 
         return _slice
@@ -426,7 +515,9 @@ def _compile_aggregate(expr: ast.FuncCall, schema, grouped: bool):
 # ---------------------------------------------------------------------------
 def plan_statement(stmt, catalog) -> phys.Plan:
     """Lower one parsed statement into an executable physical plan."""
-    node = Planner(catalog).plan(stmt)
+    planner = Planner(catalog)
+    node = planner.plan(stmt)
+    planner.finalize_np_decode()
     plan = phys.Plan(node, ast.param_indices(stmt))
     plan.batchable = phys.batch_capable(plan)
     return plan
@@ -435,6 +526,10 @@ def plan_statement(stmt, catalog) -> phys.Plan:
 class Planner:
     def __init__(self, catalog):
         self.catalog = catalog
+        #: CTE name -> {"scan", "out_arr", "uses"}: candidates for the
+        #: cross-CTE np_decode analysis (see _register_cte). Lives for one
+        #: statement; finalize_np_decode resolves it after planning.
+        self._cte_np: dict = {}
 
     # -- statements -----------------------------------------------------
     def plan(self, stmt):
@@ -517,6 +612,7 @@ class Planner:
             sub = self.plan_query(cte_query, env)
             ctes.append((name, sub))
             env[name] = sub.columns
+            self._register_cte(name, sub)
 
         if len(query.cores) == 1 and isinstance(query.cores[0], ast.SelectCore):
             node, columns = self._plan_single(query, query.cores[0], env)
@@ -605,6 +701,7 @@ class Planner:
                 compile_expr(c, schema, grouped=False) for c in residual
             ]
             node = phys.Filter(node, predicates, _predicate_detail(residual))
+            node.filter_specs = [_np_cmp(c, schema) for c in residual]
 
         items = self._expand_stars(core.items, schema)
         items, schema, node = self._plan_srfs(items, schema, node)
@@ -639,6 +736,10 @@ class Planner:
             node.simple_spec = self._simple_agg_spec(
                 items, schema, having_fn, key_specs
             )
+            if node.simple_spec is not None:
+                node.np_spec = self._np_agg_spec(
+                    items, schema, core.group_by, key_specs
+                )
         else:
             item_fns = [
                 compile_expr(it.expr, schema, grouped=False) for it in items
@@ -757,6 +858,53 @@ class Planner:
         except SQLError:
             return None
 
+    def _np_agg_spec(self, items, schema, group_by, key_specs):
+        """Whole-column aggregation recipe for the numpy kernel, or None.
+
+        Stricter than :meth:`_simple_agg_spec` (which must already have
+        accepted the query): group keys and aggregate-free items must be
+        plain columns, and only MIN/MAX/COUNT/COUNT(*) lower — SUM/AVG stay
+        on the streaming accumulators (int64 overflow and float-division
+        semantics are not worth replicating in the kernel). Returns
+        ``(group_cols, item_specs)`` with item specs ``("first", col)``,
+        ``("count*",)`` or ``("agg", name, operand_spec)``.
+        """
+        if len(group_by) > 1:
+            return None
+        group_cols = []
+        for expr in group_by:
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            try:
+                group_cols.append(_resolve(schema, expr))
+            except SQLError:
+                return None
+        spec = []
+        for item in items:
+            expr = item.expr
+            if not _contains_aggregate(expr):
+                if not isinstance(expr, ast.ColumnRef):
+                    return None
+                try:
+                    spec.append(("first", _resolve(schema, expr)))
+                except SQLError:
+                    return None
+                continue
+            if not (isinstance(expr, ast.FuncCall) and is_aggregate(expr.name)):
+                return None
+            if expr.star:
+                if expr.name != "count":
+                    return None
+                spec.append(("count*",))
+                continue
+            if expr.name not in ("min", "max", "count") or len(expr.args) != 1:
+                return None
+            operand = _np_operand(expr.args[0], schema)
+            if operand is None:
+                return None
+            spec.append(("agg", expr.name, operand))
+        return tuple(group_cols), spec
+
     def _simple_cols(self, items, schema):
         """Input-column index per select item when all are plain columns."""
         cols = []
@@ -817,7 +965,207 @@ class Planner:
             )
         unnest = phys.Unnest(node, srf_fns)
         unnest.srf_positions = list(srf_positions)
+        self._mark_np_decode(node, items, srf_positions, schema)
         return new_items, new_schema, unnest
+
+    def _mark_np_decode(self, node, items, srf_positions, schema):
+        """Let an UNNEST-feeding columnar scan decode arrays as ndarrays.
+
+        Safe only when the array cells cannot reach any consumer that
+        expects Python lists: every SRF argument must be a plain column
+        reference (or an array slice over one), and every other select
+        item plus every scan filter may touch scalar columns only. The
+        check is conservative — failing it just keeps the
+        (always-correct) list decode.
+
+        A :class:`~repro.minidb.sql.plan.CteScan` source defers to the
+        cross-CTE analysis instead: the scan itself decodes nothing, but
+        proving that THIS use of the CTE only touches its array columns
+        through UNNEST lets :meth:`finalize_np_decode` flip the flag on
+        the scan that produced the CTE's rows.
+        """
+        if isinstance(node, phys.CteScan):
+            self._mark_cte_use(node, items, srf_positions, schema)
+            return
+        arr = self._scan_np_arrays(node)
+        if arr is None:
+            return
+        if self._items_np_safe(items, srf_positions, schema, arr):
+            node.np_decode = True
+
+    def _scan_np_arrays(self, node):
+        """Output positions a scan could fill with ndarray cells, or None.
+
+        The positions are the scanned columnar table's integer-array
+        columns (offset by ``np_probe_base`` for an INL probe). None means
+        the node is no candidate: wrong node/storage kind, no array
+        columns, or key/filter machinery that would have to evaluate
+        Python-list semantics on the array cells.
+        """
+        if not isinstance(
+            node, (phys.SeqScan, phys.PkLookup, phys.IndexNestedLoop)
+        ):
+            return None
+        try:
+            table = self.catalog.get(node.table)
+        except SQLError:
+            return None
+        tschema = table.schema
+        if tschema.storage != "columnar":
+            return None
+        base = node.np_probe_base
+        arr = {
+            base + i
+            for i, col in enumerate(tschema.columns)
+            if is_array_type(col.type_tag)
+        }
+        if not arr:
+            return None
+        if any(
+            tschema.column_index(c) + base in arr
+            for c in getattr(node, "pk", ())
+        ):
+            return None
+        filters = getattr(node, "filters", None) or []
+        specs = node.filter_specs or []
+        if len(specs) != len(filters) or any(s is None for s in specs):
+            return None
+        cols: set = set()
+        for spec in specs:
+            _spec_cols(spec, cols)
+        if cols & arr:
+            return None
+        return arr
+
+    def _items_np_safe(self, items, srf_positions, schema, arr):
+        """True when select items confine *arr* positions to UNNEST args."""
+        for i, item in enumerate(items):
+            if i in srf_positions:
+                if self._srf_arg_col(item.expr.args[0], schema, arr) is None:
+                    return False
+                continue
+            for ref in ast.walk(item.expr):
+                if not isinstance(ref, ast.ColumnRef):
+                    continue
+                try:
+                    if _resolve(schema, ref) in arr:
+                        return False
+                except SQLError:
+                    return False  # unresolvable (inner scope): conservative
+        return True
+
+    def _srf_arg_col(self, expr, schema, arr):
+        """Input column an UNNEST argument reads, when ndarray-safe.
+
+        Plain column references and array slices over one (with bounds
+        free of array columns) evaluate identically on list and ndarray
+        cells — the compiled slice closure preserves the ndarray view.
+        Anything else returns None.
+        """
+        if isinstance(expr, ast.ColumnRef):
+            try:
+                return _resolve(schema, expr)
+            except SQLError:
+                return None
+        if isinstance(expr, ast.ArraySlice) and isinstance(
+            expr.base, ast.ColumnRef
+        ):
+            for bound in (expr.low, expr.high):
+                if bound is None:
+                    continue
+                for ref in ast.walk(bound):
+                    if not isinstance(ref, ast.ColumnRef):
+                        continue
+                    try:
+                        if _resolve(schema, ref) in arr:
+                            return None
+                    except SQLError:
+                        return None
+            try:
+                return _resolve(schema, expr.base)
+            except SQLError:
+                return None
+        return None
+
+    # -- cross-CTE np_decode ---------------------------------------------
+    # The kNN/OTM plans probe the grouped label tables through an index
+    # nested-loop whose rows materialize into a CTE; the UNNESTs then read
+    # from CteScans, not from the probing scan itself. The analysis below
+    # re-creates the direct-scan guarantee across that boundary: a CTE
+    # whose rows come straight from a columnar scan (via a column-picking
+    # Project) may carry ndarray cells iff EVERY scan of the CTE touches
+    # those positions only as UNNEST arguments.
+
+    def _register_cte(self, name, sub):
+        """Record *name* as an np_decode candidate if its plan qualifies."""
+        if name in self._cte_np:
+            # Shadowed CTE name: use attribution would be ambiguous, so
+            # neither definition participates.
+            self._cte_np[name]["scan"] = None
+            return
+        info = {"scan": None, "out_arr": frozenset(), "uses": []}
+        self._cte_np[name] = info
+        root = sub.root
+        if (
+            not isinstance(root, phys.Project)
+            or root.simple_cols is None
+            or root.key_specs is not None
+        ):
+            return
+        scan = root.child
+        arr = self._scan_np_arrays(scan)
+        if arr is None:
+            return
+        out_arr = frozenset(
+            out_i
+            for out_i, col_i in enumerate(root.simple_cols)
+            if col_i in arr
+        )
+        if not out_arr:
+            # The projection drops every array column before anything
+            # downstream sees the rows: always safe, and the scan still
+            # skips the list materialization.
+            scan.np_decode = True
+            return
+        info["scan"] = scan
+        info["out_arr"] = out_arr
+
+    def _mark_cte_use(self, node, items, srf_positions, schema):
+        """Upgrade one recorded CteScan use to "safe" if provably so."""
+        info = self._cte_np.get(node.cte_name)
+        if info is None or info["scan"] is None:
+            return
+        record = next((r for r in info["uses"] if r[0] is node), None)
+        if record is None:
+            return
+        out_arr = info["out_arr"]
+        filters = node.filters or []
+        specs = node.filter_specs or []
+        if len(specs) != len(filters) or any(s is None for s in specs):
+            return
+        cols: set = set()
+        for spec in specs:
+            _spec_cols(spec, cols)
+        if cols & out_arr:
+            return
+        if not self._items_np_safe(items, srf_positions, schema, out_arr):
+            return
+        record[1] = True
+
+    def finalize_np_decode(self):
+        """Flip np_decode on CTE-producing scans once all uses are known.
+
+        Called by :func:`plan_statement` after the whole statement is
+        planned. A use that never reached :meth:`_mark_cte_use` (a join
+        source, a SELECT without SRFs) stays unsafe and vetoes the flag —
+        conservative by construction.
+        """
+        for info in self._cte_np.values():
+            scan = info["scan"]
+            if scan is None or not info["uses"]:
+                continue
+            if all(safe for _node, safe in info["uses"]):
+                scan.np_decode = True
 
     def _plan_windows(self, items, schema, node):
         win_positions = [
@@ -896,16 +1244,26 @@ class Planner:
         if isinstance(item, ast.SubqueryRef):
             subplan = self.plan_query(item.query, env)
             schema = [(item.alias, n) for n in subplan.columns]
-            filters = self._source_filters(schema, all_conj, on_conjuncts, used)
-            return (
-                phys.SubqueryScan(item.alias, subplan, filters, ast_ref=item),
-                schema,
+            filters, specs, _ = self._source_filters(
+                schema, all_conj, on_conjuncts, used
             )
+            node = phys.SubqueryScan(item.alias, subplan, filters, ast_ref=item)
+            node.filter_specs = specs
+            return node, schema
         alias = item.alias or item.name
         if item.name in env:
             schema = [(alias, n) for n in env[item.name]]
-            filters = self._source_filters(schema, all_conj, on_conjuncts, used)
-            return phys.CteScan(item.name, alias, filters, ast_ref=item), schema
+            filters, specs, _ = self._source_filters(
+                schema, all_conj, on_conjuncts, used
+            )
+            node = phys.CteScan(item.name, alias, filters, ast_ref=item)
+            node.filter_specs = specs
+            info = self._cte_np.get(item.name)
+            if info is not None and info["scan"] is not None:
+                # Every scan of an np_decode candidate starts out unsafe;
+                # _mark_np_decode upgrades the ones it can prove harmless.
+                info["uses"].append([node, False])
+            return node, schema
         table = self.catalog.get(item.name)
         schema = [(alias, n) for n in table.schema.column_names]
         probe = self._pk_probe(table.schema.primary_key, alias, all_conj, used)
@@ -921,28 +1279,70 @@ class Planner:
                 compile_expr(conjuncts[idx], schema, grouped=False)
                 for idx in consumed
             ]
-            filters = self._source_filters(schema, all_conj, on_conjuncts, used)
-            return (
-                phys.PkLookup(
-                    item.name, alias, pk, key_fns, pin_fns, filters,
-                    ast_ref=item,
-                ),
-                schema,
+            filters, specs, _ = self._source_filters(
+                schema, all_conj, on_conjuncts, used
             )
-        filters = self._source_filters(schema, all_conj, on_conjuncts, used)
-        return phys.SeqScan(item.name, alias, filters, ast_ref=item), schema
+            node = phys.PkLookup(
+                item.name, alias, pk, key_fns, pin_fns, filters, ast_ref=item
+            )
+            node.filter_specs = specs
+            return node, schema
+        filters, specs, pushed = self._source_filters(
+            schema, all_conj, on_conjuncts, used
+        )
+        node = phys.SeqScan(item.name, alias, filters, ast_ref=item)
+        node.filter_specs = specs
+        node.zone_eq_fn = self._zone_eq_fn(table, alias, pushed)
+        return node, schema
+
+    def _zone_eq_fn(self, table, alias, pushed):
+        """Compile the zone-map skip key for a columnar seq scan, or None.
+
+        Looks for an equality conjunct pinning the table's scalar zone
+        column (hub) to a constant/parameter. Such a conjunct references
+        only this source, so ``_source_filters`` always pushed it into the
+        scan's own filters — skipping a page can therefore only skip rows
+        the filter would reject anyway, on either executor.
+        """
+        schema_obj = table.schema
+        zone = schema_obj.zone_info()
+        if zone is None or zone[1]:  # array zone columns: no scalar equality
+            return None
+        zone_col = schema_obj.columns[zone[0]].name
+        for conj in pushed:
+            if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
+                continue
+            for col_side, const_side in (
+                (conj.left, conj.right),
+                (conj.right, conj.left),
+            ):
+                if (
+                    isinstance(col_side, ast.ColumnRef)
+                    and col_side.name == zone_col
+                    and col_side.table in (None, alias)
+                    and self._is_constant(const_side)
+                ):
+                    return compile_expr(const_side, [], grouped=False)
+        return None
 
     def _source_filters(self, schema, all_conj, on_conjuncts, used):
-        """Push down single-source filters (WHERE, then mandatory ON)."""
-        predicates = self._filters(schema, all_conj, used)
-        predicates += self._filters(
+        """Push down single-source filters (WHERE, then mandatory ON).
+
+        Returns ``(predicates, specs, exprs)`` — compiled closures, parallel
+        numpy comparison specs (entries may be None), and the conjunct ASTs
+        actually claimed by this source.
+        """
+        predicates, specs, exprs = self._filters(schema, all_conj, used)
+        on_preds, on_specs, on_exprs = self._filters(
             schema, list(enumerate(on_conjuncts, start=-1000)), set(),
             always=True,
         )
-        return predicates
+        return predicates + on_preds, specs + on_specs, exprs + on_exprs
 
     def _filters(self, schema, indexed_conjuncts, used, always=False):
         predicates = []
+        specs = []
+        exprs = []
         for idx, conj in indexed_conjuncts:
             if not always and idx in used:
                 continue
@@ -951,9 +1351,11 @@ class Planner:
             except SQLNameError:
                 continue
             predicates.append(fn)
+            specs.append(_np_cmp(conj, schema))
+            exprs.append(conj)
             if not always:
                 used.add(idx)
-        return predicates
+        return predicates, specs, exprs
 
     def _pk_probe(self, pk, alias, indexed_conjuncts, used):
         """If conjuncts pin every PK column to a constant, claim them.
@@ -1023,11 +1425,13 @@ class Planner:
             pk = table.schema.primary_key
             if pk:
                 pins: dict = {}
+                pin_exprs: dict = {}
                 consumed = []
                 for idx, conj in candidates:
                     pin = self._inl_pin(conj, alias, pk, left_schema)
                     if pin is not None and pin[0] not in pins:
                         pins[pin[0]] = pin[1]
+                        pin_exprs[pin[0]] = pin[2]
                         consumed.append(idx)
                 if set(pins) == set(pk):
                     key_fns = [pins[col] for col in pk]
@@ -1037,16 +1441,21 @@ class Planner:
                     schema = left_schema + [
                         (alias, n) for n in table.schema.column_names
                     ]
-                    filters = self._post_join_filters(
+                    filters, specs = self._post_join_filters(
                         schema, conjuncts, used, on_conjuncts
                     )
-                    return (
-                        phys.IndexNestedLoop(
-                            left_node, item.name, alias, pk, key_fns, filters,
-                            ast_ref=item,
-                        ),
-                        schema,
+                    node = phys.IndexNestedLoop(
+                        left_node, item.name, alias, pk, key_fns, filters,
+                        ast_ref=item,
                     )
+                    node.filter_specs = specs
+                    node.np_probe_base = len(left_schema)
+                    key_specs = [
+                        _np_operand(pin_exprs[col], left_schema) for col in pk
+                    ]
+                    if all(spec is not None for spec in key_specs):
+                        node.np_key_specs = key_specs
+                    return node, schema
 
         # --- plan the right side, then hash or cross join -------------------
         right_node, right_schema = self._plan_source(
@@ -1062,27 +1471,45 @@ class Planner:
                 hash_pair = (idx, pair)
                 break
         if hash_pair is not None:
-            idx, (left_fn, right_fn) = hash_pair
+            idx, (left_fn, right_fn, left_expr, right_expr) = hash_pair
             if idx is not None:
                 used.add(idx)
-            filters = self._post_join_filters(
+            filters, specs = self._post_join_filters(
                 schema, conjuncts, used, on_conjuncts
             )
-            return (
-                phys.HashJoin(left_node, right_node, left_fn, right_fn, filters),
-                schema,
+            node = phys.HashJoin(
+                left_node, right_node, left_fn, right_fn, filters
             )
-        filters = self._post_join_filters(schema, conjuncts, used, on_conjuncts)
-        return phys.NestedLoop(left_node, right_node, filters), schema
+            node.filter_specs = specs
+            left_spec = _np_operand(left_expr, left_schema)
+            right_spec = _np_operand(right_expr, right_schema)
+            if (
+                left_spec is not None
+                and right_spec is not None
+                and left_spec[0] == "col"
+                and right_spec[0] == "col"
+            ):
+                node.np_left_col = left_spec[1]
+                node.np_right_col = right_spec[1]
+            return node, schema
+        filters, specs = self._post_join_filters(
+            schema, conjuncts, used, on_conjuncts
+        )
+        node = phys.NestedLoop(left_node, right_node, filters)
+        node.filter_specs = specs
+        return node, schema
 
     def _post_join_filters(self, schema, conjuncts, used, on_conjuncts):
-        predicates = self._filters(schema, list(enumerate(conjuncts)), used)
+        predicates, specs, _ = self._filters(
+            schema, list(enumerate(conjuncts)), used
+        )
         # ON conjuncts are mandatory on the joined schema (re-checking a
         # conjunct already used to drive the join is harmless).
         predicates += [
             compile_expr(conj, schema, grouped=False) for conj in on_conjuncts
         ]
-        return predicates
+        specs += [_np_cmp(conj, schema) for conj in on_conjuncts]
+        return predicates, specs
 
     def _inl_pin(self, conj, alias, pk, left_schema):
         if not (isinstance(conj, ast.BinaryOp) and conj.op == "="):
@@ -1099,7 +1526,7 @@ class Planner:
                     )
                 except SQLNameError:
                     continue
-                return col_side.name, fn
+                return col_side.name, fn, other
         return None
 
     def _equi_pair(self, conj, left_schema, right_schema):
@@ -1120,7 +1547,7 @@ class Planner:
                 continue
             # Ensure sides do not also resolve on the opposite schema in a
             # way that makes the conjunct single-sided; good enough here.
-            return left_fn, right_fn
+            return left_fn, right_fn, a, b
         return None
 
 

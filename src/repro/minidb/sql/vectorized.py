@@ -39,8 +39,10 @@ import heapq
 import time
 
 from repro.errors import SQLError, SQLTypeError
+from repro.minidb.sql import npbatch
 from repro.minidb.sql import plan as phys
 from repro.minidb.sql.executor import _DONE, Executor, Result
+from repro.minidb.sql.npbatch import ColumnChunk
 from repro.minidb.sql.planner import _hashable, _sort_rows, composite_key
 
 #: Default rows-per-batch; overridable per database (``Database(batch_size=...)``).
@@ -190,12 +192,18 @@ class BatchExecutor:
         collector=None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         readahead: int = 0,
+        numpy_batches: bool = True,
     ):
         self.catalog = catalog
         self.params = tuple(params)
         self.collector = collector
         self.batch_size = max(1, int(batch_size))
         self.readahead = max(0, int(readahead))
+        #: When on (and numpy imports), eligible producers emit
+        #: :class:`~repro.minidb.sql.npbatch.ColumnChunk` batches and the
+        #: fused kernels run as whole-column array ops. Off = the plain
+        #: list-of-tuples batch pipeline, kept as the comparison baseline.
+        self.use_numpy = bool(numpy_batches) and npbatch.NUMPY_AVAILABLE
 
     # -- public entry point ---------------------------------------------
     def run(self, plan: phys.Plan) -> Result:
@@ -233,6 +241,7 @@ class BatchExecutor:
             collector=collector,
             batch_size=self.batch_size,
             readahead=self.readahead,
+            numpy_batches=self.use_numpy,
         ).run(node.inner)
         lines = render_plan(collector.roots, analyze=True)
         return Result(["plan"], [(line,) for line in lines])
@@ -270,12 +279,26 @@ class BatchExecutor:
         def gen():
             for name, sub in qplan.ctes:
                 stats = self._node("CTE", name, parent)
-                rows: list[tuple] = []
+                chunks: list = []
                 for chunk in self._traced(
                     stats, self._emit_query(sub, env, stats, None)
                 ):
-                    rows.extend(chunk)
-                env[name] = rows
+                    chunks.append(chunk)
+                if (
+                    self.use_numpy
+                    and chunks
+                    and all(isinstance(c, ColumnChunk) for c in chunks)
+                ):
+                    # Keep the CTE columnar: downstream scans slice and
+                    # filter it with array kernels (and fall back to the
+                    # row view transparently — ColumnChunk iterates as
+                    # the same row tuples).
+                    env[name] = npbatch.concat(chunks)
+                else:
+                    rows: list[tuple] = []
+                    for chunk in chunks:
+                        rows.extend(chunk)
+                    env[name] = rows
             yield from self._emit(qplan.root, env, parent, hint)
 
         return gen()
@@ -300,13 +323,16 @@ class BatchExecutor:
 
         return self._traced(stats, gen())
 
-    def _scan_chunks(self, table, predicates, hint):
+    def _scan_chunks(self, table, predicates, hint, zone_eq=None, np_arrays=False):
         """Batched heap scan with buffer-pool readahead.
 
         A row-limit hint disables readahead: a bounded query may stop
         mid-table, and prefetching past the stopping page would charge
         reads the row executor never performs. Page-I/O parity with the
         row path is a harder invariant than prefetch throughput.
+        ``zone_eq`` is the columnar zone-map skip key; the row executor
+        derives the identical key from the same plan node, so skipped
+        pages match exactly.
         """
         params = self.params
         size = self._chunk_size(hint)
@@ -314,7 +340,9 @@ class BatchExecutor:
         check = _predicate(predicates)
 
         def gen():
-            scan = table.scan(readahead=readahead)
+            scan = table.scan(
+                readahead=readahead, zone_eq=zone_eq, np_arrays=np_arrays
+            )
             chunk: list[tuple] = []
             try:
                 if check is not None:
@@ -340,20 +368,24 @@ class BatchExecutor:
     def _emit_seq_scan(self, node, env, parent, hint):
         stats = self._node(node.name, node.detail, parent)
         table = self.catalog.get(node.table)
+        zone_eq = phys.zone_key(node, self.params)
+        np_dec = self.use_numpy and node.np_decode
         return self._traced(
-            stats, self._scan_chunks(table, node.filters, hint)
+            stats,
+            self._scan_chunks(table, node.filters, hint, zone_eq, np_dec),
         )
 
     def _emit_pk_lookup(self, node, env, parent, hint):
         params = self.params
         table = self.catalog.get(node.table)
+        np_dec = self.use_numpy and node.np_decode
         key = tuple(fn((), params) for fn in node.key_fns)
         if all(isinstance(k, int) for k in key):
             stats = self._node(node.name, node.detail, parent)
             check = _predicate(node.filters)
 
             def gen():
-                row = table.lookup(key)
+                row = table.lookup(key, np_arrays=np_dec)
                 if row is None:
                     return
                 if check is None or check(row, params):
@@ -364,7 +396,9 @@ class BatchExecutor:
         # never match a B+Tree key, so scan and apply the pin predicates.
         stats = self._node("Seq Scan", f"on {node.table}", parent)
         predicates = list(node.pin_fns) + list(node.filters)
-        return self._traced(stats, self._scan_chunks(table, predicates, hint))
+        return self._traced(
+            stats, self._scan_chunks(table, predicates, hint, np_arrays=np_dec)
+        )
 
     def _emit_cte_scan(self, node, env, parent, hint):
         stats = self._node(node.name, node.detail, parent)
@@ -372,8 +406,17 @@ class BatchExecutor:
         check = _predicate(node.filters)
         size = self._chunk_size(hint)
 
+        specs = getattr(node, "filter_specs", None)
+
         def gen():
             rows = env[node.cte_name]
+            if isinstance(rows, ColumnChunk) and check is not None:
+                mask = npbatch.eval_masks(specs, rows.cols, params, len(rows))
+                if mask is not None:
+                    kept = rows.take(mask)
+                    for start in range(0, len(kept), size):
+                        yield kept[start : start + size]
+                    return
             if check is not None:
                 chunk = []
                 for row in rows:
@@ -398,6 +441,8 @@ class BatchExecutor:
             node.subplan, env, stats, hint if check is None else None
         )
 
+        specs = getattr(node, "filter_specs", None)
+
         def gen():
             try:
                 if check is None:
@@ -405,6 +450,15 @@ class BatchExecutor:
                     yield from inner
                 else:
                     for chunk in inner:
+                        if isinstance(chunk, ColumnChunk):
+                            mask = npbatch.eval_masks(
+                                specs, chunk.cols, params, len(chunk)
+                            )
+                            if mask is not None:
+                                kept = chunk.take(mask)
+                                if len(kept):
+                                    yield kept
+                                continue
                         out = [row for row in chunk if check(row, params)]
                         if out:
                             yield out
@@ -424,18 +478,35 @@ class BatchExecutor:
         key_fns = node.key_fns
         check = _predicate(node.filters)
 
+        np_dec = self.use_numpy and node.np_decode
+        key_specs = node.np_key_specs if self.use_numpy else None
+
         def gen():
             probe_cache: dict = {}
-            lookup = table.lookup
+            if np_dec:
+                lookup = lambda k: table.lookup(k, np_arrays=True)  # noqa: E731
+            else:
+                lookup = table.lookup
             try:
                 for chunk in left:
                     if stats is not None:
                         stats.loops += len(chunk)
+                    keys = None
+                    if key_specs is not None and isinstance(chunk, ColumnChunk):
+                        # Whole-batch probe keys: one array evaluation per
+                        # key column instead of a closure tree per row.
+                        keys = npbatch.eval_keys(
+                            key_specs, chunk.cols, params, len(chunk)
+                        )
+                    rows = chunk if keys is None else chunk.to_rows()
                     out = []
-                    for left_row in chunk:
-                        key = tuple(fn(left_row, params) for fn in key_fns)
-                        if any(not isinstance(k, int) for k in key):
-                            continue
+                    for j, left_row in enumerate(rows):
+                        if keys is not None:
+                            key = keys[j]
+                        else:
+                            key = tuple(fn(left_row, params) for fn in key_fns)
+                            if any(not isinstance(k, int) for k in key):
+                                continue
                         if key in probe_cache:
                             match = probe_cache[key]
                         else:
@@ -537,6 +608,7 @@ class BatchExecutor:
         child = self._emit(node.child, env, stats, None)
         params = self.params
         check = _predicate(node.predicates)
+        specs = getattr(node, "filter_specs", None)
 
         def gen():
             try:
@@ -544,6 +616,15 @@ class BatchExecutor:
                     yield from child
                     return
                 for chunk in child:
+                    if isinstance(chunk, ColumnChunk):
+                        mask = npbatch.eval_masks(
+                            specs, chunk.cols, params, len(chunk)
+                        )
+                        if mask is not None:
+                            kept = chunk.take(mask)
+                            if len(kept):
+                                yield kept
+                            continue
                     out = [row for row in chunk if check(row, params)]
                     if out:
                         yield out
@@ -560,6 +641,10 @@ class BatchExecutor:
             value = fn(row, self.params)
             if value is None:
                 value = []
+            elif npbatch.np is not None and isinstance(value, npbatch.np.ndarray):
+                # An np_decode scan below an unfused Unnest: materialize so
+                # the expansion yields plain Python ints, as the row path does.
+                value = value.tolist()
             elif not isinstance(value, (list, tuple)):
                 raise SQLTypeError(f"UNNEST expects an array, got {value!r}")
             arrays.append(value)
@@ -615,6 +700,11 @@ class BatchExecutor:
             and getattr(child_node, "srf_positions", None)
             and ints_only
         ):
+            if self.use_numpy and specs is None:
+                return self._traced(
+                    stats,
+                    self._np_unnest_project(node, child_node, env, stats),
+                )
             return self._traced(
                 stats,
                 self._fused_unnest_project(node, child_node, env, stats),
@@ -634,6 +724,11 @@ class BatchExecutor:
                 if specs is None:
                     if simple_cols is not None:
                         for chunk in child:
+                            if isinstance(chunk, ColumnChunk):
+                                # Column projection: reindex the array
+                                # list, zero copies, zero per-row work.
+                                yield chunk.project(simple_cols)
+                                continue
                             yield [
                                 tuple(row[i] for i in simple_cols)
                                 for row in chunk
@@ -669,11 +764,24 @@ class BatchExecutor:
         child = self._emit(fnode.child, env, fstats, None)
         params = self.params
         check = _predicate(fnode.predicates)
+        fspecs = getattr(fnode, "filter_specs", None)
         item_fns = node.item_fns
+        simple_cols = getattr(node, "simple_cols", None)
 
         def gen():
             try:
                 for chunk in child:
+                    if isinstance(chunk, ColumnChunk) and simple_cols is not None:
+                        mask = npbatch.eval_masks(
+                            fspecs, chunk.cols, params, len(chunk)
+                        )
+                        if mask is not None:
+                            kept_chunk = chunk.take(mask)
+                            if fstats is not None:
+                                fstats.rows += len(kept_chunk)
+                            if len(kept_chunk):
+                                yield kept_chunk.project(simple_cols)
+                            continue
                     kept = [row for row in chunk if check(row, params)]
                     if fstats is not None:
                         fstats.rows += len(kept)
@@ -743,6 +851,161 @@ class BatchExecutor:
                             out = []
                 if out:
                     yield self._keyed(out, specs)
+            finally:
+                child.close()
+                _sync_fused(ustats)
+
+        return gen()
+
+    def _np_unnest_project(self, node, unode, env, stats):
+        """Array expansion emitting :class:`ColumnChunk` batches.
+
+        Columnar variant of :meth:`_fused_unnest_project`: per input row
+        the non-SRF items are evaluated once (as in the row kernel), and
+        if every base value is an int and every SRF argument is a
+        same-length ``int64`` array, the row's expansion is queued as
+        (base values, element arrays) — batches then materialize as
+        ``repeat`` / ``concatenate`` column ops, one per output column.
+        Any row failing the checks (NULLs, floats, out-of-range ints,
+        ragged multi-SRF lengths that need NULL padding) flushes the
+        columnar buffer and goes through the exact row-kernel code, so
+        mixed inputs produce the same rows in the same order, just split
+        across chunks at each representation switch.
+        """
+        np = npbatch.np
+        ustats = self._node(unode.name, unode.detail, stats)
+        child = self._emit(unode.child, env, ustats, None)
+        params = self.params
+        srf_fns = unode.srf_fns
+        srf_of = {pos: k for k, pos in enumerate(unode.srf_positions)}
+        item_fns = node.item_fns
+        n_items = len(item_fns)
+        base_fns = [
+            (i, fn) for i, fn in enumerate(item_fns) if i not in srf_of
+        ]
+        base_slot = {i: slot for slot, (i, _fn) in enumerate(base_fns)}
+        size = self.batch_size
+
+        def flush(bases, arrays, total):
+            # arrays: per buffered row, a tuple of equal-length int64
+            # arrays (one per SRF). Base columns repeat per row length.
+            lengths = np.fromiter(
+                (len(a[0]) for a in arrays), dtype=np.int64, count=len(arrays)
+            )
+            cols = []
+            for i in range(n_items):
+                k = srf_of.get(i)
+                if k is not None:
+                    cols.append(np.concatenate([a[k] for a in arrays]))
+                else:
+                    slot = base_slot[i]
+                    values = np.fromiter(
+                        (b[slot] for b in bases),
+                        dtype=np.int64,
+                        count=len(bases),
+                    )
+                    cols.append(np.repeat(values, lengths))
+            return ColumnChunk(cols, n=total)
+
+        def expand_np(row):
+            """Like :meth:`_expand_srfs`, but ndarray cells from an
+            ``np_decode`` scan stay ndarrays — ``to_np_arrays`` then adopts
+            them without a copy, and only a row-mode fallback pays the
+            materialization (in ``emit_row_mode``)."""
+            arrays = []
+            max_len = 0
+            for fn in srf_fns:
+                value = fn(row, params)
+                if value is None:
+                    value = []
+                elif not isinstance(value, (list, tuple, np.ndarray)):
+                    raise SQLTypeError(
+                        f"UNNEST expects an array, got {value!r}"
+                    )
+                arrays.append(value)
+                if len(value) > max_len:
+                    max_len = len(value)
+            return arrays, max_len
+
+        def to_np_arrays(raw):
+            """The row's SRF values as equal-length int64 arrays, or None."""
+            first_len = len(raw[0])
+            converted = []
+            for value in raw:
+                if len(value) != first_len:
+                    return None  # ragged: NULL padding is row-mode work
+                try:
+                    arr = np.asarray(value)  # no copy when already int64
+                except (OverflowError, ValueError):
+                    return None
+                if arr.dtype != np.int64:
+                    return None  # floats/NULLs/overflow: row mode
+                converted.append(arr)
+            return tuple(converted)
+
+        def emit_row_mode(out, row, raw, max_len, base):
+            """The row kernel's expansion, verbatim semantics."""
+            raw = [
+                a.tolist() if isinstance(a, np.ndarray) else a for a in raw
+            ]
+            if len(raw) == 1:
+                single = unode.srf_positions[0]
+                before = tuple(base[base_slot[i]] for i in range(single) if i in base_slot)
+                after = tuple(
+                    base[base_slot[i]]
+                    for i in range(single + 1, n_items)
+                    if i in base_slot
+                )
+                out.extend(before + (v,) + after for v in raw[0])
+                return
+            for j in range(max_len):
+                output = [None] * n_items
+                for i, _fn in base_fns:
+                    output[i] = base[base_slot[i]]
+                for pos, k in srf_of.items():
+                    arr = raw[k]
+                    output[pos] = arr[j] if j < len(arr) else None
+                out.append(tuple(output))
+
+        def gen():
+            try:
+                out: list = []  # row-representation buffer
+                bases: list = []  # columnar buffer: base values per row
+                arrays: list = []  # columnar buffer: int64 arrays per row
+                np_len = 0
+                for chunk in child:
+                    for row in chunk:
+                        raw, max_len = expand_np(row)
+                        if not max_len:
+                            continue
+                        base = tuple(fn(row, params) for _i, fn in base_fns)
+                        if ustats is not None:
+                            ustats.rows += max_len
+                        converted = None
+                        if all(type(b) is int for b in base):
+                            converted = to_np_arrays(raw)
+                        if converted is not None:
+                            if out:
+                                yield out
+                                out = []
+                            bases.append(base)
+                            arrays.append(converted)
+                            np_len += max_len
+                            if np_len >= size:
+                                yield flush(bases, arrays, np_len)
+                                bases, arrays, np_len = [], [], 0
+                        else:
+                            if np_len:
+                                yield flush(bases, arrays, np_len)
+                                bases, arrays, np_len = [], [], 0
+                            emit_row_mode(out, row, raw, max_len, base)
+                            if len(out) >= size:
+                                yield out
+                                out = []
+                if np_len:
+                    yield flush(bases, arrays, np_len)
+                if out:
+                    yield out
             finally:
                 child.close()
                 _sync_fused(ustats)
@@ -849,25 +1112,77 @@ class BatchExecutor:
             if out:
                 yield out
 
+        np_spec = getattr(node, "np_spec", None) if self.use_numpy else None
+
+        def emit_np_rows(rows_out):
+            out = []
+            for row in rows_out:
+                if key_specs is None:
+                    out.append(row)
+                else:
+                    out.append((row, tuple(row[s] for s in key_specs)))
+                if len(out) >= size:
+                    yield out
+                    out = []
+            if out:
+                yield out
+
         if isinstance(node.child, phys.HashJoin):
-            return self._fused_join_aggregate(node.child, env, stats, feed, finalize)
+            return self._fused_join_aggregate(
+                node.child, env, stats, feed, finalize, np_spec, emit_np_rows
+            )
 
         child = self._emit(node.child, env, stats, None)
 
         def gen():
             groups: dict = {}
+            # Column chunks are buffered while every batch stays columnar;
+            # a single whole-column group_aggregate then replaces the
+            # per-row accumulator feed. Any row-mode batch (or a kernel
+            # refusal) drains the buffer through the accumulators instead
+            # — same groups, same order, same values.
+            np_chunks: list = []
+            np_ok = np_spec is not None
             try:
                 for chunk in child:
+                    if np_ok and isinstance(chunk, ColumnChunk):
+                        np_chunks.append(chunk)
+                        continue
+                    if np_chunks:
+                        for buffered in np_chunks:
+                            for row in buffered:
+                                feed(row, groups)
+                        np_chunks = []
+                    np_ok = False
                     for row in chunk:
                         feed(row, groups)
             finally:
                 child.close()
+            if np_ok and np_chunks:
+                data = npbatch.concat(np_chunks)
+                rows_out = npbatch.group_aggregate(
+                    np_spec, data.cols, params, len(data)
+                )
+                if rows_out is not None:
+                    yield from emit_np_rows(rows_out)
+                    return
+                for row in data:
+                    feed(row, groups)
             yield from finalize(groups)
 
         return gen()
 
-    def _fused_join_aggregate(self, jnode, env, stats, feed, finalize):
-        """Hub intersection: HashJoin probe feeding aggregate accumulators."""
+    def _fused_join_aggregate(
+        self, jnode, env, stats, feed, finalize, np_spec=None, emit_np_rows=None
+    ):
+        """Hub intersection: HashJoin probe feeding aggregate accumulators.
+
+        With columnar inputs on both sides and a lowered join key +
+        filter + aggregate, the whole fusion runs as array kernels:
+        sort-merge pair discovery, one gather per column, one mask, one
+        grouped reduction. The probe loop below is the row fallback and
+        the baseline (``numpy_batches=False``) path.
+        """
         jstats = self._node(jnode.name, jnode.detail, stats)
         left = self._emit(jnode.left, env, jstats, None)
         right = self._emit(jnode.right, env, jstats, None)
@@ -875,32 +1190,107 @@ class BatchExecutor:
         left_key = jnode.left_key
         check = _predicate(jnode.filters)
 
+        def np_join(left_chunks, right_chunks):
+            """Joined + filtered ColumnChunk, or None to use the probe loop."""
+            if (
+                np_spec is None
+                or jnode.np_left_col is None
+                or jnode.np_right_col is None
+                or not left_chunks
+                or not right_chunks
+                or not all(
+                    isinstance(c, ColumnChunk)
+                    for c in left_chunks + right_chunks
+                )
+            ):
+                return None
+            lhs = npbatch.concat(left_chunks)
+            rhs = npbatch.concat(right_chunks)
+            li, ri = npbatch.join_pairs(
+                lhs.cols[jnode.np_left_col], rhs.cols[jnode.np_right_col]
+            )
+            joined = ColumnChunk(
+                [c[li] for c in lhs.cols] + [c[ri] for c in rhs.cols],
+                n=len(li),
+            )
+            if not jnode.filters:
+                return joined
+            mask = npbatch.eval_masks(
+                getattr(jnode, "filter_specs", None),
+                joined.cols,
+                params,
+                len(joined),
+            )
+            if mask is None:
+                return None
+            return joined.take(mask)
+
         def gen():
             groups: dict = {}
             joined = 0
+            np_rows = None
             try:
-                buckets = self._build_buckets(right, jnode.right_key)
-                for chunk in left:
-                    for row in chunk:
-                        key = left_key(row, params)
-                        if key is None:
-                            continue
-                        matches = buckets.get(key)
-                        if not matches:
-                            continue
-                        for match in matches:
-                            out = row + match
-                            if check is not None and not check(out, params):
+                if np_spec is not None and self.use_numpy:
+                    left_chunks = list(left)
+                    right_chunks = list(right)
+                    kept = np_join(left_chunks, right_chunks)
+                    if kept is not None:
+                        joined = len(kept)
+                        np_rows = npbatch.group_aggregate(
+                            np_spec, kept.cols, params, len(kept)
+                        )
+                    if np_rows is None:
+                        # Row fallback over the already-pulled chunks.
+                        buckets: dict = {}
+                        for chunk in right_chunks:
+                            for row in chunk:
+                                key = jnode.right_key(row, params)
+                                if key is None:
+                                    continue
+                                buckets.setdefault(key, []).append(row)
+                        joined = 0
+                        for chunk in left_chunks:
+                            for row in chunk:
+                                key = left_key(row, params)
+                                if key is None:
+                                    continue
+                                matches = buckets.get(key)
+                                if not matches:
+                                    continue
+                                for match in matches:
+                                    out = row + match
+                                    if check is not None and not check(
+                                        out, params
+                                    ):
+                                        continue
+                                    joined += 1
+                                    feed(out, groups)
+                else:
+                    buckets = self._build_buckets(right, jnode.right_key)
+                    for chunk in left:
+                        for row in chunk:
+                            key = left_key(row, params)
+                            if key is None:
                                 continue
-                            joined += 1
-                            feed(out, groups)
+                            matches = buckets.get(key)
+                            if not matches:
+                                continue
+                            for match in matches:
+                                out = row + match
+                                if check is not None and not check(out, params):
+                                    continue
+                                joined += 1
+                                feed(out, groups)
             finally:
                 left.close()
                 right.close()
                 if jstats is not None:
                     jstats.rows = joined
                 _sync_fused(jstats)
-            yield from finalize(groups)
+            if np_rows is not None:
+                yield from emit_np_rows(np_rows)
+            else:
+                yield from finalize(groups)
 
         return gen()
 

@@ -226,14 +226,24 @@ class _QueryAPI:
 class PTLDB(_QueryAPI):
     """Public Transportation Labels on the DataBase."""
 
-    def __init__(self, db: Database, labels: TTLLabels, compressed: bool = False):
+    def __init__(
+        self,
+        db: Database,
+        labels: TTLLabels,
+        compressed: bool = False,
+        storage: str = "row",
+    ):
         self.db = db
         self.labels = labels
         self.num_stops = labels.num_stops
         self.compressed = compressed
+        #: Heap layout of the label + aux tables: "row" (values.encode_record
+        #: cells) or "columnar" (delta-encoded column groups with per-page
+        #: zone maps — docs/STORAGE.md). Same queries, same results.
+        self.storage = storage
         self.time_low, self.time_high = label_time_range(labels)
         self._handles: dict[str, TargetSetHandle] = {}
-        load_labels(db, labels, compressed=compressed)
+        load_labels(db, labels, compressed=compressed, storage=storage)
         # Every query family runs through a prepared statement: the vertex-
         # to-vertex texts are known up front, the per-target-set texts are
         # prepared on first use. Repeat queries hit the engine's plan cache
@@ -259,15 +269,19 @@ class PTLDB(_QueryAPI):
         ordering: str = "event_degree",
         labels: TTLLabels | None = None,
         compressed: bool = False,
+        storage: str = "row",
         vectorize: bool = True,
         batch_size: int = 1024,
         readahead: int = 8,
+        numpy_batches: bool = True,
     ) -> "PTLDB":
         """Preprocess (unless labels are given) and load into a fresh DB.
 
-        ``vectorize``/``batch_size``/``readahead`` are forwarded to the
-        :class:`Database` executor knobs (docs/ARCHITECTURE.md, "Vectorized
-        pipeline"); results are identical for any setting."""
+        ``vectorize``/``batch_size``/``readahead``/``numpy_batches`` are
+        forwarded to the :class:`Database` executor knobs
+        (docs/ARCHITECTURE.md, "Vectorized pipeline"); ``storage`` picks the
+        label/aux heap layout (docs/STORAGE.md). Results are identical for
+        any combination."""
         if labels is None:
             labels = preprocess(timetable, ordering=ordering)
         db = Database(
@@ -276,8 +290,9 @@ class PTLDB(_QueryAPI):
             vectorize=vectorize,
             batch_size=batch_size,
             readahead=readahead,
+            numpy_batches=numpy_batches,
         )
-        return cls(db, labels, compressed=compressed)
+        return cls(db, labels, compressed=compressed, storage=storage)
 
     def restart(self) -> None:
         """Cold-cache restart (the paper's pre-experiment server restart)."""
@@ -337,6 +352,7 @@ class PTLDB(_QueryAPI):
                 interval_s=interval_s,
                 low_hour=low_hour,
                 high_hour=high_hour,
+                storage=self.storage,
             ),
             targets=targets,
         )

@@ -21,24 +21,38 @@ LIN_DDL = """CREATE TABLE lin (
 INSERT_LABEL_ROW = "INSERT INTO {table} VALUES ($1, $2, $3, $4)"
 
 
-def load_labels(db: Database, labels: TTLLabels, compressed: bool = False) -> None:
+def load_labels(
+    db: Database,
+    labels: TTLLabels,
+    compressed: bool = False,
+    storage: str = "row",
+) -> None:
     """Create and fill *lout* / *lin* from a TTL labeling.
 
     With ``compressed=True`` the label arrays are stored delta+varint
     packed (``BIGINT_PACKED[]``) — the hub-label-compression idea of the
     COLD lineage; queries are unchanged, the footprint shrinks several-fold
     because the arrays are sorted.
+
+    With ``storage="columnar"`` the tables are created ``STORAGE =
+    COLUMNAR`` (docs/STORAGE.md): each row is a column group whose sorted
+    arrays are delta-encoded into numpy-decodable fixed-width segments and
+    every heap page keeps a min/max-hub zone map. Queries and results are
+    unchanged; the footprint and the decode cost both shrink.
     """
     if labels.total_tuples > 0 and labels.dummy_count() == 0:
         raise DatabaseError(
             "labels have no dummy tuples; call add_dummy_tuples() first "
             "(the PTLDB v2v query is incorrect without them)"
         )
+    if storage not in ("row", "columnar"):
+        raise DatabaseError(f"unknown label storage {storage!r}")
     array_type = "BIGINT_PACKED[]" if compressed else "BIGINT[]"
+    suffix = " STORAGE = COLUMNAR" if storage == "columnar" else ""
     db.execute("DROP TABLE IF EXISTS lout")
     db.execute("DROP TABLE IF EXISTS lin")
-    db.execute(LOUT_DDL.format(array=array_type))
-    db.execute(LIN_DDL.format(array=array_type))
+    db.execute(LOUT_DDL.format(array=array_type) + suffix)
+    db.execute(LIN_DDL.format(array=array_type) + suffix)
     for table, side in (("lout", labels.lout), ("lin", labels.lin)):
         sql = INSERT_LABEL_ROW.format(table=table)
         for v in range(labels.num_stops):

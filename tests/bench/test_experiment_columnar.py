@@ -1,0 +1,64 @@
+"""Smoke test of the columnar perf/footprint gate driver (tiny workload).
+
+The real gate runs in CI at paper scale; here we only pin the driver's
+report shape and its correctness-side invariants (identical results,
+compression materializes) on a feed small enough for a unit test — the
+speedup gate is disabled because small feeds sit below the numpy decode
+crossover (see docs/PERFORMANCE.md).
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench.experiment_columnar import main, run_columnar_experiment
+
+
+@pytest.fixture(scope="module", autouse=True)
+def cleanup():
+    yield
+    exp.clear_caches()
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_columnar_experiment(
+        "Austin",
+        scale="small",
+        device="ram",
+        k=2,
+        density=0.1,
+        n_queries=5,
+        warmup=0,
+        min_speedup=0.0,
+    )
+
+
+def test_families_and_identical_results(report):
+    assert [f["family"] for f in report["families"]] == ["v2v", "knn", "otm"]
+    for fam in report["families"]:
+        assert fam["queries"] == 5
+        assert fam["row_cpu_ms"] > 0 and fam["columnar_cpu_ms"] > 0
+        assert fam["results_identical"], fam["family"]
+        assert fam["ok"]
+
+
+def test_footprint_gate(report):
+    foot = report["footprint"]
+    assert 0 < foot["columnar_bytes"] < foot["row_bytes"]
+    assert foot["bytes_ratio"] <= foot["max_bytes_ratio"]
+    assert foot["label_entries"] > 0
+    assert set(foot["tables"]) >= {"lout", "lin"}
+    assert foot["ok"] and report["ok"]
+
+
+def test_cli_writes_report(tmp_path):
+    out = tmp_path / "BENCH_columnar.json"
+    rc = main(
+        [
+            "--dataset", "Austin", "--scale", "small", "--k", "2",
+            "--queries", "2", "--warmup", "0", "--min-speedup", "0",
+            "--out", str(out),
+        ]
+    )
+    assert rc == 0
+    assert out.exists()
