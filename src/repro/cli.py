@@ -14,6 +14,14 @@ Subcommands::
     python -m repro.cli lint --corpus
     python -m repro.cli lint --sql "SELECT v FROM lout WHERE v=1"
     python -m repro.cli lint --file queries.sql
+    python -m repro.cli sanitize --strict
+    python -m repro.cli sanitize --path src/repro/minidb --json
+
+``lint`` (SQL statements) and ``sanitize`` (storage-layer concurrency
+discipline, docs/SANITIZER.md) share one reporting convention: exit code 1
+when any error-severity diagnostic fires (0 otherwise, 2 for usage
+errors), and ``--json`` emits ``{"tool", "diagnostics": [{code, severity,
+message, file, line, col}], "errors", "warnings", "ok"}`` for CI.
 """
 
 from __future__ import annotations
@@ -233,6 +241,42 @@ def _split_statements(text: str) -> list[str]:
     return out
 
 
+def _diag_record(diag, file: str, sql: str | None = None) -> dict:
+    """One diagnostic in the shared ``lint``/``sanitize`` JSON shape."""
+    from repro.minidb.sql.diagnostics import line_col
+
+    line = col = 0
+    if diag.span is not None and sql is not None:
+        line, col = line_col(sql, diag.span.start)
+    return {
+        "code": diag.code,
+        "severity": diag.severity,
+        "message": diag.message,
+        "file": file,
+        "line": line,
+        "col": col,
+    }
+
+
+def _emit_json(tool: str, records: list[dict], ok: bool) -> None:
+    import json
+
+    print(
+        json.dumps(
+            {
+                "tool": tool,
+                "diagnostics": records,
+                "errors": sum(1 for r in records if r["severity"] == "error"),
+                "warnings": sum(
+                    1 for r in records if r["severity"] == "warning"
+                ),
+                "ok": ok,
+            },
+            indent=2,
+        )
+    )
+
+
 def cmd_lint(args) -> int:
     from repro.errors import SQLError
     from repro.minidb.sql import ast
@@ -258,27 +302,46 @@ def cmd_lint(args) -> int:
     else:
         raise ReproError("lint needs one of --corpus, --sql or --file")
 
+    as_json = getattr(args, "json", False)
+    records: list[dict] = []
     failures = 0
     for name, sql, family in cases:
         try:
             stmt = parse(sql)
         except SQLError as exc:
-            print(f"{name}: SYNTAX {exc}")
+            if not as_json:
+                print(f"{name}: SYNTAX {exc}")
+            records.append(
+                {
+                    "code": "SYN001",
+                    "severity": "error",
+                    "message": str(exc),
+                    "file": name,
+                    "line": 0,
+                    "col": 0,
+                }
+            )
             failures += 1
             continue
         analysis = analyze(stmt, db.catalog, sql=sql)
         if family is not None:
             check_paper_bounds(analysis, family)
-        # APL diagnostics are warnings for execution but failures for lint:
-        # the whole point is proving the paper's access bounds hold.
+        for diag in analysis.diagnostics:
+            record = _diag_record(diag, name, sql)
+            # APL diagnostics are warnings for execution but failures for
+            # lint: the whole point is proving the access bounds hold.
+            if diag.code.startswith("APL"):
+                record["severity"] = "error"
+            records.append(record)
         bad = analysis.errors or any(
             d.code.startswith("APL") for d in analysis.diagnostics
         )
         if bad:
             failures += 1
-            print(f"{name}: FAIL")
-            print(analysis.render())
-        else:
+            if not as_json:
+                print(f"{name}: FAIL")
+                print(analysis.render())
+        elif not as_json:
             paths = ", ".join(p.describe() for p in analysis.access_paths)
             print(f"{name}: ok — {paths or 'no table access'}")
             for diag in analysis.warnings:
@@ -291,10 +354,51 @@ def cmd_lint(args) -> int:
         # Apply DDL so later statements in the same script see the table.
         if isinstance(stmt, (ast.CreateTable, ast.DropTable)) and analysis.ok:
             db.execute(sql, analyze=False)
+    if as_json:
+        _emit_json("lint", records, ok=failures == 0)
+        return 1 if failures else 0
     if failures:
         print(f"lint: {failures} of {len(cases)} statement(s) failed")
         return 1
     print(f"lint: {len(cases)} statement(s) ok")
+    return 0
+
+
+def cmd_sanitize(args) -> int:
+    """Run the static concurrency-discipline checks (docs/SANITIZER.md)."""
+    from pathlib import Path
+
+    import repro
+    from repro.minidb.sanitize.static import check_tree
+
+    root = Path(args.path) if args.path else Path(repro.__file__).parent
+    if not root.exists():
+        raise ReproError(f"sanitize: no such path {str(root)!r}")
+    reports = check_tree(root)
+    records = []
+    errors = warnings = 0
+    for report in reports:
+        for diag in report.diagnostics:
+            records.append(_diag_record(diag, report.path, report.source))
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+    # --strict promotes warnings to failures (the CI gate); the exit-code
+    # convention otherwise matches lint: nonzero on any error diagnostic.
+    failing = errors + (warnings if args.strict else 0)
+    if args.json:
+        _emit_json("sanitize", records, ok=failing == 0)
+        return 1 if failing else 0
+    for report in reports:
+        if report.diagnostics:
+            print(report.render())
+    checked = len(reports)
+    if failing:
+        print(
+            f"sanitize: {errors} error(s), {warnings} warning(s) "
+            f"in {checked} file(s)"
+        )
+        return 1
+    print(f"sanitize: {checked} file(s) clean ({warnings} warning(s))")
     return 0
 
 
@@ -359,6 +463,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each clean statement's physical plan (planner output)",
     )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable diagnostic report",
+    )
+
+    p = sub.add_parser(
+        "sanitize",
+        help="statically check the storage layer's concurrency discipline",
+    )
+    p.add_argument(
+        "--path",
+        help="file or directory to check (default: the repro package)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (the CI gate)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable diagnostic report",
+    )
     return parser
 
 
@@ -371,6 +499,7 @@ def main(argv=None) -> int:
         "query": cmd_query,
         "bench": cmd_bench,
         "lint": cmd_lint,
+        "sanitize": cmd_sanitize,
     }
     try:
         return handlers[args.command](args)

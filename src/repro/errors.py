@@ -29,6 +29,25 @@ class CatalogError(DatabaseError):
     """Unknown or duplicate table/column, schema mismatch."""
 
 
+class SanitizerError(DatabaseError):
+    """A concurrency-discipline violation caught by the dynamic sanitizer.
+
+    Raised only while the sanitizer is enabled (``SANITIZE=1`` or
+    :func:`repro.minidb.sanitize.enable`). Structured: ``code`` is the
+    stable ``SAND*`` diagnostic code and ``traces`` holds the formatted
+    acquisition stacks involved (both sides of a lock-order inversion, the
+    pin site of a leak, ...) so reports survive being stringified.
+    """
+
+    def __init__(self, code: str, message: str, traces=()):
+        self.code = code
+        self.traces = [str(t) for t in traces]
+        detail = ""
+        if self.traces:
+            detail = "\n" + "\n".join(self.traces)
+        super().__init__(f"{code}: {message}{detail}")
+
+
 class SQLError(DatabaseError):
     """Base class for SQL front-end failures."""
 

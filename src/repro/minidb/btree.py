@@ -19,7 +19,10 @@ Concurrency: descents pin each node while its cells are examined (so a
 lookup's node can't be evicted mid-binary-search even on a tiny pool), and
 insertion pins the whole root-to-leaf path while splits propagate — the
 structural reason a capacity-1 pool survives arbitrary split cascades.
-Content access goes through the frame latch, one page at a time.
+Content access goes through the frame latch, one page at a time. The pin
+and latch disciplines are enforced by the concurrency sanitizer
+(``SANITIZE=1`` dynamically, ``repro sanitize`` statically — see
+docs/SANITIZER.md).
 """
 
 from __future__ import annotations
@@ -64,9 +67,11 @@ class BTree:
         self._leaf_cap = body // self._leaf_cell
         self._int_cap = body // self._int_cell
         if root_page is None:
+            # The fresh root is admitted dirty and is unreachable by other
+            # threads until self.root_page is published, so the count write
+            # needs no latch (and mark_dirty would be redundant).
             root_page, page = pool.new_page(KIND_BTREE_LEAF)
             _set_count(page, 0)
-            pool.mark_dirty(root_page)
             pool.unpin(root_page)
         self.root_page = root_page
 

@@ -25,6 +25,15 @@ Concurrency (docs/ARCHITECTURE.md, "Concurrency model"):
 
 Like the disk manager, the pool keeps per-thread counters next to the
 global ones so concurrent sessions can attribute hits/misses exactly.
+
+The rules above are enforced, not just documented: under ``SANITIZE=1`` the
+dynamic sanitizer (:mod:`repro.minidb.sanitize.dynamic`) records every
+pin/unpin with its acquiring call stack, flags unpins of never-pinned pages
+(``SAND03``), ``mark_dirty`` without the frame's write latch (``SAND04``)
+and eviction of a latched frame (``SAND06``); the static checker
+(``repro sanitize``) additionally forbids touching pool internals
+(``_frames``, ``pins``, ...) from outside this module. See
+docs/SANITIZER.md.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.errors import StorageError
 from repro.minidb.disk import DiskManager
 from repro.minidb.latch import RWLatch
 from repro.minidb.page import Page
+from repro.minidb.sanitize import dynamic as _san
 
 
 class _PinGuard:
@@ -82,11 +92,11 @@ class _Frame:
 
     __slots__ = ("page", "dirty", "pins", "latch")
 
-    def __init__(self, page: Page, dirty: bool):
+    def __init__(self, page: Page, dirty: bool, page_id: int):
         self.page = page
         self.dirty = dirty
         self.pins = 0
-        self.latch = RWLatch()
+        self.latch = RWLatch(name=f"page:{page_id}")
 
 
 class BufferPool:
@@ -144,6 +154,9 @@ class BufferPool:
                 self._frames.move_to_end(page_id)
             if pin:
                 frame.pins += 1
+                tracker = _san.TRACKER
+                if tracker is not None:
+                    tracker.on_pin(page_id)
             return frame.page
 
     def prefetch(self, page_ids) -> int:
@@ -187,6 +200,11 @@ class BufferPool:
                 raise StorageError(f"page {page_id} not resident; cannot unpin")
             if frame.pins <= 0:
                 raise StorageError(f"page {page_id} is not pinned")
+            tracker = _san.TRACKER
+            if tracker is not None:
+                # Raises SAND03 when this thread never pinned the page —
+                # before the count moves, so the pool stays consistent.
+                tracker.on_unpin(page_id)
             frame.pins -= 1
 
     def pinned(self, page_id: int):
@@ -218,6 +236,9 @@ class BufferPool:
             page.format(kind)
             frame = self._admit(page_id, page, dirty=True)
             frame.pins += 1
+            tracker = _san.TRACKER
+            if tracker is not None:
+                tracker.on_pin(page_id)
             return page_id, page
 
     def mark_dirty(self, page_id: int) -> None:
@@ -225,6 +246,10 @@ class BufferPool:
             frame = self._frames.get(page_id)
             if frame is None:
                 raise StorageError(f"page {page_id} not resident; cannot mark dirty")
+            tracker = _san.TRACKER
+            if tracker is not None:
+                # SAND04: mutating page content requires the write latch.
+                tracker.on_mark_dirty(page_id, frame.latch)
             frame.dirty = True
 
     def flush(self) -> None:
@@ -282,9 +307,14 @@ class BufferPool:
                 # the pool back once pins drop.
                 break
             victim = self._frames.pop(victim_id)
+            tracker = _san.TRACKER
+            if tracker is not None:
+                # SAND06: a zero-pin victim whose latch is held means some
+                # caller latched without pinning.
+                tracker.on_evict(victim_id, victim.latch)
             self._record_eviction()
             if victim.dirty:
                 self.disk.write_page(victim_id, victim.page.buf)
-        frame = _Frame(page, dirty)
+        frame = _Frame(page, dirty, page_id)
         self._frames[page_id] = frame
         return frame

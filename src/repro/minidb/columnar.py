@@ -25,6 +25,11 @@ round-trips exactly.
 (min/max hub) maintained on insert and consulted by ``scan(zone_eq=...)``
 to skip pages — skipped pages are never touched in the buffer pool, which
 is what the paper-bound page counts measure.
+
+Pin and latch handling follows the heap's discipline (``with
+pool.pinned(...)`` for access, the frame write latch around zone-map
+updates) and is checked by the concurrency sanitizer — ``SANITIZE=1``
+dynamically, ``repro sanitize`` statically (docs/SANITIZER.md).
 """
 
 from __future__ import annotations

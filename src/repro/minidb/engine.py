@@ -92,7 +92,7 @@ class Database:
         # Serializes plan-cache probes/installs across sessions.
         self._cache_lock = threading.RLock()
         # Statement-level RW latch: reads share, DML/DDL are exclusive.
-        self._stmt_latch = RWLatch()
+        self._stmt_latch = RWLatch(name="stmt")
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.plan_cache_evictions = 0
@@ -122,10 +122,12 @@ class Database:
         self._path = path
         if self.disk.num_pages == 0:
             # Fresh database: page 0 is the catalog checkpoint (META) page.
+            # Unpin before the sanity check so the raise path cannot leak
+            # the pin (repro sanitize, SAN102).
             meta_id, _ = self.pool.new_page(KIND_META)
+            self.pool.unpin(meta_id)
             if meta_id != 0:
                 raise StorageError("meta page must be page 0")
-            self.pool.unpin(meta_id)
             self._write_meta(json.dumps([]).encode("utf-8"))
         else:
             # Existing file: restore the catalog from the checkpoint.
@@ -289,21 +291,25 @@ class Database:
             with self.pool.pinned(page_id) as page:
                 if page.kind != KIND_META:
                     raise StorageError(f"page {page_id} is not a META page")
-                chunk = payload[offset : offset + _META_CAP]
-                _META_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
-                page.buf[HEADER_SIZE + 4 : HEADER_SIZE + 4 + len(chunk)] = chunk
-                offset += len(chunk)
-                self.pool.mark_dirty(page_id)
-                if offset >= len(payload):
-                    page.next_page = -1
-                    return
-                if page.next_page == -1:
-                    # The current page is pinned, so allocating the next META
-                    # page cannot evict it before the link lands.
-                    next_id, _ = self.pool.new_page(KIND_META)
-                    self.pool.unpin(next_id)
-                    page.next_page = next_id
-                page_id = page.next_page
+                # Checkpoint writes mutate shared META content, so they take
+                # the frame's write latch like every other page mutation
+                # (the sanitizer's SAND04 rule).
+                with self.pool.latch(page_id).write():
+                    chunk = payload[offset : offset + _META_CAP]
+                    _META_LEN.pack_into(page.buf, HEADER_SIZE, len(chunk))
+                    page.buf[HEADER_SIZE + 4 : HEADER_SIZE + 4 + len(chunk)] = chunk
+                    offset += len(chunk)
+                    self.pool.mark_dirty(page_id)
+                    if offset >= len(payload):
+                        page.next_page = -1
+                        return
+                    if page.next_page == -1:
+                        # The current page is pinned, so allocating the next
+                        # META page cannot evict it before the link lands.
+                        next_id, _ = self.pool.new_page(KIND_META)
+                        self.pool.unpin(next_id)
+                        page.next_page = next_id
+                    page_id = page.next_page
 
     def _read_meta(self) -> bytes:
         parts = []

@@ -14,7 +14,11 @@ Every multi-page operation pins the pages it holds across other pool calls
 evicted out from under the operation — this holds even on a capacity-1
 pool. Content reads and mutations go through the frame's reader–writer
 latch; latches are only ever held one page at a time and never across a
-``yield``, which keeps the locking order trivially deadlock-free.
+``yield``, which keeps the locking order trivially deadlock-free. Both
+disciplines are machine-checked: the dynamic sanitizer (``SANITIZE=1``)
+verifies every pin is released by statement end and every ``mark_dirty``
+happens under the write latch, and ``repro sanitize`` lints this file's
+pin/latch shapes statically — see docs/SANITIZER.md.
 """
 
 from __future__ import annotations
@@ -54,8 +58,9 @@ class HeapFile:
     def __init__(self, pool: BufferPool, first_page: int | None = None):
         self.pool = pool
         if first_page is None:
+            # new_page admits the frame already dirty, and nothing else can
+            # reach an unlinked page, so no latch (or mark_dirty) is needed.
             first_page, _ = pool.new_page(self.PAGE_KIND)
-            pool.mark_dirty(first_page)
             pool.unpin(first_page)
         self.first_page = first_page
         #: Heap page ids in chain order. The chain only ever grows at the

@@ -12,12 +12,36 @@ Two users:
 The latch is deliberately simple: non-reentrant, no fairness guarantees
 beyond ``Condition``'s FIFO wakeups, writers wait for in-flight readers to
 drain. Callers never nest two latches, which is what makes the scheme
-deadlock-free (see the locking-order table in ARCHITECTURE.md).
+deadlock-free (see the locking-order table in ARCHITECTURE.md) — and since
+PR 7 that rule is *checked*, not just documented:
+
+* Latches know who holds them (:meth:`RWLatch.holders`) and how many
+  threads are blocked on them (:meth:`RWLatch.waiting`); contended
+  acquisitions feed ``latch.wait_count`` / ``latch.wait_ms`` counters in
+  :data:`repro.minidb.metrics.REGISTRY`, so latch contention shows up in
+  bench snapshots instead of being invisible.
+* Guaranteed self-deadlocks (a read→write upgrade, or re-acquiring the
+  exclusive side) raise :class:`~repro.errors.StorageError` immediately
+  instead of hanging; releasing a side the calling thread does not hold
+  raises too.
+* Under ``SANITIZE=1`` every acquire/release also reports to the dynamic
+  sanitizer (:mod:`repro.minidb.sanitize.dynamic`), which maintains the
+  cross-latch acquisition-order graph and flags inversions with both
+  stacks. See docs/SANITIZER.md.
+
+Latches are only ever taken through the :meth:`RWLatch.read` /
+:meth:`RWLatch.write` / :meth:`RWLatch.guard` context managers outside this
+module — the static checker (``repro sanitize``, code SAN201) enforces it.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+
+from repro.errors import StorageError
+from repro.minidb.metrics import REGISTRY
+from repro.minidb.sanitize import dynamic as _san
 
 
 class _ReadGuard:
@@ -61,41 +85,166 @@ class _WriteGuard:
 
 
 class RWLatch:
-    """A shared/exclusive lock: many readers or one writer."""
+    """A shared/exclusive lock: many readers or one writer.
 
-    __slots__ = ("_cond", "_readers", "_writer", "_read_guard", "_write_guard")
+    ``name`` labels the latch in diagnostics and metrics; its prefix before
+    the first ``:`` groups the wait counters (so every frame latch named
+    ``page:<id>`` lands in ``latch.page.wait_ms`` while the statement latch
+    feeds ``latch.stmt.wait_ms``).
+    """
 
-    def __init__(self):
+    __slots__ = (
+        "_cond",
+        "_readers",
+        "_writer",
+        "_read_guard",
+        "_write_guard",
+        "name",
+        "_kind",
+        "_reader_idents",
+        "_writer_ident",
+        "_waiting",
+    )
+
+    def __init__(self, name: str = "latch"):
         self._cond = threading.Condition(threading.Lock())
         self._readers = 0
         self._writer = False
         self._read_guard = _ReadGuard(self)
         self._write_guard = _WriteGuard(self)
+        self.name = name
+        self._kind = name.split(":", 1)[0]
+        #: thread ident -> number of read holds (re-entrant reads stack).
+        self._reader_idents: dict[int, int] = {}
+        self._writer_ident: int | None = None
+        self._waiting = 0
 
     # -- shared (read) side ---------------------------------------------
     def acquire_read(self) -> None:
+        tracker = _san.TRACKER
+        if tracker is not None:
+            tracker.before_acquire(self, "read")
+        ident = threading.get_ident()
         with self._cond:
-            while self._writer:
-                self._cond.wait()
+            if self._writer_ident == ident:
+                raise StorageError(
+                    f"latch {self.name!r}: acquire_read while this thread "
+                    "holds the write side (self-deadlock)"
+                )
+            if self._writer:
+                self._wait_contended(lambda: not self._writer)
             self._readers += 1
+            self._reader_idents[ident] = self._reader_idents.get(ident, 0) + 1
+        if tracker is not None:
+            tracker.after_acquire(self, "read")
 
     def release_read(self) -> None:
+        ident = threading.get_ident()
         with self._cond:
+            if self._readers <= 0 or self._reader_idents.get(ident, 0) <= 0:
+                raise StorageError(
+                    f"latch {self.name!r}: release_read without a matching "
+                    "acquire_read on this thread (double release?)"
+                )
+            if self._reader_idents[ident] == 1:
+                del self._reader_idents[ident]
+            else:
+                self._reader_idents[ident] -= 1
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        tracker = _san.TRACKER
+        if tracker is not None:
+            tracker.on_release(self, "read")
 
     # -- exclusive (write) side -----------------------------------------
     def acquire_write(self) -> None:
+        tracker = _san.TRACKER
+        if tracker is not None:
+            tracker.before_acquire(self, "write")
+        ident = threading.get_ident()
         with self._cond:
-            while self._writer or self._readers:
-                self._cond.wait()
+            if self._writer_ident == ident:
+                raise StorageError(
+                    f"latch {self.name!r}: acquire_write while this thread "
+                    "already holds the write side (self-deadlock)"
+                )
+            if self._reader_idents.get(ident, 0):
+                raise StorageError(
+                    f"latch {self.name!r}: read->write upgrade attempted "
+                    "(this thread holds the read side; the write side "
+                    "waits for all readers, so it can never be granted)"
+                )
+            if self._writer or self._readers:
+                self._wait_contended(
+                    lambda: not self._writer and not self._readers
+                )
             self._writer = True
+            self._writer_ident = ident
+        if tracker is not None:
+            tracker.after_acquire(self, "write")
 
     def release_write(self) -> None:
+        ident = threading.get_ident()
         with self._cond:
+            if not self._writer or self._writer_ident != ident:
+                raise StorageError(
+                    f"latch {self.name!r}: release_write without holding "
+                    "the write side on this thread (double release?)"
+                )
             self._writer = False
+            self._writer_ident = None
             self._cond.notify_all()
+        tracker = _san.TRACKER
+        if tracker is not None:
+            tracker.on_release(self, "write")
+
+    # -- blocking + contention accounting --------------------------------
+    def _wait_contended(self, granted) -> None:
+        """Block until *granted*; charge the wait to the metrics registry.
+
+        Caller holds ``self._cond``. Only contended acquisitions reach this
+        (the uncontended fast path never touches the registry), and the
+        counters are bumped while the condition lock is still held, so the
+        increments cannot race.
+        """
+        self._waiting += 1
+        started = time.perf_counter()
+        try:
+            while not granted():
+                self._cond.wait()
+        finally:
+            self._waiting -= 1
+        waited_ms = (time.perf_counter() - started) * 1000.0
+        REGISTRY.counter("latch.wait_count").inc()
+        REGISTRY.counter("latch.wait_ms").inc(waited_ms)
+        REGISTRY.counter(f"latch.{self._kind}.wait_count").inc()
+        REGISTRY.counter(f"latch.{self._kind}.wait_ms").inc(waited_ms)
+
+    # -- introspection ----------------------------------------------------
+    def holders(self) -> dict:
+        """Who holds the latch right now.
+
+        ``{"readers": {thread_ident: hold_count}, "writer": ident | None}``
+        — a consistent snapshot taken under the latch's own condition lock.
+        Used by the dynamic sanitizer (mutation-without-write-latch and
+        eviction checks) and handy in a debugger.
+        """
+        with self._cond:
+            return {
+                "readers": dict(self._reader_idents),
+                "writer": self._writer_ident,
+            }
+
+    def waiting(self) -> int:
+        """How many threads are currently blocked on this latch."""
+        with self._cond:
+            return self._waiting
+
+    def held(self) -> bool:
+        """Whether any thread holds either side right now."""
+        with self._cond:
+            return self._writer or self._readers > 0
 
     # -- context managers ------------------------------------------------
     def read(self):
@@ -105,3 +254,21 @@ class RWLatch:
     def write(self):
         """``with latch.write():`` — hold the exclusive side for the block."""
         return self._write_guard
+
+    def guard(self, write: bool):
+        """The guard for one side, picked at runtime.
+
+        ``with latch.guard(write=is_dml):`` is how the session layer takes
+        the statement latch without spelling bare ``acquire_*`` calls (the
+        static checker forbids those outside this module).
+        """
+        return self._write_guard if write else self._read_guard
+
+    def __repr__(self) -> str:
+        with self._cond:
+            state = (
+                "write-held"
+                if self._writer
+                else f"readers={self._readers}" if self._readers else "free"
+            )
+            return f"RWLatch({self.name!r}, {state}, waiting={self._waiting})"

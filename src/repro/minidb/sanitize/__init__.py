@@ -1,0 +1,37 @@
+"""Concurrency sanitizer for the minidb storage layer.
+
+Two independent sides (docs/SANITIZER.md):
+
+* :mod:`repro.minidb.sanitize.dynamic` — a runtime sanitizer (``SANITIZE=1``
+  or :func:`enable`) that tracks latch acquisition order and buffer-pool
+  pins per thread and raises :class:`~repro.errors.SanitizerError` (codes
+  ``SAND01``-``SAND06``) the moment a rule is broken.
+* :mod:`repro.minidb.sanitize.static` — an AST-based lint over the source
+  tree (``repro sanitize`` on the CLI) enforcing the same rules where they
+  are visible in the code shape: pins released on all paths, latches taken
+  only through guards, no pool-internal access (codes ``SAN101``-``SAN301``).
+
+Only the dynamic side is imported here: the latch and buffer layers hook
+into it at import time, so it must stay free of minidb dependencies. The
+static checker (which leans on the SQL front-end's diagnostic rendering) is
+imported explicitly as ``repro.minidb.sanitize.static`` by the CLI and
+tests.
+"""
+
+from repro.minidb.sanitize.dynamic import (
+    TRACKER,
+    SanitizerError,
+    Tracker,
+    disable,
+    enable,
+    enabled,
+)
+
+__all__ = [
+    "SanitizerError",
+    "Tracker",
+    "disable",
+    "enable",
+    "enabled",
+    "TRACKER",
+]

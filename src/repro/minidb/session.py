@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 
 from repro.minidb.metrics import QueryTrace, TraceCollector
+from repro.minidb.sanitize import dynamic as _san
 from repro.minidb.sql import ast
 from repro.minidb.sql.analyzer import Analysis
 from repro.minidb.sql.executor import Executor, Result
@@ -133,64 +134,72 @@ class Session:
         do_analyze = db.analyze if analyze is None else analyze
         entry = db._ensure_cached(sql, do_analyze)
         write = not _is_read_stmt(entry.stmt)
-        latch = db._stmt_latch
-        if write:
-            latch.acquire_write()
-        else:
-            latch.acquire_read()
-        try:
-            if entry.version != db.catalog.version:
-                # DDL slipped in between the cache probe and the latch.
-                # It cannot happen again while we hold the latch, so one
-                # re-probe suffices.
-                entry = db._ensure_cached(sql, do_analyze)
-            self.last_analysis = entry.analysis
-            if do_analyze and entry.analysis is not None:
-                entry.analysis.raise_if_errors()
-            plan = entry.plan
-            if plan is None:
-                # Planning failed (or was skipped) when the entry was built;
-                # re-plan per execution so the original error surfaces here.
-                plan = plan_statement(entry.stmt, db.catalog)
-            disk_stats = db.disk.thread_stats()
-            pool_stats = db.pool.thread_stats()
-            disk_before = disk_stats.snapshot()
-            pool_before = pool_stats.snapshot()
-            tracing = db.tracing if self.tracing is None else self.tracing
-            collector = TraceCollector(db.pool) if tracing else None
-            started = time.perf_counter()
-            result = self._executor(plan, tuple(params), collector).run(plan)
-            elapsed_ms = (time.perf_counter() - started) * 1000.0
-            disk_delta = disk_stats.delta(disk_before)
-            pool_delta = pool_stats.delta(pool_before)
-            self.last_cost = QueryCost(
-                page_reads=disk_delta.reads,
-                pool_hits=pool_delta.hits,
-                simulated_io_ms=disk_delta.simulated_read_ms,
-                pool_misses=pool_delta.misses,
-            )
-            if collector is not None:
-                trace = QueryTrace(
-                    sql=sql,
-                    roots=collector.roots,
-                    total_ms=elapsed_ms,
-                    pool_hits=pool_delta.hits,
-                    pool_misses=pool_delta.misses,
+        # Reads share the statement latch, DML/DDL hold it exclusively; the
+        # guard keeps the acquire/release paired even when execution raises
+        # (and satisfies the no-bare-acquire rule, SAN201).
+        with db._stmt_latch.guard(write):
+            try:
+                if entry.version != db.catalog.version:
+                    # DDL slipped in between the cache probe and the latch.
+                    # It cannot happen again while we hold the latch, so one
+                    # re-probe suffices.
+                    entry = db._ensure_cached(sql, do_analyze)
+                self.last_analysis = entry.analysis
+                if do_analyze and entry.analysis is not None:
+                    entry.analysis.raise_if_errors()
+                plan = entry.plan
+                if plan is None:
+                    # Planning failed (or was skipped) when the entry was
+                    # built; re-plan per execution so the original error
+                    # surfaces here.
+                    plan = plan_statement(entry.stmt, db.catalog)
+                disk_stats = db.disk.thread_stats()
+                pool_stats = db.pool.thread_stats()
+                disk_before = disk_stats.snapshot()
+                pool_before = pool_stats.snapshot()
+                tracing = db.tracing if self.tracing is None else self.tracing
+                collector = TraceCollector(db.pool) if tracing else None
+                started = time.perf_counter()
+                result = self._executor(plan, tuple(params), collector).run(plan)
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                disk_delta = disk_stats.delta(disk_before)
+                pool_delta = pool_stats.delta(pool_before)
+                self.last_cost = QueryCost(
                     page_reads=disk_delta.reads,
-                    io_ms=disk_delta.simulated_read_ms,
+                    pool_hits=pool_delta.hits,
+                    simulated_io_ms=disk_delta.simulated_read_ms,
+                    pool_misses=pool_delta.misses,
                 )
-                self.last_trace = trace
-                result.trace = trace
-            else:
-                # Never leave a previous statement's trace lying around — a
-                # stale tree would silently misattribute this statement's I/O.
-                self.last_trace = None
+                if collector is not None:
+                    trace = QueryTrace(
+                        sql=sql,
+                        roots=collector.roots,
+                        total_ms=elapsed_ms,
+                        pool_hits=pool_delta.hits,
+                        pool_misses=pool_delta.misses,
+                        page_reads=disk_delta.reads,
+                        io_ms=disk_delta.simulated_read_ms,
+                    )
+                    self.last_trace = trace
+                    result.trace = trace
+                else:
+                    # Never leave a previous statement's trace lying around —
+                    # a stale tree would silently misattribute this
+                    # statement's I/O.
+                    self.last_trace = None
+            except BaseException:
+                tracker = _san.TRACKER
+                if tracker is not None:
+                    # The primary error wins; drop any pins the interrupted
+                    # statement recorded so they cannot poison the next
+                    # statement's leak check on this thread.
+                    tracker.drop_thread_pins()
+                raise
+            tracker = _san.TRACKER
+            if tracker is not None:
+                # SAND02: every pin this statement took must be back.
+                tracker.check_statement_end()
             return result
-        finally:
-            if write:
-                latch.release_write()
-            else:
-                latch.release_read()
 
     def _executor(self, plan, params: tuple, collector):
         """Pick the execution engine for *plan*.
@@ -235,43 +244,42 @@ class Session:
         do_analyze = db.analyze if analyze is None else analyze
         entry = db._ensure_cached(sql, do_analyze)
         write = not _is_read_stmt(entry.stmt)
-        latch = db._stmt_latch
-        if write:
-            latch.acquire_write()
-        else:
-            latch.acquire_read()
-        try:
-            if entry.version != db.catalog.version:
-                entry = db._ensure_cached(sql, do_analyze)
-            self.last_analysis = entry.analysis
-            if do_analyze and entry.analysis is not None:
-                entry.analysis.raise_if_errors()
-            plan = entry.plan
-            if plan is None:
-                plan = plan_statement(entry.stmt, db.catalog)
-            disk_stats = db.disk.thread_stats()
-            pool_stats = db.pool.thread_stats()
-            disk_before = disk_stats.snapshot()
-            pool_before = pool_stats.snapshot()
-            results = [
-                self._executor(plan, tuple(params), None).run(plan)
-                for params in param_rows
-            ]
-            disk_delta = disk_stats.delta(disk_before)
-            pool_delta = pool_stats.delta(pool_before)
-            self.last_cost = QueryCost(
-                page_reads=disk_delta.reads,
-                pool_hits=pool_delta.hits,
-                simulated_io_ms=disk_delta.simulated_read_ms,
-                pool_misses=pool_delta.misses,
-            )
-            self.last_trace = None
+        with db._stmt_latch.guard(write):
+            try:
+                if entry.version != db.catalog.version:
+                    entry = db._ensure_cached(sql, do_analyze)
+                self.last_analysis = entry.analysis
+                if do_analyze and entry.analysis is not None:
+                    entry.analysis.raise_if_errors()
+                plan = entry.plan
+                if plan is None:
+                    plan = plan_statement(entry.stmt, db.catalog)
+                disk_stats = db.disk.thread_stats()
+                pool_stats = db.pool.thread_stats()
+                disk_before = disk_stats.snapshot()
+                pool_before = pool_stats.snapshot()
+                results = [
+                    self._executor(plan, tuple(params), None).run(plan)
+                    for params in param_rows
+                ]
+                disk_delta = disk_stats.delta(disk_before)
+                pool_delta = pool_stats.delta(pool_before)
+                self.last_cost = QueryCost(
+                    page_reads=disk_delta.reads,
+                    pool_hits=pool_delta.hits,
+                    simulated_io_ms=disk_delta.simulated_read_ms,
+                    pool_misses=pool_delta.misses,
+                )
+                self.last_trace = None
+            except BaseException:
+                tracker = _san.TRACKER
+                if tracker is not None:
+                    tracker.drop_thread_pins()
+                raise
+            tracker = _san.TRACKER
+            if tracker is not None:
+                tracker.check_statement_end()
             return results
-        finally:
-            if write:
-                latch.release_write()
-            else:
-                latch.release_read()
 
     def prepare(self, sql: str, analyze: bool | None = None) -> PreparedStatement:
         """Parse, analyze and plan *sql* once, returning a reusable handle.

@@ -1,0 +1,32 @@
+"""Fixture: exits while a pin is open and unprotected -> SAN102.
+
+Each function does eventually unpin (so SAN101 stays quiet), but an exit
+path escapes first without try/finally protection.
+"""
+
+
+class Reader:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def read_kind(self, page_id):
+        page = self.pool.pin(page_id)
+        if page.kind == 0:
+            return None  # SAN102: returns with the pin still open
+        kind = page.kind
+        self.pool.unpin(page_id)
+        return kind
+
+    def checked_read(self, page_id):
+        page = self.pool.pin(page_id)
+        if page.kind != 2:
+            raise ValueError("not a heap page")  # SAN102: raise, pin open
+        cell = bytes(page.read(0))
+        self.pool.unpin(page_id)
+        return cell
+
+    def cells(self, page_id):
+        page = self.pool.pin(page_id)
+        for slot in range(page.slot_count):
+            yield bytes(page.read(slot))  # SAN102: yield, pin open
+        self.pool.unpin(page_id)

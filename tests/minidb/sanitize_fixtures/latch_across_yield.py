@@ -1,0 +1,12 @@
+"""Fixture: a generator yields while holding a latch guard -> SAN202."""
+
+
+class Walker:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def rows(self, page_id):
+        page = self.pool.get(page_id)
+        with self.pool.latch(page_id).read():
+            for slot in range(page.slot_count):
+                yield bytes(page.read(slot))  # SAN202: latch held here

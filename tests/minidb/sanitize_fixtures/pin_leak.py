@@ -1,0 +1,21 @@
+"""Fixture: a pin with no unpin anywhere in the function -> SAN101.
+
+Deliberately broken code for test_sanitize_static.py; never imported.
+"""
+
+
+class Scanner:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def first_cell(self, page_id):
+        page = self.pool.pin(page_id)  # SAN101: never unpinned
+        return bytes(page.read(0))
+
+    def fresh_page(self):
+        page_id, _ = self.pool.new_page(3)  # SAN101: never unpinned
+        return page_id
+
+    def peek(self, page_id):
+        page = self.pool.get(page_id, pin=True)  # SAN101: never unpinned
+        return page.kind
