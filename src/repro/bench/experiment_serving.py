@@ -1,0 +1,359 @@
+"""Sharded multi-process serving: saturation grid + recovery drill.
+
+PR-4's concurrency experiment established the single-process ceiling: client
+threads over one in-process database stop scaling at the interpreter lock.
+This experiment serves the same mixed v2v / kNN / one-to-many workload
+through the process tier (:mod:`repro.serving`) instead and sweeps a
+**processes x shards grid** — for each shard count, shard files are built
+once and a router fans client threads out over one worker process per shard
+(x replicas). Reported per cell: wall-clock throughput, latency
+percentiles, admission-control rejections and result-cache hits; every
+answer is compared against the sequential single-process reference, so a
+wrong scatter/gather merge fails the run rather than flattering it.
+
+The headline number is ``speedup_vs_single_process``: best grid throughput
+over the PR-4 ceiling (:func:`~repro.bench.experiment_concurrency.
+single_process_ceiling`), both measured by the same wall-clock driver over
+the same workload. The workload replays its query set ``repeats`` times —
+a hot serving mix — because the tier's advantage has two components and
+only one of them needs spare cores: worker processes sidestep the
+interpreter lock (visible when ``cpu_count`` > 1, reported for context),
+and the router's result cache answers repeats without touching a worker at
+all (visible everywhere). Every answer, cached or not, is still checked
+against the reference.
+
+The **recovery drill** proves the durability story end to end: commit a row
+through a worker, SIGKILL that worker before any checkpoint, respawn it on
+the same shard file, and require (a) the row back — WAL replay, not luck —
+and (b) query answers over the respawned fleet byte-identical to the
+reference. Reattach time is reported spawn-to-ready.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.experiment_serving \
+        --shards 1,2 --threads 2,4 --queries 40 --out serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.bench.experiment_concurrency import (
+    TAG,
+    build_fixture,
+    build_workload,
+    run_query,
+    run_wall_clock,
+    single_process_ceiling,
+)
+from repro.bench.workload import random_targets
+from repro.errors import WorkerDiedError
+from repro.serving import Router, build_shards
+
+def build_serving_manifest(
+    directory: str,
+    timetable,
+    labels,
+    num_shards: int,
+    k: int,
+    density: float,
+):
+    """Shard files for *labels* with the bench's target set, ready to serve."""
+    targets = random_targets(timetable, density=density, seed=7)
+    return build_shards(
+        directory,
+        labels,
+        num_shards,
+        target_sets=[
+            {
+                "tag": TAG,
+                "targets": sorted(targets),
+                "kmax": max(k, 1),
+                "families": ["knn_ea", "otm_ea"],
+            }
+        ],
+        device="ram",
+    )
+
+
+def run_grid_cell(
+    manifest,
+    items,
+    reference,
+    client_threads: int,
+    replicas: int = 1,
+    max_queue_depth: int = 8,
+) -> dict:
+    """One saturation-grid cell: a fresh router, *client_threads* drivers."""
+    with Router(
+        manifest, replicas=replicas, max_queue_depth=max_queue_depth
+    ) as router:
+        run = run_wall_clock(lambda: router, items, reference, client_threads)
+        cache = router.cache_stats()
+    run.update(
+        {
+            "shards": manifest.num_shards,
+            "replicas": replicas,
+            "processes": manifest.num_shards * replicas,
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+        }
+    )
+    return run
+
+
+def run_recovery_drill(manifest, items, reference) -> dict:
+    """SIGKILL a worker mid-load and prove WAL-replay recovery.
+
+    Sequence: commit a marker row through shard 0 (WAL-committed, never
+    checkpointed), replay a load slice, SIGKILL shard 0's worker, confirm
+    routed queries fail fast, respawn on the same file, and require the
+    marker row back plus reference-identical answers from the full fleet.
+    """
+    with Router(manifest) as router:
+        router.execute(
+            "CREATE TABLE drill_marker (k BIGINT, v BIGINT, PRIMARY KEY (k))",
+            shard=0,
+        )
+        router.execute("INSERT INTO drill_marker VALUES (1, 42)", shard=0)
+        # Warm load so the kill lands on a working fleet, not an idle one.
+        for item in items[: max(1, len(items) // 2)]:
+            run_query(router, item)
+        router.kill_worker(0)
+        failed_fast = False
+        try:
+            # Shard 0 owns vertex 0, so this must route to the dead worker.
+            router.earliest_arrival(1, 0, 30000)
+        except WorkerDiedError:
+            failed_fast = True
+        timing = router.respawn_worker(0)
+        rows = router.execute("SELECT k, v FROM drill_marker", shard=0)
+        wal_recovered = rows == [[1, 42]]
+        router.execute("DROP TABLE drill_marker", shard=0)
+        mismatches = sum(
+            1
+            for index, item in enumerate(items)
+            if run_query(router, item) != reference[index]
+        )
+    return {
+        "failed_fast": failed_fast,
+        "reattach_seconds": round(timing["reattach_seconds"], 4),
+        "open_seconds": round(timing["open_seconds"], 4),
+        "wal_recovered": wal_recovered,
+        "post_respawn_mismatches": mismatches,
+        "ok": failed_fast and wal_recovered and mismatches == 0,
+    }
+
+
+def run_serving_tier_experiment(
+    dataset: str = "Austin",
+    scale: str = "small",
+    shard_counts: tuple[int, ...] = (1, 2),
+    client_threads: tuple[int, ...] = (2, 4),
+    replicas: int = 1,
+    queries: int = 40,
+    repeats: int = 3,
+    k: int = 2,
+    density: float = 0.1,
+    max_queue_depth: int = 8,
+    seed: int = 17,
+    timetable=None,
+    workdir: str | None = None,
+) -> dict:
+    """The full experiment: ceiling, grid, recovery drill, one report."""
+    ptldb, timetable = build_fixture(
+        dataset, "ram", scale, density, kmax=max(k, 1), timetable=timetable
+    )
+    items = build_workload(timetable, queries, k, seed)
+    reference = [run_query(ptldb, item) for item in items]
+    # The hot serving mix: the same query set replayed ``repeats`` times,
+    # served identically to the ceiling run and the grid runs.
+    items = items * max(1, repeats)
+    reference = reference * max(1, repeats)
+    ceiling = single_process_ceiling(
+        ptldb, items, reference, thread_counts=tuple(sorted(set(client_threads)))
+    )
+    labels = ptldb.labels
+    directory = workdir or tempfile.mkdtemp(prefix="repro_serving_")
+    cells = []
+    manifests = {}
+    try:
+        for num_shards in shard_counts:
+            shard_dir = os.path.join(directory, f"shards_{num_shards}")
+            build_started = time.perf_counter()
+            manifest = build_serving_manifest(
+                shard_dir, timetable, labels, num_shards, k, density
+            )
+            build_seconds = time.perf_counter() - build_started
+            manifests[num_shards] = manifest
+            for threads in client_threads:
+                cell = run_grid_cell(
+                    manifest,
+                    items,
+                    reference,
+                    threads,
+                    replicas=replicas,
+                    max_queue_depth=max_queue_depth,
+                )
+                cell["build_seconds"] = round(build_seconds, 3)
+                cells.append(cell)
+        drill = run_recovery_drill(manifests[max(shard_counts)], items, reference)
+    finally:
+        if workdir is None:
+            shutil.rmtree(directory, ignore_errors=True)
+    best = max(cells, key=lambda cell: cell["throughput_qps"])
+    speedup = (
+        best["throughput_qps"] / ceiling["throughput_qps"]
+        if ceiling["throughput_qps"]
+        else 0.0
+    )
+    ok = (
+        all(not cell["errors"] and cell["mismatches"] == 0 for cell in cells)
+        and drill["ok"]
+    )
+    return {
+        "experiment": "serving",
+        "dataset": dataset,
+        "queries": queries,
+        "repeats": repeats,
+        "total_queries": len(items),
+        "cpu_count": os.cpu_count(),
+        "k": k,
+        "density": density,
+        "replicas": replicas,
+        "max_queue_depth": max_queue_depth,
+        "single_process_ceiling": ceiling,
+        "grid": cells,
+        "best_cell": {
+            "shards": best["shards"],
+            "threads": best["threads"],
+            "throughput_qps": best["throughput_qps"],
+        },
+        "speedup_vs_single_process": round(speedup, 3),
+        "recovery_drill": drill,
+        "ok": ok,
+    }
+
+
+def experiment_serving(
+    datasets=None,
+    shard_counts: tuple[int, ...] = (1, 2),
+    client_threads: tuple[int, ...] = (2, 4),
+    queries: int = 40,
+    scale: str = "small",
+) -> list[dict]:
+    """CLI-table rows: one per (dataset, shards, client threads) cell."""
+    rows = []
+    for name in datasets or ["Austin"]:
+        report = run_serving_tier_experiment(
+            name,
+            scale=scale,
+            shard_counts=shard_counts,
+            client_threads=client_threads,
+            queries=queries,
+        )
+        for cell in report["grid"]:
+            rows.append(
+                {
+                    "dataset": name,
+                    "shards": cell["shards"],
+                    "procs": cell["processes"],
+                    "threads": cell["threads"],
+                    "throughput_qps": cell["throughput_qps"],
+                    "p95_ms": cell["p95_ms"],
+                    "rejections": cell["backpressure_rejections"],
+                    "ok": not cell["errors"] and cell["mismatches"] == 0,
+                }
+            )
+        rows.append(
+            {
+                "dataset": name,
+                "shards": "1proc",
+                "procs": 1,
+                "threads": report["single_process_ceiling"]["best_threads"],
+                "throughput_qps": report["single_process_ceiling"]["throughput_qps"],
+                "p95_ms": report["single_process_ceiling"]["p95_ms"],
+                "rejections": 0,
+                "ok": report["ok"],
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded multi-process serving grid + recovery drill"
+    )
+    parser.add_argument("--dataset", default="Austin")
+    parser.add_argument("--scale", default="small")
+    parser.add_argument(
+        "--shards", default="1,2", help="comma-separated shard counts"
+    )
+    parser.add_argument(
+        "--threads", default="2,4", help="comma-separated client thread counts"
+    )
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument("--queries", type=int, default=40, help="unique queries")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="workload replay passes"
+    )
+    parser.add_argument("--depth", type=int, default=8, help="admission bound")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    report = run_serving_tier_experiment(
+        args.dataset,
+        scale=args.scale,
+        shard_counts=tuple(int(part) for part in args.shards.split(",")),
+        client_threads=tuple(int(part) for part in args.threads.split(",")),
+        replicas=args.replicas,
+        queries=args.queries,
+        repeats=args.repeats,
+        max_queue_depth=args.depth,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    ceiling = report["single_process_ceiling"]
+    print(
+        f"workload: {report['queries']} unique x {report['repeats']} passes "
+        f"on {report['cpu_count']} core(s)"
+    )
+    print(
+        f"single-process ceiling: {ceiling['throughput_qps']:.1f} q/s "
+        f"at {ceiling['best_threads']} threads"
+    )
+    for cell in report["grid"]:
+        print(
+            f"shards={cell['shards']} procs={cell['processes']} "
+            f"threads={cell['threads']:2d} "
+            f"throughput={cell['throughput_qps']:.1f} q/s "
+            f"p95={cell['p95_ms']:.1f} ms "
+            f"rejections={cell['backpressure_rejections']} "
+            f"mismatches={cell['mismatches']}"
+        )
+        for err in cell["errors"]:
+            print(f"  ERROR {err}", file=sys.stderr)
+    drill = report["recovery_drill"]
+    print(
+        f"recovery drill: failed_fast={drill['failed_fast']} "
+        f"wal_recovered={drill['wal_recovered']} "
+        f"reattach={drill['reattach_seconds']:.3f}s "
+        f"(open {drill['open_seconds']:.3f}s) "
+        f"mismatches={drill['post_respawn_mismatches']}"
+    )
+    print(f"speedup vs single process: {report['speedup_vs_single_process']:.2f}x")
+    if not report["ok"]:
+        print("serving experiment FAILED", file=sys.stderr)
+        return 1
+    print("serving experiment OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli query knn --labels austin.ttl --dataset Austin \\
         --source 5 --time 32400 --k 3 --targets 2,4,18
     python -m repro.cli bench --experiment table7 --datasets Austin,Madrid
+    python -m repro.cli serve --dataset Austin --shards 2 --queries 20
     python -m repro.cli lint --corpus
     python -m repro.cli lint --sql "SELECT v FROM lout WHERE v=1"
     python -m repro.cli lint --file queries.sql
@@ -161,6 +162,7 @@ def cmd_bench(args) -> int:
         "storage": lambda: exp.experiment_storage(datasets),
         "concurrency": lambda: _run_concurrency(datasets, args),
         "vectorized": lambda: _run_vectorized(datasets, args),
+        "serving": lambda: _run_serving(datasets, args),
     }
     if args.experiment not in runners:
         raise ReproError(
@@ -193,6 +195,80 @@ def _run_vectorized(datasets, args):
     return experiment_vectorized(
         datasets, device=args.device, n_queries=args.queries
     )
+
+
+def _run_serving(datasets, args):
+    from repro.bench.experiment_serving import experiment_serving
+
+    return experiment_serving(datasets, queries=args.queries)
+
+
+def cmd_serve(args) -> int:
+    """Build (or reuse) a shard set and serve a sample workload through the
+    multi-process router, printing per-shard metrics on the way out."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.bench.experiment_concurrency import (
+        TAG,
+        build_workload,
+        run_query,
+    )
+    from repro.bench.workload import random_targets
+    from repro.labeling.ttl import build_labels
+    from repro.serving import Router, build_shards, load_manifest
+
+    timetable = _load_timetable(args)
+    directory = args.dir or tempfile.mkdtemp(prefix="repro_serve_")
+    manifest_path = os.path.join(directory, "manifest.json")
+    if args.dir and os.path.exists(manifest_path):
+        manifest = load_manifest(directory)
+        print(f"reusing shard set in {directory}")
+    else:
+        labels, _ = build_labels(timetable, add_dummies=True)
+        targets = sorted(random_targets(timetable, density=0.1, seed=7))
+        manifest = build_shards(
+            directory,
+            labels,
+            args.shards,
+            target_sets=[
+                {"tag": TAG, "targets": targets, "kmax": max(args.k, 1)}
+            ],
+        )
+        print(
+            f"built {args.shards} shard(s) in {directory} "
+            f"({len(targets)} targets)"
+        )
+    try:
+        with Router(
+            manifest, replicas=args.replicas, max_queue_depth=args.depth
+        ) as router:
+            items = build_workload(timetable, args.queries, args.k, seed=17)
+            for item in items:
+                run_query(router, item)
+            merged = router.gather_metrics().to_dict()
+            counters = merged["counters"]
+            rows = [
+                [name, counters[name]]
+                for name in sorted(counters)
+                if "worker.requests" in name or "result_cache" in name
+            ]
+            print(
+                format_table(
+                    ["counter", "value"],
+                    rows,
+                    title=(
+                        f"served {len(items)} queries over "
+                        f"{manifest.num_shards} shard(s) x {args.replicas} "
+                        f"replica(s)"
+                    ),
+                )
+            )
+    finally:
+        if not args.dir:
+            shutil.rmtree(directory, ignore_errors=True)
+    return 0
 
 
 def _lint_database():
@@ -448,6 +524,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=50)
 
     p = sub.add_parser(
+        "serve",
+        help="serve queries through the sharded multi-process router",
+    )
+    p.add_argument("--dataset", choices=DATASET_NAMES)
+    p.add_argument("--gtfs")
+    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument("--shards", type=int, default=2)
+    p.add_argument("--replicas", type=int, default=1)
+    p.add_argument("--queries", type=int, default=20, help="sample workload size")
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument(
+        "--depth", type=int, default=8, help="per-worker admission bound"
+    )
+    p.add_argument(
+        "--dir",
+        help="shard directory (kept and reused across runs; default: temp)",
+    )
+
+    p = sub.add_parser(
         "lint",
         help="statically analyze SQL and check the paper's access bounds",
     )
@@ -498,6 +593,7 @@ def main(argv=None) -> int:
         "preprocess": cmd_preprocess,
         "query": cmd_query,
         "bench": cmd_bench,
+        "serve": cmd_serve,
         "lint": cmd_lint,
         "sanitize": cmd_sanitize,
     }

@@ -29,6 +29,52 @@ class CatalogError(DatabaseError):
     """Unknown or duplicate table/column, schema mismatch."""
 
 
+class WALError(StorageError):
+    """Write-ahead-log corruption or protocol misuse."""
+
+
+class CrashPoint(StorageError):
+    """Raised by the WAL fault injector at a named crash point.
+
+    Crash-recovery tests arm :attr:`WriteAheadLog.fault_injector` with a
+    hook that raises this at a chosen point (``"commit:mid-append"``,
+    ``"checkpoint:before-truncate"``, ...), then call
+    :meth:`Database.simulate_crash` and reopen the file to exercise replay.
+    ``point`` names the crash site so a matrix test can assert where it
+    fired.
+    """
+
+    def __init__(self, point: str):
+        self.point = point
+        super().__init__(f"simulated crash at {point}")
+
+
+class ServingError(ReproError):
+    """Base class for the multi-process serving tier."""
+
+
+class BackpressureError(ServingError):
+    """Admission control rejected a request: the target worker's queue is
+    full. Typed so clients can distinguish overload (retry later / shed
+    load) from a real failure; the router never queues past the bound."""
+
+    def __init__(self, shard: int, depth: int, limit: int):
+        self.shard = shard
+        self.depth = depth
+        self.limit = limit
+        super().__init__(
+            f"shard {shard} over admission limit ({depth}/{limit} in flight)"
+        )
+
+
+class WorkerDiedError(ServingError):
+    """The worker process closed its pipe mid-conversation (crash/kill)."""
+
+
+class ProtocolError(ServingError):
+    """Malformed frame on the router<->worker pipe."""
+
+
 class SanitizerError(DatabaseError):
     """A concurrency-discipline violation caught by the dynamic sanitizer.
 

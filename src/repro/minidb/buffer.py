@@ -114,6 +114,11 @@ class BufferPool:
         # Guards _frames, LRU order, pin counts and every counter. Reentrant
         # so clear() can call flush() and get() can call _admit().
         self._lock = threading.RLock()
+        #: Write-ahead log armed by the Database (file-backed mode only).
+        #: The pool reports every first-dirty to it and honors its no-steal
+        #: rule: a WAL-pending frame is never evicted or flushed, so the
+        #: main file only ever holds committed images (docs/STORAGE.md).
+        self.wal = None
 
     # -- accounting ------------------------------------------------------
     def thread_stats(self) -> PoolStats:
@@ -239,6 +244,11 @@ class BufferPool:
             tracker = _san.TRACKER
             if tracker is not None:
                 tracker.on_pin(page_id)
+            if self.wal is not None:
+                # A fresh page is mutated in place without a later
+                # mark_dirty (nothing else can reach an unlinked page), so
+                # the WAL must learn about it here.
+                self.wal.on_page_dirty(page_id, self, fresh=True)
             return page_id, page
 
     def mark_dirty(self, page_id: int) -> None:
@@ -251,12 +261,46 @@ class BufferPool:
                 # SAND04: mutating page content requires the write latch.
                 tracker.on_mark_dirty(page_id, frame.latch)
             frame.dirty = True
+            if self.wal is not None:
+                self.wal.on_page_dirty(page_id, self)
+
+    def page_image(self, page_id: int) -> bytes:
+        """Copy of a resident frame's content (no hit/miss accounting).
+
+        WAL commit uses this to snapshot after-images; pending frames are
+        always resident (the no-steal rule keeps them in the pool)."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} not resident; cannot image")
+            return bytes(frame.page.buf)
+
+    def restore_page(self, page_id: int, image: bytes, dirty: bool) -> None:
+        """Overwrite a resident frame with *image* (WAL rollback).
+
+        ``dirty`` says whether the restored content is still ahead of the
+        main file (a committed-but-unflushed page) or matches it exactly.
+        Runs on the statement-failure path under the exclusive statement
+        latch, so no reader can observe the frame mid-restore."""
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None:
+                raise StorageError(f"page {page_id} not resident; cannot restore")
+            frame.page.buf[:] = image
+            frame.dirty = dirty
 
     def flush(self) -> None:
-        """Write back every dirty page (keeps them cached)."""
+        """Write back every dirty page (keeps them cached).
+
+        WAL-pending pages — dirtied by a statement that has not committed —
+        are skipped: under the no-steal rule only committed images may reach
+        the main file. ``Database.checkpoint`` commits before flushing, so
+        its flush is always complete."""
         with self._lock:
             for page_id, frame in self._frames.items():
-                if frame.dirty:
+                if frame.dirty and (
+                    self.wal is None or not self.wal.is_pending(page_id)
+                ):
                     self.disk.write_page(page_id, frame.page.buf)
                     frame.dirty = False
 
@@ -299,12 +343,19 @@ class BufferPool:
         # Caller holds self._lock.
         while len(self._frames) >= self.capacity:
             victim_id = next(
-                (pid for pid, f in self._frames.items() if f.pins == 0), None
+                (
+                    pid
+                    for pid, f in self._frames.items()
+                    if f.pins == 0
+                    and (self.wal is None or not self.wal.is_pending(pid))
+                ),
+                None,
             )
             if victim_id is None:
-                # Every frame is pinned: overflow capacity rather than evict
-                # a page someone is still using. The next admission shrinks
-                # the pool back once pins drop.
+                # Every frame is pinned or WAL-pending: overflow capacity
+                # rather than evict a page someone is still using (or whose
+                # uncommitted image must not reach the file). The next
+                # admission shrinks the pool back once pins/commits release.
                 break
             victim = self._frames.pop(victim_id)
             tracker = _san.TRACKER

@@ -263,6 +263,50 @@ class DiskManager:
             self._file.seek(page_id * PAGE_SIZE)
             self._file.write(buf)
 
+    # -- recovery primitives --------------------------------------------
+    # Used by the write-ahead log only (replay at open, undo-image capture).
+    # They bypass the device model and every counter on purpose: recovery
+    # happens before serving starts, so charging it would pollute the
+    # measured I/O the reproduction exists to report.
+
+    def peek_page(self, page_id: int) -> bytes:
+        """Raw page bytes without latency accounting or run tracking."""
+        self._check(page_id)
+        if self._file is None:
+            return bytes(self._pages[page_id])
+        self._file.seek(page_id * PAGE_SIZE)
+        return self._file.read(PAGE_SIZE)
+
+    def apply_image(self, page_id: int, buf: bytes) -> None:
+        """Raw page write without latency accounting (WAL redo)."""
+        self._check(page_id)
+        if len(buf) != PAGE_SIZE:
+            raise StorageError("short page image")
+        if self._file is None:
+            self._pages[page_id] = bytearray(buf)
+        else:
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(buf)
+
+    def ensure_pages(self, count: int) -> None:
+        """Grow the file with zero pages until it holds >= *count* pages.
+
+        Defensive: allocations are written physically at allocate time, so
+        a replayed file normally already spans every committed page."""
+        while self.num_pages < count:
+            if self._file is None:
+                self._pages.append(bytearray(PAGE_SIZE))
+            else:
+                self._file.seek(self._num_pages * PAGE_SIZE)
+                self._file.write(b"\0" * PAGE_SIZE)
+                self._num_pages += 1
+
+    def sync(self) -> None:
+        """Flush the OS buffers to stable storage (no-op in memory)."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()

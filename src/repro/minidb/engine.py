@@ -21,10 +21,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-from repro.errors import DatabaseError, StorageError
+from repro.errors import CrashPoint, DatabaseError, StorageError
 from repro.minidb.buffer import BufferPool
 from repro.minidb.catalog import Catalog
 from repro.minidb.disk import DeviceModel, DiskManager, hdd_model, ram_model, ssd_model
+from repro.minidb.wal import DEFAULT_CHECKPOINT_BYTES, WriteAheadLog
 from repro.minidb.latch import RWLatch
 from repro.minidb.metrics import REGISTRY, QueryTrace
 from repro.minidb.page import HEADER_SIZE, KIND_META, PAGE_SIZE
@@ -77,6 +78,8 @@ class Database:
         vectorize: bool = True,
         readahead: int = 8,
         numpy_batches: bool = True,
+        wal: bool = True,
+        wal_checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
     ):
         if isinstance(device, str):
             try:
@@ -120,6 +123,15 @@ class Database:
         #: concurrent callers open their own via :meth:`session`.
         self._session = Session(self)
         self._path = path
+        self._closed = False
+        #: Write-ahead log (file-backed databases only; ``wal=False`` opts
+        #: out). Armed on the buffer pool *after* open-time replay so the
+        #: recovery writes themselves are never re-logged.
+        self.wal: WriteAheadLog | None = None
+        if path is not None and wal:
+            self.wal = WriteAheadLog(
+                path + ".wal", checkpoint_bytes=wal_checkpoint_bytes
+            )
         if self.disk.num_pages == 0:
             # Fresh database: page 0 is the catalog checkpoint (META) page.
             # Unpin before the sanity check so the raise path cannot leak
@@ -129,10 +141,34 @@ class Database:
             if meta_id != 0:
                 raise StorageError("meta page must be page 0")
             self._write_meta(json.dumps([]).encode("utf-8"))
+            if self.wal is not None:
+                # Persist the empty catalog now: a crash before the first
+                # checkpoint must still find a readable META page 0.
+                self.pool.flush()
+                self.disk.sync()
         else:
-            # Existing file: restore the catalog from the checkpoint.
-            payload = self._read_meta()
+            # Existing file: replay the WAL tail (a killed worker's
+            # committed statements), then restore the catalog — from the
+            # last COMMIT record when the log has one, else from the META
+            # checkpoint.
+            payload = None
+            if self.wal is not None:
+                payload = self.wal.replay(self.disk)
+            if payload is None:
+                payload = self._read_meta()
             self.catalog.restore(json.loads(payload.decode("utf-8")))
+        # Arm the pool hooks last: from here on every first-dirty is logged.
+        self.pool.wal = self.wal
+
+    @classmethod
+    def open(cls, path: str, **kwargs) -> "Database":
+        """Open (or create) a file-backed database, replaying any WAL tail.
+
+        Equivalent to ``Database(path=path, **kwargs)``; named for symmetry
+        with :meth:`close` — a killed worker restarts with ``Database.open``
+        and resumes from its last committed statement without re-ingesting.
+        """
+        return cls(path=path, **kwargs)
 
     # -- sessions --------------------------------------------------------
     def session(
@@ -279,10 +315,40 @@ class Database:
         """Write the catalog snapshot to the META chain and flush all pages.
 
         After a checkpoint, reopening the same database file restores every
-        table (schemas, heaps, indexes, row counts)."""
+        table (schemas, heaps, indexes, row counts). With the WAL armed the
+        protocol is: commit the META write, flush every dirty frame, fsync
+        the main file, truncate the log — every crash window in between is
+        covered by replay (docs/STORAGE.md, "Durability")."""
         payload = json.dumps(self.catalog.describe()).encode("utf-8")
         self._write_meta(payload)
-        self.pool.flush()
+        if self.wal is not None:
+            self.wal.commit(self.pool, payload)
+            self.wal.checkpoint(self.pool)
+        else:
+            self.pool.flush()
+
+    def _wal_commit(self) -> None:
+        """Seal the statement that just executed (write statements only).
+
+        Called by the session while it still holds the exclusive statement
+        latch; auto-checkpoints when the log has outgrown its threshold."""
+        if self.wal is None:
+            return
+        self.wal.commit(
+            self.pool, json.dumps(self.catalog.describe()).encode("utf-8")
+        )
+        if self.wal.should_checkpoint():
+            self.checkpoint()
+
+    def _wal_rollback(self, exc: BaseException) -> None:
+        """Undo the failed statement's frames from their before-images.
+
+        A :class:`~repro.errors.CrashPoint` is *not* rolled back: it
+        simulates the process dying at that instant, and a dead process
+        runs no cleanup — recovery happens in :meth:`open`'s replay."""
+        if self.wal is None or isinstance(exc, CrashPoint):
+            return
+        self.wal.rollback(self.pool)
 
     def _write_meta(self, payload: bytes) -> None:
         page_id = 0
@@ -324,9 +390,35 @@ class Database:
         return b"".join(parts)
 
     def close(self) -> None:
+        """Checkpoint (file-backed), flush, and release every file handle.
+
+        Idempotent: a second ``close`` is a no-op, so ``with`` blocks and
+        explicit teardown paths can overlap safely. After ``close`` the
+        database file is self-contained (empty WAL) and another process may
+        open it — the worker restart-in-place story depends on this."""
+        if self._closed:
+            return
+        self._closed = True
         if self._path is not None:
             self.checkpoint()
         self.pool.flush()
+        self.pool.wal = None
+        if self.wal is not None:
+            self.wal.close()
+        self.disk.close()
+
+    def simulate_crash(self) -> None:
+        """Die without flushing: drop every handle, skip checkpoint/flush.
+
+        Test hook for crash-recovery coverage — leaves the main file and
+        WAL exactly as the OS has them, like a SIGKILL would, so a
+        subsequent :meth:`open` must recover through replay."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.wal = None
+        if self.wal is not None:
+            self.wal.abandon()
         self.disk.close()
 
     def __enter__(self) -> "Database":

@@ -413,6 +413,36 @@ class MetricsRegistry:
             },
         }
 
+    def to_dict(self) -> dict:
+        """Lossless, JSON-serializable dump of the registry.
+
+        Unlike :meth:`snapshot` (which summarizes histograms into
+        percentiles), this keeps every raw observation, so a worker process
+        can ship its registry over a pipe and the router can :meth:`merge`
+        it without losing percentile fidelity."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: list(h.values)
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, dump: dict, prefix: str = "") -> None:
+        """Fold a :meth:`to_dict` dump into this registry.
+
+        *prefix* preserves attribution: the router merges each worker's
+        dump under ``shard<i>.`` so per-shard counters stay distinguishable
+        after aggregation. Counters add; histogram observations append."""
+        for name, value in dump.get("counters", {}).items():
+            self.counter(prefix + name).inc(value)
+        for name, values in dump.get("histograms", {}).items():
+            histogram = self.histogram(prefix + name)
+            for value in values:
+                histogram.observe(value)
+
     def reset(self) -> None:
         self._counters.clear()
         self._histograms.clear()

@@ -187,7 +187,17 @@ class Session:
                     # a stale tree would silently misattribute this
                     # statement's I/O.
                     self.last_trace = None
-            except BaseException:
+                if write:
+                    # Seal the statement in the WAL while the exclusive
+                    # latch is still held (no reader can see a half-durable
+                    # state). No-op for in-memory databases.
+                    db._wal_commit()
+            except BaseException as exc:
+                if write:
+                    # Restore every frame the failed statement dirtied from
+                    # its before-image, so the pool re-enters the last
+                    # committed state before the latch is released.
+                    db._wal_rollback(exc)
                 tracker = _san.TRACKER
                 if tracker is not None:
                     # The primary error wins; drop any pins the interrupted
@@ -271,7 +281,14 @@ class Session:
                     pool_misses=pool_delta.misses,
                 )
                 self.last_trace = None
-            except BaseException:
+                if write:
+                    # Group commit: the whole batch seals as one WAL commit,
+                    # amortizing the append the same way the latch and plan
+                    # probe are amortized.
+                    db._wal_commit()
+            except BaseException as exc:
+                if write:
+                    db._wal_rollback(exc)
                 tracker = _san.TRACKER
                 if tracker is not None:
                     tracker.drop_thread_pins()

@@ -232,6 +232,7 @@ class PTLDB(_QueryAPI):
         labels: TTLLabels,
         compressed: bool = False,
         storage: str = "row",
+        time_range: tuple[int, int] | None = None,
     ):
         self.db = db
         self.labels = labels
@@ -241,7 +242,13 @@ class PTLDB(_QueryAPI):
         #: cells) or "columnar" (delta-encoded column groups with per-page
         #: zone maps — docs/STORAGE.md). Same queries, same results.
         self.storage = storage
-        self.time_low, self.time_high = label_time_range(labels)
+        #: ``time_range`` override: a label *shard* must clamp kNN/OTM hours
+        #: against the full timetable's range, not its own subset's, or its
+        #: aux tables would disagree with the single-process reference.
+        if time_range is not None:
+            self.time_low, self.time_high = time_range
+        else:
+            self.time_low, self.time_high = label_time_range(labels)
         self._handles: dict[str, TargetSetHandle] = {}
         load_labels(db, labels, compressed=compressed, storage=storage)
         # Every query family runs through a prepared statement: the vertex-
@@ -251,6 +258,36 @@ class PTLDB(_QueryAPI):
         self._prepared: dict[str, object] = {}
         for sql in (sqltext.V2V_EA, sqltext.V2V_LD, sqltext.V2V_SD):
             self._prepared[sql] = db.prepare(sql)
+
+    @classmethod
+    def attach(
+        cls,
+        db: Database,
+        num_stops: int,
+        time_range: tuple[int, int],
+        compressed: bool = False,
+        storage: str = "row",
+    ) -> "PTLDB":
+        """Reattach to a database whose label tables are already loaded.
+
+        The restart-without-re-ingest path: a worker that was killed reopens
+        its shard file (``Database.open`` replays the WAL tail) and attaches
+        here — no labels object, no ``load_labels``, just prepared handles
+        over the persisted tables. ``num_stops``/``time_range`` come from
+        the shard manifest. Target sets are re-registered with
+        :meth:`attach_target_set`."""
+        self = cls.__new__(cls)
+        self.db = db
+        self.labels = None
+        self.num_stops = num_stops
+        self.compressed = compressed
+        self.storage = storage
+        self.time_low, self.time_high = time_range
+        self._handles = {}
+        self._prepared = {}
+        for sql in (sqltext.V2V_EA, sqltext.V2V_LD, sqltext.V2V_SD):
+            self._prepared[sql] = db.prepare(sql)
+        return self
 
     def _exec(self, sql: str, params: tuple):
         """Execute *sql* through its (lazily created) prepared statement."""
@@ -375,6 +412,40 @@ class PTLDB(_QueryAPI):
             handle.build_seconds[family] = time.perf_counter() - started
             handle.built.add(family)
         self.db.pool.flush()
+        return handle
+
+    def attach_target_set(
+        self,
+        tag: str,
+        kmax: int = 16,
+        interval_s: int = DEFAULT_INTERVAL_S,
+        families: tuple[str, ...] = ("knn_ea", "knn_ld", "otm_ea", "otm_ld"),
+        targets=(),
+    ) -> TargetSetHandle:
+        """Re-register a target set whose aux tables already exist.
+
+        The durable half of :meth:`build_target_set`: after a worker restart
+        the aux tables are recovered from the database file (WAL replay),
+        but the in-memory handle registry is gone — this rebuilds the handle
+        from the manifest parameters without touching a single label row.
+        """
+        if not tag.isidentifier():
+            raise DatabaseError(f"tag {tag!r} must be a valid identifier")
+        handle = TargetSetHandle(
+            aux=aux_mod.AuxTables(
+                tag=tag,
+                targets_table=f"tgt_{tag}",
+                hours_table=f"hours_{tag}",
+                kmax=kmax,
+                interval_s=interval_s,
+                low_hour=self.time_low // interval_s,
+                high_hour=self.time_high // interval_s,
+                storage=self.storage,
+            ),
+            targets=frozenset(int(t) for t in targets),
+        )
+        handle.built.update(families)
+        self._handles[tag] = handle
         return handle
 
     def handle(self, tag: str) -> TargetSetHandle:

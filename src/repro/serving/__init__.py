@@ -1,0 +1,43 @@
+"""Sharded multi-process serving tier (docs/ARCHITECTURE.md, "Serving tier").
+
+One GIL-bound Python process caps the paper's "scalable queries" story at
+thread-level concurrency (PR 4's saturation curve). This package serves the
+label store from N worker *processes*, each owning a vertex-range shard of
+the ``lin`` + aux tables (``lout`` is replicated — it is the smaller, always
+-joined side), behind a router that:
+
+* routes v2v queries to the single shard owning the goal vertex,
+* scatter/gathers kNN / one-to-many across every shard and merges exactly
+  (targets are disjoint across shards, so a k-way merge of per-shard top-k
+  lists is the global top-k),
+* caches results keyed on (query family, params, catalog epoch) with
+  plan-cache-style invalidation,
+* applies admission control: a bounded number of in-flight requests per
+  worker, over which requests fail fast with
+  :class:`~repro.errors.BackpressureError`.
+
+Durability comes from the minidb WAL (:mod:`repro.minidb.wal`): a SIGKILLed
+worker restarts in place, replaying its shard file's log tail instead of
+re-ingesting labels.
+"""
+
+from repro.serving.cache import ResultCache
+from repro.serving.router import Router, WorkerHandle
+from repro.serving.shards import (
+    ShardManifest,
+    build_shards,
+    load_manifest,
+    partition_labels,
+    shard_of,
+)
+
+__all__ = [
+    "ResultCache",
+    "Router",
+    "WorkerHandle",
+    "ShardManifest",
+    "build_shards",
+    "load_manifest",
+    "partition_labels",
+    "shard_of",
+]

@@ -1,0 +1,86 @@
+"""Parametrized result cache for the serving router.
+
+Same invalidation discipline as the engine's plan cache: every entry
+remembers the catalog *epoch* it was computed under; the router bumps the
+epoch on any write (DML/DDL shipped to a worker), and a probe that finds a
+stale-epoch entry drops it, counts an invalidation and recomputes. LRU
+bounded, so a hot query mix stays resident while one-off parameters churn
+through.
+
+Counters follow the plan-cache naming convention in the shared registry:
+``result_cache.hits`` / ``.misses`` / ``.evictions`` / ``.invalidations``
+(docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.minidb.metrics import REGISTRY
+
+
+class ResultCache:
+    """LRU cache keyed on (query family, params, catalog epoch)."""
+
+    _MISS = object()
+
+    def __init__(self, capacity: int = 1024, registry=None):
+        self.capacity = max(1, int(capacity))
+        self.registry = registry if registry is not None else REGISTRY
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: OrderedDict[tuple, tuple[int, object]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, family: str, params: tuple, epoch: int):
+        """The cached value, or :attr:`ResultCache.MISS` when absent/stale."""
+        key = (family, params)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry_epoch, value = entry
+                if entry_epoch == epoch:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self.registry.counter("result_cache.hits").inc()
+                    return value
+                # Computed under an older catalog: a write may have changed
+                # the answer, so the entry is dead (plan-cache rule).
+                del self._entries[key]
+                self.invalidations += 1
+                self.registry.counter("result_cache.invalidations").inc()
+            self.misses += 1
+            self.registry.counter("result_cache.misses").inc()
+            return self._MISS
+
+    def put(self, family: str, params: tuple, epoch: int, value) -> None:
+        key = (family, params)
+        with self._lock:
+            self._entries[key] = (epoch, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.registry.counter("result_cache.evictions").inc()
+
+    @classmethod
+    def miss_sentinel(cls):
+        return cls._MISS
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

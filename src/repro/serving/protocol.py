@@ -1,0 +1,77 @@
+"""Length-prefixed JSON framing for the router <-> worker pipes.
+
+One frame = 4-byte little-endian payload length + UTF-8 JSON. Requests and
+responses are dicts; the worker answers every request with exactly one
+response frame, in order, so the stream needs no correlation ids. JSON over
+binary framing keeps the protocol debuggable (``strace``/hexdump readable)
+and spawn-safe — workers are separate interpreters started with
+``python -m repro.serving.worker``, not forked children.
+
+Request ops (see :mod:`repro.serving.worker`):
+
+``query``     run one query-API family (``family``, ``args``)
+``sql``       run one SQL statement (``sql``, ``params``)
+``metrics``   ship the worker's metrics registry (``to_dict`` dump)
+``checkpoint``  force a WAL checkpoint on the shard
+``ping``      liveness probe
+``shutdown``  clean close (checkpoint + release files), then exit
+
+Responses: ``{"ok": true, "value": ...}`` or ``{"ok": false, "error":
+"<ExceptionType>", "message": "..."}``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ProtocolError
+
+_LEN = struct.Struct("<I")
+
+#: Refuse frames above this size — a corrupt length prefix must not make the
+#: reader try to allocate gigabytes.
+MAX_FRAME = 64 << 20
+
+
+def send_message(stream, message: dict) -> None:
+    """Write one frame and flush (the peer blocks until it arrives)."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame too large ({len(payload)} bytes)")
+    stream.write(_LEN.pack(len(payload)) + payload)
+    stream.flush()
+
+
+def recv_message(stream) -> dict | None:
+    """Read one frame; ``None`` on clean EOF (peer closed the pipe)."""
+    header = _read_exact(stream, _LEN.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME}")
+    payload = _read_exact(stream, length, allow_eof=False)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except ValueError as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame is not an object: {message!r}")
+    return message
+
+
+def _read_exact(stream, count: int, allow_eof: bool) -> bytes | None:
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError(
+                f"pipe closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)

@@ -1,0 +1,219 @@
+"""Vertex-range shard partitioner and shard-file builder.
+
+Partition rule: contiguous vertex ranges over ``lin`` (and the aux tables,
+whose targets are filtered into their owning range). ``lout`` is replicated
+into every shard — every query family joins ``lout`` of the *query* vertex,
+which can be anything, while ``lin``/aux rows are only ever probed for
+vertices (targets) the shard owns:
+
+* v2v(s, g) needs ``lout[s]`` + ``lin[g]`` -> route to ``shard_of(g)``.
+* kNN/OTM(q) needs ``lout[q]`` + the tag's aux table -> scatter to every
+  shard; target sets are split by the same ranges, so per-shard results are
+  disjoint and the gather merge is exact.
+
+``lout`` is the right side to replicate: per the paper's unified join both
+sides are the same size per vertex, but replication cost is paid once at
+build time while mis-routing would be paid per query.
+
+A build writes one minidb file per shard plus ``manifest.json`` describing
+the partition — everything a worker needs to reopen its shard *without the
+labels object*: stop count, time range, storage codec, and each shard's
+target-set parameters for :meth:`PTLDB.attach_target_set`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServingError
+from repro.labeling.labels import TTLLabels
+from repro.minidb.engine import Database
+from repro.ptldb.framework import PTLDB
+from repro.ptldb.schema import label_time_range
+
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_of(v: int, num_stops: int, num_shards: int) -> int:
+    """The shard owning vertex *v* under contiguous range partitioning.
+
+    Exact inverse of :func:`shard_bounds`: shard ``i`` owns ``[i*N//S,
+    (i+1)*N//S)``, and for integers ``i*N//S <= v < (i+1)*N//S`` iff
+    ``i == (v*S + S - 1) // N`` — the naive ``v*S // N`` disagrees with the
+    bounds whenever ``N % S != 0`` and would route queries to a shard that
+    loaded the vertex's ``lin`` row as empty."""
+    if not 0 <= v < num_stops:
+        raise ServingError(f"vertex {v} out of range [0, {num_stops})")
+    return (v * num_shards + num_shards - 1) // num_stops
+
+
+def shard_bounds(num_stops: int, num_shards: int) -> list[tuple[int, int]]:
+    """Per-shard ``[lo, hi)`` vertex ranges; shard i owns ``bounds[i]``."""
+    if num_shards < 1:
+        raise ServingError("need at least one shard")
+    return [
+        (i * num_stops // num_shards, (i + 1) * num_stops // num_shards)
+        for i in range(num_shards)
+    ]
+
+
+def partition_labels(labels: TTLLabels, lo: int, hi: int) -> TTLLabels:
+    """The shard-local labeling for vertex range ``[lo, hi)``.
+
+    ``lout`` is shared by reference (replicated into every shard's file);
+    ``lin`` keeps only the owned vertices' tuple lists — out-of-range rows
+    load as empty arrays, which no routed query ever probes."""
+    shard = TTLLabels(labels.num_stops, labels.order)
+    shard.lout = labels.lout
+    shard.lin = [
+        labels.lin[v] if lo <= v < hi else []
+        for v in range(labels.num_stops)
+    ]
+    shard._has_dummies = labels._has_dummies
+    return shard
+
+
+@dataclass
+class ShardManifest:
+    """Everything the router and workers need to (re)open a shard set."""
+
+    directory: str
+    num_stops: int
+    num_shards: int
+    time_low: int
+    time_high: int
+    device: str = "ram"
+    storage: str = "row"
+    compressed: bool = False
+    pool_pages: int = 4096
+    #: One entry per shard: {"index", "path", "lo", "hi", "target_sets"},
+    #: where each target set is {"tag", "kmax", "interval_s", "families",
+    #: "targets"} filtered to the shard's range (absent when empty).
+    shards: list[dict] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def shard_db_path(self, index: int) -> str:
+        return os.path.join(self.directory, self.shards[index]["path"])
+
+    def to_dict(self) -> dict:
+        return {
+            "num_stops": self.num_stops,
+            "num_shards": self.num_shards,
+            "time_low": self.time_low,
+            "time_high": self.time_high,
+            "device": self.device,
+            "storage": self.storage,
+            "compressed": self.compressed,
+            "pool_pages": self.pool_pages,
+            "shards": self.shards,
+        }
+
+    def save(self) -> str:
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+        return self.path
+
+
+def load_manifest(directory_or_path: str) -> ShardManifest:
+    path = directory_or_path
+    if os.path.isdir(path):
+        path = os.path.join(path, MANIFEST_NAME)
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return ShardManifest(directory=os.path.dirname(path) or ".", **data)
+
+
+def build_shards(
+    directory: str,
+    labels: TTLLabels,
+    num_shards: int,
+    target_sets: list[dict] | None = None,
+    device: str = "ram",
+    storage: str = "row",
+    compressed: bool = False,
+    pool_pages: int = 4096,
+) -> ShardManifest:
+    """Partition *labels* into ``num_shards`` minidb files under *directory*.
+
+    Each *target_sets* entry is ``{"tag", "targets", "kmax", "interval_s",
+    "families"}`` (kmax/interval/families optional); its targets are split
+    by shard range and each shard builds aux tables over its own slice
+    only. Shards are checkpointed and closed, so workers can open them in
+    other processes immediately."""
+    os.makedirs(directory, exist_ok=True)
+    time_low, time_high = label_time_range(labels)
+    manifest = ShardManifest(
+        directory=directory,
+        num_stops=labels.num_stops,
+        num_shards=num_shards,
+        time_low=time_low,
+        time_high=time_high,
+        device=device,
+        storage=storage,
+        compressed=compressed,
+        pool_pages=pool_pages,
+    )
+    for index, (lo, hi) in enumerate(shard_bounds(labels.num_stops, num_shards)):
+        db_name = f"shard_{index}.minidb"
+        started = time.perf_counter()
+        shard_labels = partition_labels(labels, lo, hi)
+        db = Database(
+            path=os.path.join(directory, db_name),
+            device=device,
+            pool_pages=pool_pages,
+        )
+        try:
+            api = PTLDB(
+                db,
+                shard_labels,
+                compressed=compressed,
+                storage=storage,
+                time_range=(time_low, time_high),
+            )
+            built_sets = []
+            for spec in target_sets or ():
+                owned = sorted(
+                    t for t in spec["targets"] if lo <= int(t) < hi
+                )
+                entry = {
+                    "tag": spec["tag"],
+                    "kmax": int(spec.get("kmax", 16)),
+                    "interval_s": int(spec.get("interval_s", 3600)),
+                    "families": list(
+                        spec.get(
+                            "families",
+                            ("knn_ea", "knn_ld", "otm_ea", "otm_ld"),
+                        )
+                    ),
+                    "targets": owned,
+                }
+                if owned:
+                    api.build_target_set(
+                        entry["tag"],
+                        owned,
+                        kmax=entry["kmax"],
+                        interval_s=entry["interval_s"],
+                        families=tuple(entry["families"]),
+                    )
+                built_sets.append(entry)
+            db.checkpoint()
+        finally:
+            db.close()
+        manifest.shards.append(
+            {
+                "index": index,
+                "path": db_name,
+                "lo": lo,
+                "hi": hi,
+                "target_sets": built_sets,
+                "build_seconds": round(time.perf_counter() - started, 3),
+            }
+        )
+    manifest.save()
+    return manifest

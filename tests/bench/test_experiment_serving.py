@@ -1,0 +1,55 @@
+"""Tests for the sharded multi-process serving experiment."""
+
+import pytest
+
+from repro.bench.experiment_serving import run_serving_tier_experiment
+from repro.timetable.generator import random_timetable
+
+
+@pytest.fixture(scope="module")
+def report():
+    timetable = random_timetable(18, 160, seed=11)
+    return run_serving_tier_experiment(
+        dataset="tiny",
+        shard_counts=(1, 2),
+        client_threads=(2,),
+        queries=16,
+        repeats=2,
+        timetable=timetable,
+    )
+
+
+class TestServingTierExperiment:
+    def test_overall_ok(self, report):
+        assert report["ok"] is True
+
+    def test_grid_covers_the_topology_sweep(self, report):
+        cells = [(c["shards"], c["threads"]) for c in report["grid"]]
+        assert cells == [(1, 2), (2, 2)]
+        for cell in report["grid"]:
+            assert cell["processes"] == cell["shards"] * cell["replicas"]
+
+    def test_every_cell_matches_the_reference(self, report):
+        for cell in report["grid"]:
+            assert cell["errors"] == []
+            assert cell["mismatches"] == 0
+            assert cell["queries"] == report["total_queries"]
+            assert cell["throughput_qps"] > 0
+
+    def test_ceiling_measured_with_same_workload(self, report):
+        ceiling = report["single_process_ceiling"]
+        assert ceiling["throughput_qps"] > 0
+        assert all(run["mismatches"] == 0 for run in ceiling["runs"])
+        assert report["speedup_vs_single_process"] > 0
+
+    def test_recovery_drill_proves_wal_replay(self, report):
+        drill = report["recovery_drill"]
+        assert drill["failed_fast"] is True
+        assert drill["wal_recovered"] is True
+        assert drill["post_respawn_mismatches"] == 0
+        assert drill["reattach_seconds"] > 0
+
+    def test_hot_mix_hits_the_result_cache(self, report):
+        # Two passes over the same queries: pass 2 must be served from the
+        # router cache (at least one cell shows hits).
+        assert any(cell["cache_hits"] > 0 for cell in report["grid"])

@@ -299,7 +299,7 @@ class TestColumnarTables:
         bytes_before = db.table_stats()["lab"]["data_bytes"]
         db.checkpoint()
         db.close()
-        again = Database(path=path)
-        assert again.execute("SELECT * FROM lab ORDER BY hub, td") == before
-        assert again.table_stats()["lab"]["storage"] == "columnar"
-        assert again.table_stats()["lab"]["data_bytes"] == bytes_before
+        with Database(path=path) as again:
+            assert again.execute("SELECT * FROM lab ORDER BY hub, td") == before
+            assert again.table_stats()["lab"]["storage"] == "columnar"
+            assert again.table_stats()["lab"]["data_bytes"] == bytes_before

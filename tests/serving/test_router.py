@@ -1,0 +1,182 @@
+"""Router end-to-end: identical results, cache, admission, recovery.
+
+One module-scoped fixture builds a 2-shard set and an in-process reference
+PTLDB over the same labels, so every test compares the process tier's
+answers against the single-process ground truth.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import BackpressureError, ServingError, WorkerDiedError
+from repro.labeling.ttl import build_labels
+from repro.minidb.engine import Database
+from repro.ptldb.framework import PTLDB
+from repro.serving import Router, build_shards
+from repro.serving.protocol import recv_message, send_message
+from repro.timetable.generator import random_timetable
+
+TARGETS = [1, 4, 7, 10, 13, 16]
+
+
+@pytest.fixture(scope="module")
+def fixture(tmp_path_factory):
+    timetable = random_timetable(18, 160, seed=11)
+    labels, _ = build_labels(timetable, add_dummies=True)
+    ref_db = Database()
+    reference = PTLDB(ref_db, labels)
+    reference.build_target_set("poi", TARGETS, kmax=4)
+    directory = str(tmp_path_factory.mktemp("shards"))
+    manifest = build_shards(
+        directory,
+        labels,
+        2,
+        target_sets=[{"tag": "poi", "targets": TARGETS, "kmax": 4}],
+    )
+    router = Router(manifest, max_queue_depth=4).start()
+    yield reference, router, labels.num_stops
+    router.close()
+    ref_db.close()
+
+
+class TestIdenticalResults:
+    def test_all_families_match_the_reference(self, fixture):
+        reference, router, n = fixture
+        rng = random.Random(3)
+        for _ in range(25):
+            s, g = rng.randrange(n), rng.randrange(n)
+            t = rng.randrange(0, 86400)
+            t2 = min(86399, t + 36000)
+            k = rng.choice([1, 2, 4])
+            assert router.earliest_arrival(s, g, t) == reference.earliest_arrival(s, g, t)
+            assert router.latest_departure(s, g, t) == reference.latest_departure(s, g, t)
+            assert router.shortest_duration(s, g, t, t2) == reference.shortest_duration(s, g, t, t2)
+            assert router.ea_knn("poi", s, t, k) == reference.ea_knn("poi", s, t, k)
+            assert router.ld_knn("poi", s, t, k) == reference.ld_knn("poi", s, t, k)
+            assert router.ea_one_to_many("poi", s, t) == reference.ea_one_to_many("poi", s, t)
+            assert router.ld_one_to_many("poi", s, t) == reference.ld_one_to_many("poi", s, t)
+
+    def test_worker_error_surfaces_typed(self, fixture):
+        from repro.errors import DatabaseError
+
+        _, router, _ = fixture
+        # The worker ships the exception as data; the router re-raises the
+        # original type, tagged with the shard it came from.
+        with pytest.raises(DatabaseError, match=r"shard0.*kmax"):
+            router.ea_knn("poi", 0, 30000, 99)  # k > kmax on every shard
+
+
+class TestResultCache:
+    def test_repeat_query_hits(self, fixture):
+        _, router, _ = fixture
+        before = router.cache_stats()["hits"]
+        first = router.earliest_arrival(2, 3, 30000)
+        second = router.earliest_arrival(2, 3, 30000)
+        assert first == second
+        assert router.cache_stats()["hits"] > before
+
+    def test_execute_invalidates(self, fixture):
+        _, router, _ = fixture
+        router.earliest_arrival(4, 5, 30000)
+        epoch = router.catalog_epoch
+        router.execute("SELECT 1", shard=0)
+        assert router.catalog_epoch > epoch
+        before = router.cache_stats()["invalidations"]
+        router.earliest_arrival(4, 5, 30000)  # stale epoch: recomputed
+        assert router.cache_stats()["invalidations"] > before
+
+
+class TestAdmissionControl:
+    def test_over_depth_fails_fast(self, fixture):
+        _, router, _ = fixture
+        handle = router.worker(1)
+        handle.pending = handle.max_queue_depth
+        try:
+            with pytest.raises(BackpressureError) as exc:
+                router.ea_knn("poi", 1, 30000, 2)
+            assert exc.value.shard == 1
+            assert exc.value.limit == handle.max_queue_depth
+        finally:
+            handle.pending = 0
+
+    def test_single_shard_calls_admit_independently(self, fixture):
+        _, router, n = fixture
+        handle = router.worker(1)
+        handle.pending = handle.max_queue_depth
+        try:
+            # Shard 0 still has capacity: a v2v routed there must not see
+            # shard 1's saturation (no exception is the assertion).
+            router.earliest_arrival(1, 0, 30000)
+        finally:
+            handle.pending = 0
+
+
+class TestMetrics:
+    def test_gather_merges_with_shard_prefixes(self, fixture):
+        _, router, _ = fixture
+        merged = router.gather_metrics().to_dict()
+        counters = merged["counters"]
+        assert any(name.startswith("shard0.r0.") for name in counters)
+        assert any(name.startswith("shard1.r0.") for name in counters)
+        assert any(name.startswith("router.") for name in counters)
+
+    def test_sql_op_round_trips_rows(self, fixture):
+        _, router, _ = fixture
+        rows = router.execute("SELECT 1", shard=0)
+        assert rows == [[1]]
+
+
+class TestRecovery:
+    def test_sigkill_respawn_replays_the_wal(self, fixture):
+        _, router, _ = fixture
+        router.execute(
+            "CREATE TABLE marker (k BIGINT, v BIGINT, PRIMARY KEY (k))",
+            shard=0,
+        )
+        router.execute("INSERT INTO marker VALUES (1, 42)", shard=0)
+        router.kill_worker(0)
+        with pytest.raises(WorkerDiedError):
+            router.execute("SELECT 1", shard=0)
+        timing = router.respawn_worker(0)
+        assert timing["reattach_seconds"] > 0
+        # The row was WAL-committed and never checkpointed: only replay
+        # can bring it back.
+        assert router.execute("SELECT k, v FROM marker", shard=0) == [[1, 42]]
+        router.execute("DROP TABLE marker", shard=0)
+
+    def test_respawned_worker_answers_match_reference(self, fixture):
+        reference, router, n = fixture
+        rng = random.Random(5)
+        for _ in range(10):
+            s, g, t = rng.randrange(n), rng.randrange(n), rng.randrange(86400)
+            assert router.earliest_arrival(s, g, t) == reference.earliest_arrival(s, g, t)
+            assert router.ea_knn("poi", s, t, 2) == reference.ea_knn("poi", s, t, 2)
+
+
+class TestProtocol:
+    def test_round_trip(self, tmp_path):
+        import io
+
+        buf = io.BytesIO()
+        send_message(buf, {"op": "ping", "n": 3})
+        buf.seek(0)
+        assert recv_message(buf) == {"op": "ping", "n": 3}
+        assert recv_message(buf) is None  # clean EOF
+
+    def test_mid_frame_eof_raises(self):
+        import io
+
+        buf = io.BytesIO()
+        send_message(buf, {"op": "ping"})
+        truncated = io.BytesIO(buf.getvalue()[:-2])
+        with pytest.raises(ServingError):
+            recv_message(truncated)
+
+    def test_oversize_frame_rejected(self):
+        import io
+        import struct
+
+        buf = io.BytesIO(struct.pack("<I", 1 << 30))
+        with pytest.raises(ServingError):
+            recv_message(buf)

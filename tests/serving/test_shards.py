@@ -1,0 +1,109 @@
+"""Partitioner correctness: routing, bounds, label splitting, manifests."""
+
+import pytest
+
+from repro.errors import ServingError
+from repro.labeling.ttl import build_labels
+from repro.serving.shards import (
+    ShardManifest,
+    build_shards,
+    load_manifest,
+    partition_labels,
+    shard_bounds,
+    shard_of,
+)
+from repro.timetable.generator import random_timetable
+
+
+@pytest.fixture(scope="module")
+def labels():
+    timetable = random_timetable(18, 160, seed=11)
+    built, _ = build_labels(timetable, add_dummies=True)
+    return built
+
+
+class TestShardOf:
+    @pytest.mark.parametrize(
+        "num_stops,num_shards",
+        [(30, 4), (18, 2), (7, 3), (100, 7), (5, 5), (16, 16), (31, 8), (1, 1)],
+    )
+    def test_agrees_with_bounds_for_every_vertex(self, num_stops, num_shards):
+        bounds = shard_bounds(num_stops, num_shards)
+        for v in range(num_stops):
+            owner = next(
+                i for i, (lo, hi) in enumerate(bounds) if lo <= v < hi
+            )
+            assert shard_of(v, num_stops, num_shards) == owner
+
+    def test_bounds_partition_the_vertex_range(self):
+        bounds = shard_bounds(30, 4)
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == 30
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo  # contiguous, disjoint
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ServingError):
+            shard_of(30, 30, 4)
+        with pytest.raises(ServingError):
+            shard_of(-1, 30, 4)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ServingError):
+            shard_bounds(30, 0)
+
+
+class TestPartitionLabels:
+    def test_lin_filtered_to_range_lout_replicated(self, labels):
+        lo, hi = 5, 12
+        shard = partition_labels(labels, lo, hi)
+        assert shard.lout is labels.lout  # replicated by reference
+        for v in range(labels.num_stops):
+            if lo <= v < hi:
+                assert shard.lin[v] == labels.lin[v]
+            else:
+                assert shard.lin[v] == []
+
+    def test_dummy_flag_preserved(self, labels):
+        shard = partition_labels(labels, 0, 9)
+        assert shard._has_dummies == labels._has_dummies
+
+    def test_union_of_shards_covers_every_lin_row(self, labels):
+        bounds = shard_bounds(labels.num_stops, 3)
+        for v in range(labels.num_stops):
+            kept = [
+                partition_labels(labels, lo, hi).lin[v]
+                for lo, hi in bounds
+                if (lo <= v < hi)
+            ]
+            assert len(kept) == 1
+            assert kept[0] == labels.lin[v]
+
+
+class TestManifest:
+    def test_build_and_reload_round_trip(self, labels, tmp_path):
+        directory = str(tmp_path / "shards")
+        manifest = build_shards(
+            directory,
+            labels,
+            2,
+            target_sets=[{"tag": "poi", "targets": [1, 4, 10, 15], "kmax": 4}],
+        )
+        loaded = load_manifest(directory)
+        assert isinstance(loaded, ShardManifest)
+        assert loaded.num_stops == labels.num_stops
+        assert loaded.num_shards == 2
+        assert [s["index"] for s in loaded.shards] == [0, 1]
+        # Target split respects shard ranges and loses nothing.
+        owned = [s["target_sets"][0]["targets"] for s in loaded.shards]
+        assert sorted(sum(owned, [])) == [1, 4, 10, 15]
+        for shard, targets in zip(loaded.shards, owned):
+            assert all(shard["lo"] <= t < shard["hi"] for t in targets)
+
+    def test_shard_db_paths_exist(self, labels, tmp_path):
+        directory = str(tmp_path / "shards")
+        manifest = build_shards(directory, labels, 2)
+        import os
+
+        for index in range(manifest.num_shards):
+            assert os.path.exists(manifest.shard_db_path(index))
