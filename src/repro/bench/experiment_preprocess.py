@@ -1,0 +1,224 @@
+"""Sequential vs parallel TTL preprocessing (scaling curve + identity gate).
+
+The same dataset is preprocessed once per requested worker count.
+``workers=1`` is the untouched sequential reference implementation in
+:mod:`repro.labeling.ttl`; every other count runs the process-pool build
+in :mod:`repro.labeling.parallel` (per-hub profile scans on workers, the
+order-dependent PLL pruning serial in the coordinator).
+
+Three gates, all of which must hold for the run to pass:
+
+* **identity** — every build's label file is byte-identical to the
+  sequential one (compared via the serialized ``save_labels`` bytes, so
+  tuple order, dummy tuples and the header all participate);
+* **speedup** — the largest worker count is at least ``--min-speedup``
+  (default 2x) faster than ``workers=1`` wall-clock;
+* **oracle** — random EA/LD vertex-to-vertex queries answered from the
+  parallel-built labels match the Connection Scan baseline
+  (:mod:`repro.baselines.csa`) exactly.
+
+The host's ``os.cpu_count()`` is recorded in the report: on a single-core
+host the speedup comes from the numpy scan kernel and the indexed cover
+checks that only the parallel path uses; real parallelism compounds on
+multi-core hosts.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.experiment_preprocess \
+        --dataset Austin --scale paper --workers 1,2,4 \
+        --out BENCH_preprocess.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import sys
+import tempfile
+
+from repro.baselines import csa
+from repro.labeling.io import save_labels
+from repro.labeling.query import TTLQueryEngine
+from repro.labeling.ttl import build_labels
+from repro.timetable.datasets import load_dataset
+
+
+def _label_digest(labels) -> str:
+    """SHA-256 of the serialized label file — the byte-identity witness."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "labels.ttl")
+        save_labels(labels, path)
+        with open(path, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+
+
+def _oracle_checks(timetable, labels, n_queries: int, seed: int) -> dict:
+    """Random EA/LD spot checks against the Connection Scan baseline."""
+    engine = TTLQueryEngine(labels)
+    rng = random.Random(seed)
+    deps = [c.dep for c in timetable.connections]
+    lo, hi = (min(deps), max(deps) + 1) if deps else (0, 1)
+    mismatches = 0
+    for _ in range(n_queries):
+        source = rng.randrange(timetable.num_stops)
+        goal = rng.randrange(timetable.num_stops - 1)
+        if goal >= source:
+            goal += 1
+        when = rng.randrange(lo, hi)
+        if engine.earliest_arrival(source, goal, when) != csa.earliest_arrival(
+            timetable, source, goal, when
+        ):
+            mismatches += 1
+        if engine.latest_departure(source, goal, when) != csa.latest_departure(
+            timetable, source, goal, when
+        ):
+            mismatches += 1
+    return {
+        "queries": 2 * n_queries,
+        "mismatches": mismatches,
+        "ok": mismatches == 0,
+    }
+
+
+def run_preprocess_experiment(
+    dataset: str = "Austin",
+    scale: str = "paper",
+    workers_list: tuple[int, ...] = (1, 2, 4),
+    ordering: str = "event_degree",
+    min_speedup: float = 2.0,
+    oracle_queries: int = 40,
+    seed: int = 23,
+) -> dict:
+    if 1 not in workers_list:
+        workers_list = (1, *workers_list)
+    workers_list = tuple(sorted(set(workers_list)))
+    timetable = load_dataset(dataset, scale=scale)
+
+    rows = []
+    sequential_s = None
+    reference_digest = None
+    labels = None
+    for workers in workers_list:
+        labels, report = build_labels(
+            timetable, ordering=ordering, add_dummies=True, workers=workers
+        )
+        digest = _label_digest(labels)
+        if workers == 1:
+            sequential_s = report.seconds
+            reference_digest = digest
+        row = {
+            "workers": workers,
+            "wall_s": round(report.seconds, 4),
+            "speedup": round(sequential_s / report.seconds, 2)
+            if report.seconds
+            else 0.0,
+            "kept_tuples": report.kept_tuples,
+            "identical": digest == reference_digest,
+        }
+        if hasattr(report, "pipeline_s"):
+            row.update(
+                window=report.window,
+                setup_s=round(report.setup_s, 4),
+                pipeline_s=round(report.pipeline_s, 4),
+                finalize_s=round(report.finalize_s, 4),
+                scan_cpu_s=round(report.scan_cpu_s, 4),
+                coordinator_cpu_s=round(report.coordinator_cpu_s, 4),
+                cpu_to_wall=round(report.cpu_to_wall, 3),
+            )
+        rows.append(row)
+
+    oracle = _oracle_checks(timetable, labels, oracle_queries, seed)
+    identical = all(row["identical"] for row in rows)
+    best = rows[-1]
+    return {
+        "dataset": dataset,
+        "scale": scale,
+        "ordering": ordering,
+        "num_stops": timetable.num_stops,
+        "num_connections": timetable.num_connections,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "min_speedup": min_speedup,
+        "best_speedup": best["speedup"],
+        "labels_identical": identical,
+        "oracle": oracle,
+        "ok": identical and oracle["ok"] and best["speedup"] >= min_speedup,
+    }
+
+
+def experiment_preprocess(datasets=None, scale: str = "small"):
+    """``repro bench --experiment preprocess`` rows (one per worker count)."""
+    names = datasets or ["Austin"]
+    rows = []
+    for name in names:
+        report = run_preprocess_experiment(name, scale=scale, min_speedup=0.0)
+        for row in report["rows"]:
+            rows.append(
+                {
+                    "dataset": name,
+                    "workers": row["workers"],
+                    "wall_s": row["wall_s"],
+                    "speedup": row["speedup"],
+                    "identical": row["identical"],
+                    "oracle_ok": report["oracle"]["ok"],
+                }
+            )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Sequential vs parallel TTL preprocessing; fails unless labels "
+            "are byte-identical, the CSA oracle agrees, and the largest "
+            "worker count clears the speedup gate"
+        )
+    )
+    parser.add_argument("--dataset", default="Austin")
+    parser.add_argument("--scale", default="paper")
+    parser.add_argument("--workers", default="1,2,4", help="comma-separated")
+    parser.add_argument("--ordering", default="event_degree")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--oracle-queries", type=int, default=40)
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    args = parser.parse_args(argv)
+    workers_list = tuple(int(w) for w in args.workers.split(","))
+    report = run_preprocess_experiment(
+        args.dataset,
+        scale=args.scale,
+        workers_list=workers_list,
+        ordering=args.ordering,
+        min_speedup=args.min_speedup,
+        oracle_queries=args.oracle_queries,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    for row in report["rows"]:
+        extra = (
+            f" pipeline={row['pipeline_s']:.2f}s cpu/wall={row['cpu_to_wall']:.2f}"
+            if "pipeline_s" in row
+            else ""
+        )
+        print(
+            f"workers={row['workers']} wall={row['wall_s']:.2f}s "
+            f"speedup={row['speedup']:.2f}x identical={row['identical']}{extra}"
+        )
+    oracle = report["oracle"]
+    print(
+        f"oracle: {oracle['mismatches']} mismatch(es) over {oracle['queries']} "
+        f"CSA spot checks; best speedup {report['best_speedup']:.2f}x "
+        f"(gate {report['min_speedup']:.1f}x) on {report['cpu_count']} CPU(s)"
+    )
+    if not report["ok"]:
+        print("preprocess scaling gate FAILED", file=sys.stderr)
+        return 1
+    print("preprocess scaling gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

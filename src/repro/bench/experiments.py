@@ -11,11 +11,13 @@ preprocessing is the expensive part of every experiment.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
 from repro.bench.runner import run_batch
 from repro.bench.workload import batch_workload, random_targets, v2v_workload
+from repro.labeling.io import load_or_build
 from repro.labeling.labels import TTLLabels
 from repro.labeling.ttl import BuildReport, build_labels
 from repro.ptldb.framework import PTLDB
@@ -44,10 +46,21 @@ _PTLDBS: dict[tuple[str, str, str], PTLDB] = {}
 
 
 def get_bundle(name: str, scale: str = "small") -> DatasetBundle:
+    """Timetable + labels for one dataset, preprocessed at most once.
+
+    Honors ``REPRO_LABEL_CACHE`` (a directory; labels persist across
+    processes, keyed by the dataset digest) and
+    ``REPRO_PREPROCESS_WORKERS`` (process-pool size for cache misses) so
+    bench runs share preprocessing with the CLI — see docs/PREPROCESSING.md.
+    """
     key = (name, scale)
     if key not in _BUNDLES:
         timetable = load_dataset(name, scale=scale)
-        labels, report = build_labels(timetable, add_dummies=True)
+        cache_dir = os.environ.get("REPRO_LABEL_CACHE") or None
+        workers = int(os.environ.get("REPRO_PREPROCESS_WORKERS", "1") or 1)
+        labels, report, _ = load_or_build(
+            timetable, cache_dir=cache_dir, add_dummies=True, workers=workers
+        )
         _BUNDLES[key] = DatasetBundle(name, timetable, labels, report)
     return _BUNDLES[key]
 

@@ -5,6 +5,8 @@ Subcommands::
     python -m repro.cli datasets
     python -m repro.cli generate  --dataset Austin --gtfs ./feed
     python -m repro.cli preprocess --dataset Austin --labels austin.ttl
+    python -m repro.cli preprocess --dataset Denver --scale table7 \\
+        --workers 4 --cache-dir .label-cache --labels denver.ttl
     python -m repro.cli preprocess --gtfs ./feed --labels feed.ttl
     python -m repro.cli query ea  --labels austin.ttl --dataset Austin \\
         --source 5 --goal 17 --time 32400
@@ -32,10 +34,15 @@ import sys
 
 from repro.bench.report import format_table
 from repro.errors import ReproError
-from repro.labeling.io import load_labels, save_labels
-from repro.labeling.ttl import preprocess
+from repro.labeling.io import load_labels, load_or_build, save_labels
+from repro.labeling.ttl import build_labels
 from repro.ptldb.framework import PTLDB
-from repro.timetable.datasets import DATASET_NAMES, load_dataset, paper_row
+from repro.timetable.datasets import (
+    DATASET_NAMES,
+    SCALE_NAMES,
+    load_dataset,
+    paper_row,
+)
 from repro.timetable.gtfs import load_feed, write_feed
 
 
@@ -83,9 +90,42 @@ def cmd_generate(args) -> int:
 
 def cmd_preprocess(args) -> int:
     timetable = _load_timetable(args)
-    labels = preprocess(timetable, ordering=args.ordering)
+    if args.cache_dir:
+        labels, report, hit = load_or_build(
+            timetable,
+            cache_dir=args.cache_dir,
+            ordering=args.ordering,
+            workers=args.workers,
+        )
+    else:
+        labels, report = build_labels(
+            timetable,
+            ordering=args.ordering,
+            add_dummies=True,
+            workers=args.workers,
+        )
+        hit = False
     save_labels(labels, args.labels)
-    print(f"labels: {labels.stats()} -> {args.labels}")
+    source = "cache hit" if hit else f"built in {report.seconds:.2f}s"
+    print(f"labels: {labels.stats()} -> {args.labels} ({source})")
+    if not hit:
+        print(
+            f"  tuples: {report.kept_tuples} kept of "
+            f"{report.candidate_tuples} candidates "
+            f"({report.pruned_tuples} pruned)"
+        )
+    if hasattr(report, "pipeline_s") and not hit:
+        # ParallelBuildReport: show where the wall time went.
+        print(
+            f"  parallel: workers={report.workers} window={report.window} "
+            f"setup={report.setup_s:.2f}s pipeline={report.pipeline_s:.2f}s "
+            f"finalize={report.finalize_s:.2f}s"
+        )
+        print(
+            f"  cpu: scans={report.scan_cpu_s:.2f}s "
+            f"coordinator={report.coordinator_cpu_s:.2f}s "
+            f"cpu/wall={report.cpu_to_wall:.2f}"
+        )
     return 0
 
 
@@ -163,6 +203,7 @@ def cmd_bench(args) -> int:
         "concurrency": lambda: _run_concurrency(datasets, args),
         "vectorized": lambda: _run_vectorized(datasets, args),
         "serving": lambda: _run_serving(datasets, args),
+        "preprocess": lambda: _run_preprocess(datasets, args),
     }
     if args.experiment not in runners:
         raise ReproError(
@@ -201,6 +242,12 @@ def _run_serving(datasets, args):
     from repro.bench.experiment_serving import experiment_serving
 
     return experiment_serving(datasets, queries=args.queries)
+
+
+def _run_preprocess(datasets, args):
+    from repro.bench.experiment_preprocess import experiment_preprocess
+
+    return experiment_preprocess(datasets)
 
 
 def cmd_serve(args) -> int:
@@ -488,14 +535,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", choices=DATASET_NAMES)
     p.add_argument("--gtfs", help="input GTFS dir (instead of --dataset)")
     p.add_argument("--gtfs-out", required=True)
-    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument("--scale", default="small", choices=SCALE_NAMES)
 
     p = sub.add_parser("preprocess", help="run TTL preprocessing, save labels")
     p.add_argument("--dataset", choices=DATASET_NAMES)
     p.add_argument("--gtfs")
     p.add_argument("--labels", required=True, help="output label file")
     p.add_argument("--ordering", default="event_degree")
-    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument("--scale", default="small", choices=SCALE_NAMES)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for the per-hub profile scans (1 = the "
+        "sequential reference build; labels are identical either way)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="label cache directory keyed by dataset digest; a repeat run "
+        "over the same timetable reuses the cached labels",
+    )
 
     p = sub.add_parser("query", help="answer a PTLDB query")
     p.add_argument("kind", choices=["ea", "ld", "sd", "knn", "otm"])
@@ -510,7 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=4)
     p.add_argument("--targets", help="comma-separated target stops")
     p.add_argument("--ld", action="store_true", help="LD variant for knn/otm")
-    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument("--scale", default="small", choices=SCALE_NAMES)
     p.add_argument(
         "--trace",
         action="store_true",
@@ -529,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--dataset", choices=DATASET_NAMES)
     p.add_argument("--gtfs")
-    p.add_argument("--scale", default="small", choices=["small", "paper"])
+    p.add_argument("--scale", default="small", choices=SCALE_NAMES)
     p.add_argument("--shards", type=int, default=2)
     p.add_argument("--replicas", type=int, default=1)
     p.add_argument("--queries", type=int, default=20, help="sample workload size")

@@ -1,8 +1,19 @@
 """Timetable Labeling (TTL): construction, in-memory queries, persistence."""
 
-from repro.labeling.io import load_labels, save_labels
+from repro.labeling.io import (
+    load_labels,
+    load_or_build,
+    save_labels,
+    timetable_digest,
+)
 from repro.labeling.labels import LabelTuple, TTLLabels
 from repro.labeling.ordering import ORDERINGS, make_order
+from repro.labeling.parallel import (
+    ConnectionColumns,
+    ParallelBuildReport,
+    build_labels_parallel,
+    profile_scan,
+)
 from repro.labeling.query import (
     TTLQueryEngine,
     journey_is_feasible,
@@ -19,8 +30,14 @@ __all__ = [
     "journey_is_feasible",
     "reconstruct_journey",
     "BuildReport",
+    "ParallelBuildReport",
+    "ConnectionColumns",
     "build_labels",
+    "build_labels_parallel",
+    "profile_scan",
     "preprocess",
     "save_labels",
     "load_labels",
+    "load_or_build",
+    "timetable_digest",
 ]

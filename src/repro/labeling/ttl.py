@@ -149,6 +149,7 @@ def build_labels(
     ordering: str = "event_degree",
     prune: bool = True,
     add_dummies: bool = False,
+    workers: int = 1,
 ) -> tuple[TTLLabels, BuildReport]:
     """Run TTL preprocessing.
 
@@ -160,10 +161,25 @@ def build_labels(
         prune: disable to measure how much PLL-style pruning saves
             (ablation); the labels stay correct either way, only bigger.
         add_dummies: also add PTLDB's dummy tuples before returning.
+        workers: with ``workers > 1`` the per-hub profile scans run on a
+            process pool (:mod:`repro.labeling.parallel`); the labels are
+            bit-identical to this sequential reference implementation and
+            the report is a :class:`~repro.labeling.parallel.ParallelBuildReport`.
 
     Returns:
         (labels, build report).
     """
+    if workers > 1:
+        from repro.labeling.parallel import build_labels_parallel
+
+        return build_labels_parallel(
+            timetable,
+            workers,
+            order=order,
+            ordering=ordering,
+            prune=prune,
+            add_dummies=add_dummies,
+        )
     started = time.perf_counter()
     if order is None:
         order = make_order(timetable, ordering)
@@ -238,7 +254,10 @@ def _covered_in(
 def preprocess(
     timetable: Timetable,
     ordering: str = "event_degree",
+    workers: int = 1,
 ) -> TTLLabels:
     """One-call preprocessing with dummy tuples, ready for PTLDB loading."""
-    labels, _ = build_labels(timetable, ordering=ordering, add_dummies=True)
+    labels, _ = build_labels(
+        timetable, ordering=ordering, add_dummies=True, workers=workers
+    )
     return labels

@@ -311,6 +311,8 @@ class PTLDB(_QueryAPI):
         batch_size: int = 1024,
         readahead: int = 8,
         numpy_batches: bool = True,
+        workers: int = 1,
+        cache_dir: str | None = None,
     ) -> "PTLDB":
         """Preprocess (unless labels are given) and load into a fresh DB.
 
@@ -318,9 +320,26 @@ class PTLDB(_QueryAPI):
         forwarded to the :class:`Database` executor knobs
         (docs/ARCHITECTURE.md, "Vectorized pipeline"); ``storage`` picks the
         label/aux heap layout (docs/STORAGE.md). Results are identical for
-        any combination."""
+        any combination.
+
+        ``workers`` > 1 runs TTL preprocessing on a process pool and
+        ``cache_dir`` reuses previously saved labels keyed by the dataset
+        digest (docs/PREPROCESSING.md) — both only matter when *labels* is
+        not given."""
         if labels is None:
-            labels = preprocess(timetable, ordering=ordering)
+            if cache_dir is not None:
+                from repro.labeling.io import load_or_build
+
+                labels, _, _ = load_or_build(
+                    timetable,
+                    cache_dir=cache_dir,
+                    ordering=ordering,
+                    workers=workers,
+                )
+            else:
+                labels = preprocess(
+                    timetable, ordering=ordering, workers=workers
+                )
         db = Database(
             device=device,
             pool_pages=pool_pages,

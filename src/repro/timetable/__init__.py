@@ -3,6 +3,8 @@
 from repro.timetable.datasets import (
     DATASET_NAMES,
     PAPER_TABLE7,
+    SCALE_NAMES,
+    TABLE7_SCALE_NAMES,
     dataset_config,
     load_dataset,
 )
@@ -23,6 +25,8 @@ __all__ = [
     "random_timetable",
     "DATASET_NAMES",
     "PAPER_TABLE7",
+    "SCALE_NAMES",
+    "TABLE7_SCALE_NAMES",
     "dataset_config",
     "load_dataset",
 ]

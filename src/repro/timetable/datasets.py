@@ -7,12 +7,17 @@ synthesize cities whose *relative* shape mirrors Table 7 — the ranking of
 degree, highest |HL|/|V|) must remain the hardest instance, Salt Lake City
 the lightest, Sweden the largest |V|.
 
-Two scales are provided:
+Three scales are provided:
 
 * ``small`` (default) — ~1/100 of the paper's |V| and ~1/6 of its degree;
   TTL preprocessing for all 11 cities completes in minutes on a laptop.
 * ``paper`` — ~1/20 of |V|, ~1/3 of degree; closer to the original ratios
   but slower to preprocess.
+* ``table7`` — the paper's *actual* Table 7 row (|V| and degree taken
+  verbatim), available for the cities in ``TABLE7_SCALE_NAMES``. These are
+  full-size instances (~10⁴ stops, 10⁵–10⁶ connections) meant for the
+  parallel preprocessing pipeline (``repro preprocess --workers N``,
+  docs/PREPROCESSING.md) — not for casual test runs.
 """
 
 from __future__ import annotations
@@ -67,7 +72,14 @@ _SCALED = {
     "Toronto": (95, 51, 400, 102),
 }
 
+# Cities generated at the paper's verbatim Table 7 size (|V|, degree read
+# straight off PAPER_TABLE7). Denver is the canonical ~10^4-stop instance;
+# Madrid is the densest (1.65M connections from 4k stops).
+TABLE7_SCALE_NAMES = ["Denver", "Madrid"]
+
 DATASET_NAMES = [d.name for d in PAPER_TABLE7]
+
+SCALE_NAMES = ["small", "paper", "table7"]
 
 
 def dataset_config(name: str, scale: str = "small", seed: int | None = None) -> CityConfig:
@@ -81,8 +93,18 @@ def dataset_config(name: str, scale: str = "small", seed: int | None = None) -> 
         stops, degree = small_stops, small_degree
     elif scale == "paper":
         stops, degree = paper_stops, paper_degree
+    elif scale == "table7":
+        if name not in TABLE7_SCALE_NAMES:
+            raise TimetableError(
+                f"no table7-scale profile for {name!r}; "
+                f"choose from {TABLE7_SCALE_NAMES}"
+            )
+        row = paper_row(name)
+        stops, degree = row.stops, row.avg_degree
     else:
-        raise TimetableError(f"unknown scale {scale!r} (use 'small' or 'paper')")
+        raise TimetableError(
+            f"unknown scale {scale!r} (use one of {SCALE_NAMES})"
+        )
     if seed is None:
         seed = 1 + DATASET_NAMES.index(name)
     hub_count = max(2, stops // 25)

@@ -61,8 +61,18 @@ class CityConfig:
             raise TimetableError("bad hub count")
 
     def expected_connections(self) -> int:
-        """Rough |E| estimate (both directions, full-day service)."""
-        trips_per_direction = (self.span_end - self.span_start) // self.headway_s
+        """Rough |E| estimate (both directions, full-day service).
+
+        Accounts for evening thinning: the effective headway averaged over
+        the service span is ``headway_s * (1 + evening_thinning) / 2``, so
+        fewer trips run than a naive ``span / headway_s`` would suggest.
+        Used to size the ``table7``-scale dataset profiles, where hitting
+        the paper's degree column matters.
+        """
+        effective_headway = self.headway_s * (1.0 + self.evening_thinning) / 2.0
+        trips_per_direction = int(
+            (self.span_end - self.span_start) / max(60.0, effective_headway)
+        )
         return 2 * self.num_lines * trips_per_direction * (self.line_length - 1)
 
 
@@ -158,17 +168,13 @@ def generate_city(config: CityConfig) -> Timetable:
             departure = config.span_start + rng.randrange(config.headway_s)
             while departure < config.span_end:
                 when = departure
-                feasible = True
-                trip_connections = []
                 for (u, v), leg in zip(zip(direction, direction[1:]), legs):
                     arrive = when + leg
-                    trip_connections.append(
+                    connections.append(
                         Connection(dep=when, arr=arrive, u=u, v=v, trip=trip_counter)
                     )
                     when = arrive + rng.randint(0, 30)  # dwell
-                if feasible:
-                    connections.extend(trip_connections)
-                    trip_counter += 1
+                trip_counter += 1
                 jitter = (
                     rng.randint(-config.headway_jitter_s, config.headway_jitter_s)
                     if config.headway_jitter_s

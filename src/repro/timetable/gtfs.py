@@ -18,13 +18,22 @@ from __future__ import annotations
 
 import csv
 import os
+from functools import lru_cache
 
 from repro.errors import GTFSError
 from repro.timetable.model import Connection, Timetable
 
 
+@lru_cache(maxsize=65536)
 def parse_gtfs_time(text: str) -> int:
-    """``HH:MM:SS`` -> seconds after midnight. Hours may exceed 23."""
+    """``HH:MM:SS`` -> seconds after midnight. Hours may exceed 23.
+
+    Memoized: a real-city feed repeats the same time strings across
+    millions of ``stop_times`` rows (headway patterns), and a service day
+    has at most ~10⁵ distinct timestamps — caching makes loading a
+    Table-7-scale feed substantially cheaper. Parse failures raise and are
+    therefore never cached.
+    """
     parts = text.strip().split(":")
     if len(parts) != 3:
         raise GTFSError(f"bad GTFS time {text!r}")

@@ -1,0 +1,66 @@
+"""Smoke tests for the preprocessing scaling experiment."""
+
+import json
+
+from repro.bench.experiment_preprocess import (
+    experiment_preprocess,
+    main,
+    run_preprocess_experiment,
+)
+
+
+def test_report_shape_and_identity():
+    report = run_preprocess_experiment(
+        "Austin",
+        scale="small",
+        workers_list=(1, 2),
+        min_speedup=0.0,
+        oracle_queries=10,
+    )
+    assert report["ok"]
+    assert report["labels_identical"]
+    assert report["oracle"]["mismatches"] == 0
+    assert [row["workers"] for row in report["rows"]] == [1, 2]
+    assert all(row["identical"] for row in report["rows"])
+    parallel_row = report["rows"][1]
+    assert parallel_row["window"] >= 1
+    assert parallel_row["pipeline_s"] > 0
+    assert report["cpu_count"] >= 1
+
+
+def test_workers_one_added_when_missing():
+    report = run_preprocess_experiment(
+        "Austin", scale="small", workers_list=(2,), min_speedup=0.0,
+        oracle_queries=5,
+    )
+    assert report["rows"][0]["workers"] == 1  # baseline injected
+
+
+def test_speedup_gate_fails_when_unreachable():
+    report = run_preprocess_experiment(
+        "Austin", scale="small", workers_list=(1, 2),
+        min_speedup=1_000_000.0, oracle_queries=5,
+    )
+    assert not report["ok"]
+    assert report["labels_identical"]  # identity still holds
+
+
+def test_bench_rows():
+    rows = experiment_preprocess(["Austin"])
+    assert [row["workers"] for row in rows] == [1, 2, 4]
+    assert all(row["identical"] and row["oracle_ok"] for row in rows)
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_preprocess.json"
+    code = main(
+        [
+            "--dataset", "Austin", "--scale", "small", "--workers", "1,2",
+            "--min-speedup", "0", "--oracle-queries", "5",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["ok"]
+    assert "preprocess scaling gate OK" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Edge cases of the profile-CSA building block ``_JourneyProfile``.
+
+The profile is the inner data structure of preprocessing; its invariants
+(insertions in decreasing departure order, Pareto entries, equal-departure
+replacement) are what both the sequential build and the parallel scan
+kernel rely on.
+"""
+
+from repro.labeling.ttl import INF, _JourneyProfile
+
+
+class TestInsert:
+    def test_first_insert_accepted(self):
+        prof = _JourneyProfile()
+        assert prof.insert(100, 200, trip=1, pivot=5)
+        assert prof.entries == [(100, 200, 1, 5)]
+
+    def test_dominated_insert_rejected(self):
+        """An earlier departure that arrives no earlier adds nothing."""
+        prof = _JourneyProfile()
+        prof.insert(100, 200, 1, 5)
+        assert not prof.insert(90, 200, 2, 6)
+        assert not prof.insert(80, 250, 3, 7)
+        assert prof.entries == [(100, 200, 1, 5)]
+
+    def test_equal_departure_pop_chain(self):
+        """A better journey at the same departure replaces the old entry —
+        the witness (trip, pivot) must switch to the better journey's."""
+        prof = _JourneyProfile()
+        prof.insert(100, 220, trip=1, pivot=5)
+        assert prof.insert(100, 210, trip=2, pivot=6)
+        assert prof.entries == [(100, 210, 2, 6)]
+        # chain: the replacement itself can be replaced again
+        assert prof.insert(100, 205, trip=3, pivot=7)
+        assert prof.entries == [(100, 205, 3, 7)]
+
+    def test_pareto_entries_accumulate(self):
+        prof = _JourneyProfile()
+        prof.insert(120, 240, 1, 5)
+        prof.insert(100, 200, 2, 6)
+        prof.insert(80, 150, 3, 7)
+        assert prof.entries == [
+            (120, 240, 1, 5),
+            (100, 200, 2, 6),
+            (80, 150, 3, 7),
+        ]
+
+
+class TestEvaluate:
+    def test_empty_profile(self):
+        assert _JourneyProfile().evaluate(0) == INF
+
+    def test_not_before_beyond_all_entries(self):
+        prof = _JourneyProfile()
+        prof.insert(120, 240, 1, 5)
+        prof.insert(100, 200, 2, 6)
+        assert prof.evaluate(121) == INF
+
+    def test_picks_latest_feasible_departure(self):
+        prof = _JourneyProfile()
+        prof.insert(120, 240, 1, 5)
+        prof.insert(100, 200, 2, 6)
+        prof.insert(80, 150, 3, 7)
+        # dep >= 110 leaves only the (120, 240) journey
+        assert prof.evaluate(110) == 240
+        # dep >= 90 -> (100, 200) has the earliest arrival
+        assert prof.evaluate(90) == 200
+        assert prof.evaluate(0) == 150
+
+    def test_boundary_is_inclusive(self):
+        prof = _JourneyProfile()
+        prof.insert(100, 200, 1, 5)
+        assert prof.evaluate(100) == 200
+        assert prof.evaluate(101) == INF

@@ -6,6 +6,8 @@ from repro.errors import TimetableError
 from repro.timetable.datasets import (
     DATASET_NAMES,
     PAPER_TABLE7,
+    SCALE_NAMES,
+    TABLE7_SCALE_NAMES,
     dataset_config,
     load_dataset,
     paper_row,
@@ -33,6 +35,34 @@ class TestRegistry:
     def test_unknown_scale(self):
         with pytest.raises(TimetableError):
             dataset_config("Austin", scale="huge")
+
+    def test_scale_names(self):
+        assert SCALE_NAMES == ["small", "paper", "table7"]
+        assert set(TABLE7_SCALE_NAMES) <= set(DATASET_NAMES)
+
+
+class TestTable7Scale:
+    """The table7 scale takes |V| and degree verbatim from Table 7.
+
+    Only the configs are checked — generating a 10^4-stop city belongs in
+    the preprocessing pipeline, not the unit suite.
+    """
+
+    @pytest.mark.parametrize("name", TABLE7_SCALE_NAMES)
+    def test_config_matches_paper_row(self, name):
+        config = dataset_config(name, scale="table7")
+        row = paper_row(name)
+        assert config.num_stops == row.stops
+        expected = config.expected_connections()
+        # within 25% of the paper's |E| (the generator's estimate is rough)
+        assert abs(expected - row.connections) / row.connections < 0.25
+
+    def test_denver_is_real_city_scale(self):
+        assert dataset_config("Denver", scale="table7").num_stops == 10_000
+
+    def test_cities_without_table7_profile_rejected(self):
+        with pytest.raises(TimetableError):
+            dataset_config("Austin", scale="table7")
 
 
 class TestGeneratedDatasets:
