@@ -324,6 +324,7 @@ def _lint_database():
     reference (built from the same DDL helpers the real builders use)."""
     from repro.minidb.engine import Database
     from repro.ptldb import aux
+    from repro.ptldb.analytics import CONNECTIONS_DDL, TRIPS_DDL
     from repro.ptldb.schema import LIN_DDL, LOUT_DDL
     from repro.ptldb.sqltext import CORPUS_TAG
 
@@ -332,6 +333,8 @@ def _lint_database():
     for ddl in (
         LOUT_DDL.format(array="BIGINT[]"),
         LIN_DDL.format(array="BIGINT[]"),
+        CONNECTIONS_DDL,
+        TRIPS_DDL,
         aux.targets_ddl(f"tgt_{tag}"),
         aux.hours_ddl(f"hours_{tag}"),
         aux.naive_ea_ddl(f"knn_ea_naive_{tag}"),

@@ -26,7 +26,11 @@ stays exact even while other sessions run (see docs/OBSERVABILITY.md).
 Thread safety: all page traffic reaches the disk manager through the buffer
 pool, which serializes it under its own lock; the only methods intended for
 direct concurrent use are the read-only stat accessors and
-``thread_stats()``.
+``thread_stats()``. Sequential-read *run* detection is tracked per thread
+(:class:`_RunTracker`): each session or intra-query worker is modeled as its
+own I/O stream, so interleaved scans from two threads each keep paying the
+sequential rate instead of randomizing each other — and a morsel worker's
+readahead never breaks another worker's run.
 """
 
 from __future__ import annotations
@@ -112,6 +116,32 @@ class IOStats:
 _NO_RUN = -2
 
 
+class _RunTracker:
+    """Per-thread sequential-read run positions.
+
+    The run a read extends is a property of the *stream* issuing it, and
+    with intra-query workers each worker thread is its own stream: worker A
+    scanning pages 10..19 and worker B scanning 20..29 are two independent
+    sequential runs (two actuators / two queue slots in the device model),
+    not one interleaved random mess. Keying the last-read position by
+    thread keeps each stream's accounting exact; single-threaded code sees
+    exactly the old behavior. Writes and allocations still break *every*
+    run — the head (or flash translation layer) moved for all streams.
+    """
+
+    def __init__(self):
+        self._last: dict[int, int] = {}
+
+    def last(self) -> int:
+        return self._last.get(threading.get_ident(), _NO_RUN)
+
+    def advance(self, page_id: int) -> None:
+        self._last[threading.get_ident()] = page_id
+
+    def break_all(self) -> None:
+        self._last.clear()
+
+
 class DiskManager:
     """Page-granular file storage with device-latency accounting.
 
@@ -125,7 +155,7 @@ class DiskManager:
         self.stats = IOStats()
         self._thread_stats: dict[int, IOStats] = {}
         self._path = path
-        self._last_read_page = _NO_RUN
+        self._runs = _RunTracker()
         if path is None:
             self._file = None
             self._pages: list[bytearray] = []
@@ -162,12 +192,12 @@ class DiskManager:
         self._thread_stats.clear()
 
     def reset_access_history(self) -> None:
-        """Forget the sequential-read run (a restart / cold cache would).
+        """Forget every sequential-read run (a restart / cold cache would).
 
         Public on purpose: the buffer pool's ``clear()`` must reset it and
         should not reach into private attributes to do so.
         """
-        self._last_read_page = _NO_RUN
+        self._runs.break_all()
 
     def _charge_read(self, sequential: bool) -> None:
         cost = self.device.read_cost(sequential)
@@ -199,7 +229,7 @@ class DiskManager:
         read run.
         """
         self._charge_write()
-        self._last_read_page = _NO_RUN
+        self._runs.break_all()
         if self._file is None:
             self._pages.append(bytearray(PAGE_SIZE))
             return len(self._pages) - 1
@@ -212,8 +242,8 @@ class DiskManager:
     def read_page(self, page_id: int) -> bytearray:
         """Fetch a page from the device, charging simulated latency."""
         self._check(page_id)
-        sequential = page_id == self._last_read_page + 1
-        self._last_read_page = page_id
+        sequential = page_id == self._runs.last() + 1
+        self._runs.advance(page_id)
         self._charge_read(sequential)
         if self._file is None:
             return bytearray(self._pages[page_id])
@@ -237,10 +267,10 @@ class DiskManager:
         for position, page_id in enumerate(page_ids):
             self._check(page_id)
             if position == 0:
-                sequential = page_id == self._last_read_page + 1
+                sequential = page_id == self._runs.last() + 1
             else:
-                sequential = page_id > self._last_read_page
-            self._last_read_page = page_id
+                sequential = page_id > self._runs.last()
+            self._runs.advance(page_id)
             self._charge_read(sequential)
             if self._file is None:
                 buffers.append(bytearray(self._pages[page_id]))
@@ -255,8 +285,8 @@ class DiskManager:
             raise StorageError("short page write")
         self._charge_write()
         # A write moves the head: two reads interleaved with it are *not*
-        # one sequential run, so the run restarts from scratch.
-        self._last_read_page = _NO_RUN
+        # one sequential run, so every thread's run restarts from scratch.
+        self._runs.break_all()
         if self._file is None:
             self._pages[page_id] = bytearray(buf)
         else:

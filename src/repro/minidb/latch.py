@@ -104,6 +104,9 @@ class RWLatch:
         "_reader_idents",
         "_writer_ident",
         "_waiting",
+        # The dynamic sanitizer watches latch lifetime with weakrefs so a
+        # collected latch's id cannot alias stale edges in its graph.
+        "__weakref__",
     )
 
     def __init__(self, name: str = "latch"):

@@ -24,6 +24,7 @@ See docs/OBSERVABILITY.md for the full API walk-through.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -49,6 +50,11 @@ class OperatorStats:
     pool_misses: int = 0
     page_reads: int = 0
     io_ms: float = 0.0
+    #: Number of worker threads that fed this operator. Zero for ordinary
+    #: (serial) operators; a Gather node produced by the parallel batch
+    #: executor sets it to the worker count and its children are the
+    #: per-worker subtrees (see docs/OBSERVABILITY.md).
+    workers: int = 0
     children: list["OperatorStats"] = field(default_factory=list)
 
     @property
@@ -98,6 +104,8 @@ class OperatorStats:
                 f" (batch: pulls={self.pulls} "
                 f"rows/pull={self.rows_per_pull:.1f})"
             )
+        if self.workers:
+            suffix += f" (parallel: {self.workers} workers)"
         return suffix
 
     def walk(self):
@@ -332,26 +340,43 @@ class TraceCollector:
 # ---------------------------------------------------------------------------
 @dataclass
 class Counter:
-    """A monotonically increasing named value."""
+    """A monotonically increasing named value.
+
+    ``inc`` is locked: ``self.value += amount`` is a read-modify-write, so
+    two racing intra-query workers could otherwise both read the same old
+    value and lose one increment.
+    """
 
     name: str
     value: float = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
-    """A named distribution of observations (milliseconds, rows, ...)."""
+    """A named distribution of observations (milliseconds, rows, ...).
+
+    ``observe`` is locked for the same reason ``Counter.inc`` is: list
+    appends are atomic under CPython's GIL today, but the summary
+    properties iterate the list and a torn read during a concurrent resize
+    is not something the metrics layer should gamble on.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.values: list[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        with self._lock:
+            self.values.append(float(value))
 
     @property
     def count(self) -> int:
@@ -390,17 +415,22 @@ class MetricsRegistry:
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            # Lock the insert so two racing threads agree on one instance
+            # (each would otherwise increment its own orphaned Counter).
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
         return counter
 
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(name))
         return histogram
 
     def snapshot(self) -> dict:
@@ -444,8 +474,9 @@ class MetricsRegistry:
                 histogram.observe(value)
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
 
 
 #: Process-wide default registry; the bench harness feeds this unless given

@@ -48,6 +48,7 @@ from __future__ import annotations
 import os
 import threading
 import traceback
+import weakref
 
 from repro.errors import SanitizerError
 
@@ -100,6 +101,33 @@ class Tracker:
         self._edges: dict[int, dict[int, tuple[str, str]]] = {}
         #: latch_key -> human name ("page:17", "stmt"), for reports.
         self._names: dict[int, str] = {}
+        #: keys with a live finalizer attached — see :meth:`_watch`.
+        self._watched: set[int] = set()
+
+    def _watch(self, latch, key: int) -> None:
+        """Purge *key*'s graph entries when *latch* is collected.
+
+        Keys are ``id()`` values, and CPython recycles addresses: once a
+        latch dies (a closed/GC'd ``Database``), a brand-new latch can
+        alias its key and inherit stale edges — a false lock-order
+        inversion against ordering the new latch never took part in.
+        Caller holds ``self._lock``.
+        """
+        if key in self._watched:
+            return
+        try:
+            weakref.finalize(latch, self._forget, key)
+        except TypeError:
+            return  # not weakref-able: tracked, but never purged
+        self._watched.add(key)
+
+    def _forget(self, key: int) -> None:
+        with self._lock:
+            self._watched.discard(key)
+            self._edges.pop(key, None)
+            for edges in self._edges.values():
+                edges.pop(key, None)
+            self._names.pop(key, None)
 
     # -- latch hooks -----------------------------------------------------
     def before_acquire(self, latch, mode: str) -> None:
@@ -125,6 +153,7 @@ class Tracker:
             return
         acquire_stack = _capture_stack(f"{mode} acquire of {name}")
         with self._lock:
+            self._watch(latch, key)
             self._names[key] = name
             for held_key, _, held_stack in held:
                 if held_key == key:
@@ -170,8 +199,14 @@ class Tracker:
     def after_acquire(self, latch, mode: str) -> None:
         """Called by ``RWLatch.acquire_*`` once the latch is held."""
         name = getattr(latch, "name", "latch")
+        key = id(latch)
+        with self._lock:
+            # Every latch that can appear as a held_key in the edge graph
+            # passes through here first, so watch it now (before_acquire
+            # returns early for the outermost latch and never sees it).
+            self._watch(latch, key)
         self._local.held.append(
-            (id(latch), mode, _capture_stack(f"{mode} acquire of {name}"))
+            (key, mode, _capture_stack(f"{mode} acquire of {name}"))
         )
 
     def on_release(self, latch, mode: str) -> None:

@@ -1385,6 +1385,12 @@ def check_paper_bounds(analysis: Analysis, family: str) -> list[Diagnostic]:
       primary key (point or per-row probe) — the "at most |hubs(q)| aux
       rows" bound. Violations get ``APL003``.
     * naive families (Code 2) scan their tables by design: no check.
+    * ``analytics`` (``repro.ptldb.analytics``): the inverse shape. These
+      queries aggregate whole base tables, so their documented (and
+      expected) access is a full **sequential scan** of ``connections`` /
+      ``trips`` — a PK access would mean the planner silently turned the
+      scan-proving workload into a point query — and label tables must not
+      appear at all. Violations get ``APL004``.
 
     Returns the appended diagnostics (also added to ``analysis``).
     """
@@ -1430,5 +1436,26 @@ def check_paper_bounds(analysis: Analysis, family: str) -> list[Diagnostic]:
                 "APL003",
                 f"optimized {family} query must probe its auxiliary table "
                 f"by primary key; got: {got}",
+            )
+    elif family.startswith("analytics"):
+        if label_paths:
+            got = ", ".join(p.describe() for p in label_paths)
+            _fail(
+                "APL004",
+                f"analytics query must not touch label tables; got: {got}",
+            )
+        base = [
+            p
+            for p in analysis.access_paths
+            if p.table in ("connections", "trips")
+        ]
+        bad = [p for p in base if p.kind != SEQ_SCAN]
+        if bad or not base:
+            got = ", ".join(p.describe() for p in base) or "none"
+            _fail(
+                "APL004",
+                f"analytics query must read its base tables via full "
+                f"sequential scans (the scan-shaped access this family "
+                f"documents and the parallel executor splits); got: {got}",
             )
     return out

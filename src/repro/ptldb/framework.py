@@ -222,6 +222,33 @@ class _QueryAPI:
             if arrival <= deadline
         }
 
+    # ------------------------------------------------------------------
+    # Analytics queries (repro.ptldb.analytics): scan-shaped GROUP BY
+    # aggregation over the raw timetable tables — the proving workload of
+    # the morsel-driven parallel executor (docs/PERFORMANCE.md).
+    # ------------------------------------------------------------------
+    def busiest_hubs(self, k: int) -> list[tuple[int, int, int, int]]:
+        """Top-*k* departure hubs: ``(stop, departures, first, last)``."""
+        return list(self._exec(sqltext.ANALYTICS_BUSIEST_HUBS, (k,)).rows)
+
+    def route_trip_stats(self) -> list[tuple[int, int, int, int]]:
+        """Per-route ``(route, trips, first_dep, last_arr)``."""
+        return list(self._exec(sqltext.ANALYTICS_ROUTE_TRIPS, ()).rows)
+
+    def hourly_departures(
+        self, interval_s: int = DEFAULT_INTERVAL_S
+    ) -> list[tuple[int, int]]:
+        """Departures per *interval_s*-second bucket: ``(bucket, count)``."""
+        return list(self._exec(sqltext.ANALYTICS_HOURLY_LOAD, (interval_s,)).rows)
+
+    def route_leg_volume(self) -> list[tuple[int, int, float]]:
+        """Per-route ``(route, total_legs, avg_legs)``."""
+        return list(self._exec(sqltext.ANALYTICS_ROUTE_LEGS, ()).rows)
+
+    def network_span(self) -> tuple[int, int | None, int | None]:
+        """``(arc_count, first_departure, last_arrival)`` of the network."""
+        return self._exec(sqltext.ANALYTICS_NETWORK_SPAN, ()).rows[0]
+
 
 class PTLDB(_QueryAPI):
     """Public Transportation Labels on the DataBase."""
@@ -311,16 +338,17 @@ class PTLDB(_QueryAPI):
         batch_size: int = 1024,
         readahead: int = 8,
         numpy_batches: bool = True,
+        parallel_workers: int = 1,
         workers: int = 1,
         cache_dir: str | None = None,
     ) -> "PTLDB":
         """Preprocess (unless labels are given) and load into a fresh DB.
 
-        ``vectorize``/``batch_size``/``readahead``/``numpy_batches`` are
-        forwarded to the :class:`Database` executor knobs
-        (docs/ARCHITECTURE.md, "Vectorized pipeline"); ``storage`` picks the
-        label/aux heap layout (docs/STORAGE.md). Results are identical for
-        any combination.
+        ``vectorize``/``batch_size``/``readahead``/``numpy_batches``/
+        ``parallel_workers`` are forwarded to the :class:`Database`
+        executor knobs (docs/ARCHITECTURE.md, "Vectorized pipeline" and
+        "Parallel execution"); ``storage`` picks the label/aux heap layout
+        (docs/STORAGE.md). Results are identical for any combination.
 
         ``workers`` > 1 runs TTL preprocessing on a process pool and
         ``cache_dir`` reuses previously saved labels keyed by the dataset
@@ -347,8 +375,16 @@ class PTLDB(_QueryAPI):
             batch_size=batch_size,
             readahead=readahead,
             numpy_batches=numpy_batches,
+            parallel_workers=parallel_workers,
         )
-        return cls(db, labels, compressed=compressed, storage=storage)
+        self = cls(db, labels, compressed=compressed, storage=storage)
+        # The analytics family needs the raw timetable alongside the
+        # labels; this path has it, so the tables always ship together
+        # (:meth:`attach` reopens persisted tables and skips the load).
+        from repro.ptldb.analytics import load_analytics
+
+        load_analytics(db, timetable)
+        return self
 
     def restart(self) -> None:
         """Cold-cache restart (the paper's pre-experiment server restart)."""

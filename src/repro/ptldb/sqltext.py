@@ -294,6 +294,56 @@ def ld_otm(table: str) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Analytics family — scan-shaped GROUP BY over the raw timetable tables
+# (``repro.ptldb.analytics``). Unlike Codes 1-4 these deliberately read
+# every page of their base table (the analyzer's ``analytics`` bound
+# *requires* sequential scans); they are the proving workload of the
+# morsel-driven parallel executor (docs/PERFORMANCE.md).
+# ---------------------------------------------------------------------------
+
+#: Busiest departure hubs. Parameters: $1 = k.
+ANALYTICS_BUSIEST_HUBS = """
+SELECT u, COUNT(*) AS departures, MIN(td) AS first_dep, MAX(td) AS last_dep
+FROM connections
+GROUP BY u
+ORDER BY COUNT(*) DESC, u
+LIMIT $1
+"""
+
+#: Per-route trip-level statistics. No parameters.
+ANALYTICS_ROUTE_TRIPS = """
+SELECT route, COUNT(*) AS trips, MIN(first_dep) AS first_dep,
+       MAX(last_arr) AS last_arr
+FROM trips
+GROUP BY route
+ORDER BY route
+"""
+
+#: Departures per time bucket. Parameters: $1 = bucket width (seconds).
+ANALYTICS_HOURLY_LOAD = """
+SELECT FLOOR(td/$1) AS hour, COUNT(*) AS departures
+FROM connections
+GROUP BY FLOOR(td/$1)
+ORDER BY FLOOR(td/$1)
+"""
+
+#: Per-route service volume (SUM/AVG exercise the accumulator-merge
+#: path of the parallel aggregate — they never lower to array kernels).
+ANALYTICS_ROUTE_LEGS = """
+SELECT route, SUM(legs) AS total_legs, AVG(legs) AS avg_legs
+FROM trips
+GROUP BY route
+ORDER BY route
+"""
+
+#: Whole-network span: one scalar row even over an empty table.
+ANALYTICS_NETWORK_SPAN = """
+SELECT COUNT(*) AS arcs, MIN(td) AS first_dep, MAX(ta) AS last_arr
+FROM connections
+"""
+
+
+# ---------------------------------------------------------------------------
 # The canned query corpus — every paper query family, against a reference
 # set of table names. ``repro lint --corpus`` statically analyzes all of
 # these and checks the paper's page-access bounds (see
@@ -333,4 +383,19 @@ def corpus(tag: str = CORPUS_TAG) -> list[CorpusQuery]:
         ),
         CorpusQuery("ea_otm", "otm_ea", ea_otm(f"otm_ea_{tag}")),
         CorpusQuery("ld_otm", "otm_ld", ld_otm(f"otm_ld_{tag}")),
+        CorpusQuery(
+            "analytics_busiest_hubs", "analytics", ANALYTICS_BUSIEST_HUBS
+        ),
+        CorpusQuery(
+            "analytics_route_trips", "analytics", ANALYTICS_ROUTE_TRIPS
+        ),
+        CorpusQuery(
+            "analytics_hourly_load", "analytics", ANALYTICS_HOURLY_LOAD
+        ),
+        CorpusQuery(
+            "analytics_route_legs", "analytics", ANALYTICS_ROUTE_LEGS
+        ),
+        CorpusQuery(
+            "analytics_network_span", "analytics", ANALYTICS_NETWORK_SPAN
+        ),
     ]

@@ -181,6 +181,55 @@ class TestRegistry:
         assert Histogram("empty").percentile(50) == 0.0
 
 
+class TestRegistryThreadSafety:
+    """Racing increments must not be lost (intra-query workers share one
+    registry, so an unlocked read-modify-write would drop counts)."""
+
+    THREADS = 8
+    ITERATIONS = 2000
+
+    def _hammer(self, fn):
+        import threading
+
+        barrier = threading.Barrier(self.THREADS)
+        errors = []
+
+        def work():
+            try:
+                barrier.wait()
+                for _ in range(self.ITERATIONS):
+                    fn()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        self._hammer(lambda: registry.counter("hot").inc())
+        assert registry.counter("hot").value == self.THREADS * self.ITERATIONS
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+        self._hammer(lambda: registry.histogram("hot").observe(1.0))
+        assert (
+            registry.histogram("hot").count == self.THREADS * self.ITERATIONS
+        )
+
+    def test_racing_creation_yields_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        self._hammer(lambda: seen.append(registry.counter("fresh")))
+        assert len({id(c) for c in seen}) == 1
+
+
 class TestClearResetsStats:
     def test_clear_resets_pool_and_disk_counters(self, db):
         db.execute("SELECT COUNT(*) FROM t")

@@ -121,12 +121,13 @@ class TestLabelTablePredicate:
 
 
 class TestCorpus:
-    def test_corpus_covers_all_seven_families(self, small_ptldb):
+    def test_corpus_covers_all_families(self, small_ptldb):
         families = {q.family for q in sqltext.corpus("poi")}
         assert families == {
             "v2v_ea", "v2v_ld", "v2v_sd",
             "knn_ea", "knn_ld", "otm_ea", "otm_ld",
             "knn_ea_naive", "knn_ld_naive",
+            "analytics",
         }
 
     def test_corpus_is_bound_clean(self, small_ptldb):

@@ -1,0 +1,138 @@
+"""Serial-vs-parallel executor equivalence over the PTLDB query corpus.
+
+``parallel_workers=N`` is a pure optimization, so every paper query family
+and every analytics query must return the same answer as the serial
+executor, read the same number of pages and miss the buffer pool the same
+number of times — the property the parallel perf-smoke bench gates on a
+real workload, pinned here as a deterministic unit test. The analytics
+family is the scan-heavy workload the gather was built for, so the suite
+also asserts those plans genuinely fan out (a traced ``Gather`` with
+worker subtrees), not silently fall back to serial.
+"""
+
+import pytest
+
+from repro.labeling.ttl import build_labels
+from repro.ptldb.framework import PTLDB
+from repro.timetable.generator import random_timetable
+
+NOON = 12 * 3600
+
+FAMILIES = [
+    "v2v_ea", "v2v_ld", "v2v_sd",
+    "knn_ea_naive", "knn_ld_naive",
+    "knn_ea", "knn_ld",
+    "otm_ea", "otm_ld",
+]
+
+ANALYTICS = [
+    "busiest_hubs", "route_trips", "hourly_load", "route_legs", "network_span",
+]
+
+
+def build_db(timetable, labels, workers):
+    db = PTLDB.from_timetable(
+        timetable, device="hdd", labels=labels, parallel_workers=workers
+    )
+    db.build_target_set(
+        "par",
+        targets={1, 4, 9, 13, 16},
+        kmax=4,
+        families=(
+            "knn_ea", "knn_ld", "otm_ea", "otm_ld", "naive_ea", "naive_ld",
+        ),
+    )
+    return db
+
+
+@pytest.fixture(scope="module")
+def dbs():
+    # Large enough that the connections/trips heaps span well over the
+    # morsel floor (≈14 pages each), so analytics scans genuinely split.
+    timetable = random_timetable(24, 2000, seed=7)
+    labels, _ = build_labels(timetable, add_dummies=True)
+    serial = build_db(timetable, labels, workers=1)
+    parallel = build_db(timetable, labels, workers=4)
+    yield serial, parallel
+    serial.db.close()
+    parallel.db.close()
+
+
+def family_calls(ptldb):
+    return {
+        "v2v_ea": lambda: ptldb.earliest_arrival(2, 9, NOON),
+        "v2v_ld": lambda: ptldb.latest_departure(2, 9, 2 * NOON),
+        "v2v_sd": lambda: ptldb.shortest_duration(2, 9, 0, 2 * NOON),
+        "knn_ea_naive": lambda: ptldb.ea_knn_naive("par", 2, NOON, 2),
+        "knn_ld_naive": lambda: ptldb.ld_knn_naive("par", 2, 2 * NOON, 2),
+        "knn_ea": lambda: ptldb.ea_knn("par", 2, NOON, 2),
+        "knn_ld": lambda: ptldb.ld_knn("par", 2, 2 * NOON, 2),
+        "otm_ea": lambda: ptldb.ea_one_to_many("par", 2, NOON),
+        "otm_ld": lambda: ptldb.ld_one_to_many("par", 2, 2 * NOON),
+        "busiest_hubs": lambda: ptldb.busiest_hubs(5),
+        "route_trips": lambda: ptldb.route_trip_stats(),
+        "hourly_load": lambda: ptldb.hourly_departures(3600),
+        "route_legs": lambda: ptldb.route_leg_volume(),
+        "network_span": lambda: ptldb.network_span(),
+    }
+
+
+def run_cold(ptldb, family):
+    """One cold run, returning (value, page_reads, misses, trace issues)."""
+    ptldb.restart()
+    value = family_calls(ptldb)[family]()
+    cost = ptldb.db.last_cost
+    trace = ptldb.db.last_trace
+    issues = trace.validate() if trace is not None else []
+    return value, cost.page_reads, cost.pool_misses, issues
+
+
+@pytest.mark.parametrize("family", FAMILIES + ANALYTICS)
+def test_parallel_matches_serial(dbs, family):
+    serial, parallel = dbs
+    s_val, s_reads, s_misses, s_issues = run_cold(serial, family)
+    p_val, p_reads, p_misses, p_issues = run_cold(parallel, family)
+    assert p_val == s_val, f"{family}: results diverge"
+    assert (p_reads, p_misses) == (s_reads, s_misses), (
+        f"{family}: page I/O diverges"
+    )
+    assert s_issues == [] and p_issues == [], f"{family}: trace invalid"
+
+
+@pytest.mark.parametrize("family", FAMILIES + ANALYTICS)
+def test_no_pins_left_behind(dbs, family):
+    _, parallel = dbs
+    family_calls(parallel)[family]()
+    assert parallel.db.pool.total_pins() == 0
+
+
+@pytest.mark.parametrize("family", ANALYTICS)
+def test_analytics_plans_fan_out(dbs, family):
+    """The scan-heavy workload must genuinely go parallel — a silent serial
+    fallback would make the speedup claim vacuous."""
+    _, parallel = dbs
+    family_calls(parallel)[family]()
+    par = parallel.db.last_parallel
+    assert par is not None, f"{family}: fell back to serial"
+    assert par["workers"] > 1 and par["gathers"] >= 1
+    gathers = parallel.db.last_trace.find("Gather")
+    assert gathers and gathers[0].children, f"{family}: no worker subtrees"
+
+
+def test_serial_db_reports_no_parallel_state(dbs):
+    serial, _ = dbs
+    serial.busiest_hubs(3)
+    assert serial.db.last_parallel is None
+
+
+def test_parallel_cost_totals_include_worker_io(dbs):
+    """Cold analytics run: all heap reads happen on worker threads, yet the
+    statement cost must still charge them (satellite: I/O accounting)."""
+    _, parallel = dbs
+    parallel.restart()
+    parallel.busiest_hubs(5)
+    cost = parallel.db.last_cost
+    assert cost.page_reads > 0 and cost.pool_misses > 0
+    par = parallel.db.last_parallel
+    assert par["reads"] > 0  # workers really did the reading
+    assert par["makespan_ms"] >= par["critical_ms"] >= 0.0
